@@ -1,0 +1,149 @@
+"""Minimal in-tree PEP 517 build backend.
+
+The reproduction is built in offline environments where the ``wheel`` package
+(and PyPI access for build isolation) may be unavailable, which breaks the
+standard setuptools editable-install path.  This backend needs nothing beyond
+the standard library: it produces wheels directly with :mod:`zipfile`.
+
+* ``build_wheel``      — packages ``src/repro`` as a regular pure-Python wheel.
+* ``build_editable``   — produces a wheel containing only a ``.pth`` file that
+  points at ``src/``, which is all an editable install needs.
+* ``build_sdist``      — a plain tar.gz of the project tree.
+
+``pyproject.toml`` points at this module via ``build-backend``/``backend-path``
+with an empty ``requires`` list, so ``pip install -e .`` works with or without
+network access, build isolation and the ``wheel`` package.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import tarfile
+import zipfile
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent
+_NAME = "repro"
+_VERSION = "1.0.0"
+_TAG = "py3-none-any"
+
+
+# ---------------------------------------------------------------------------
+# metadata helpers
+# ---------------------------------------------------------------------------
+
+def _metadata() -> str:
+    summary = (
+        "Reproduction of 'A Reflective Approach to Providing Flexibility in "
+        "Application Distribution' (RAFDA, Middleware 2003)"
+    )
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {_NAME}",
+        f"Version: {_VERSION}",
+        f"Summary: {summary}",
+        "Requires-Python: >=3.10",
+        "License: MIT",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def _wheel_metadata() -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        f"Generator: {_NAME}-in-tree-backend\n"
+        "Root-Is-Purelib: true\n"
+        f"Tag: {_TAG}\n"
+    )
+
+
+def _record_entry(archive_name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=").decode("ascii")
+    return f"{archive_name},sha256={digest},{len(data)}"
+
+
+class _WheelWriter:
+    """Accumulates files and writes a spec-compliant wheel archive."""
+
+    def __init__(self, directory: str, editable: bool) -> None:
+        suffix = _TAG
+        self.dist_info = f"{_NAME}-{_VERSION}.dist-info"
+        self.filename = f"{_NAME}-{_VERSION}-{suffix}.whl"
+        self.path = Path(directory) / self.filename
+        self._entries: list[tuple[str, bytes]] = []
+        self._editable = editable
+
+    def add(self, archive_name: str, data: bytes) -> None:
+        self._entries.append((archive_name, data))
+
+    def finish(self) -> str:
+        self.add(f"{self.dist_info}/METADATA", _metadata().encode("utf-8"))
+        self.add(f"{self.dist_info}/WHEEL", _wheel_metadata().encode("utf-8"))
+        record_name = f"{self.dist_info}/RECORD"
+        record_lines = [_record_entry(name, data) for name, data in self._entries]
+        record_lines.append(f"{record_name},,")
+        record_data = ("\n".join(record_lines) + "\n").encode("utf-8")
+        with zipfile.ZipFile(self.path, "w", compression=zipfile.ZIP_DEFLATED) as archive:
+            for name, data in self._entries:
+                archive.writestr(name, data)
+            archive.writestr(record_name, record_data)
+        return self.filename
+
+
+# ---------------------------------------------------------------------------
+# PEP 517 hooks
+# ---------------------------------------------------------------------------
+
+def get_requires_for_build_wheel(config_settings=None):  # noqa: D103
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):  # noqa: D103
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):  # noqa: D103
+    return []
+
+
+def prepare_metadata_for_build_wheel(metadata_directory, config_settings=None):
+    dist_info = Path(metadata_directory) / f"{_NAME}-{_VERSION}.dist-info"
+    dist_info.mkdir(parents=True, exist_ok=True)
+    (dist_info / "METADATA").write_text(_metadata(), encoding="utf-8")
+    (dist_info / "WHEEL").write_text(_wheel_metadata(), encoding="utf-8")
+    return dist_info.name
+
+
+def prepare_metadata_for_build_editable(metadata_directory, config_settings=None):
+    return prepare_metadata_for_build_wheel(metadata_directory, config_settings)
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    writer = _WheelWriter(wheel_directory, editable=False)
+    package_root = _ROOT / "src" / _NAME
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(_ROOT / "src")
+        writer.add(str(relative).replace(os.sep, "/"), path.read_bytes())
+    return writer.finish()
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    writer = _WheelWriter(wheel_directory, editable=True)
+    source_dir = str((_ROOT / "src").resolve())
+    writer.add(f"__editable__.{_NAME}.pth", (source_dir + "\n").encode("utf-8"))
+    return writer.finish()
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    filename = f"{_NAME}-{_VERSION}.tar.gz"
+    base = f"{_NAME}-{_VERSION}"
+    include = ["pyproject.toml", "setup.py", "README.md", "DESIGN.md", "EXPERIMENTS.md",
+               "_repro_build.py", "src", "tests", "benchmarks", "examples"]
+    with tarfile.open(Path(sdist_directory) / filename, "w:gz") as archive:
+        for entry in include:
+            path = _ROOT / entry
+            if path.exists():
+                archive.add(path, arcname=f"{base}/{entry}")
+    return filename

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark modules."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for candidate in (_ROOT / "src", _ROOT / "tests"):
+    if str(candidate) not in sys.path:
+        sys.path.insert(0, str(candidate))
+
+from repro.core.transformer import ApplicationTransformer  # noqa: E402
+from repro.policy.policy import all_local_policy, place_classes_on  # noqa: E402
+from repro.runtime.cluster import Cluster  # noqa: E402
+
+
+def transform_sample(policy=None):
+    """Transform the Figure 2 sample classes with the given policy."""
+    import sample_app
+
+    return ApplicationTransformer(policy or all_local_policy()).transform(
+        [sample_app.X, sample_app.Y, sample_app.Z]
+    )
+
+
+def deploy_figure1(node_for_c=None, dynamic=False, transport="rmi"):
+    """Transform and deploy the Figure 1 workload classes on a two-node cluster."""
+    from repro.workloads.figure1 import A, B, C
+
+    if node_for_c is None:
+        policy = all_local_policy(dynamic=dynamic)
+    else:
+        policy = place_classes_on({"C": node_for_c}, transport=transport, dynamic=dynamic)
+    app = ApplicationTransformer(policy).transform([A, B, C])
+    cluster = Cluster(("client", "server"))
+    app.deploy(cluster, default_node="client")
+    return app, cluster
+
+
+def record_simulation(benchmark, cluster, **extra):
+    """Attach simulated-network quantities to the benchmark report."""
+    benchmark.extra_info.update(
+        {
+            "simulated_seconds": round(cluster.clock.now, 6),
+            "messages": cluster.metrics.total_messages,
+            "bytes_on_wire": cluster.metrics.total_bytes,
+            **extra,
+        }
+    )

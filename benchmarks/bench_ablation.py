@@ -1,0 +1,172 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These do not correspond to a specific paper figure; they quantify the cost of
+the mechanisms the reproduction adds so their overheads are visible and
+justified:
+
+* the rebindable redirector handle versus a direct reference to the local
+  implementation (the price of being able to alter boundaries at run time);
+* the simulated link characteristics (LAN vs WAN) under the same remote
+  workload (where moving an object starts to pay for itself);
+* retry-based fault tolerance under increasing message-loss rates.
+"""
+
+from __future__ import annotations
+
+from _helpers import transform_sample  # noqa: F401 - path setup side effect
+
+import sample_app
+from repro.core.transformer import ApplicationTransformer
+from repro.network.failures import FailureModel
+from repro.network.simnet import LAN_LINK, WAN_LINK, SimulatedNetwork
+from repro.policy.policy import all_local_policy, place_classes_on, remote
+from repro.runtime.cluster import Cluster
+from repro.runtime.faulttolerance import RetryPolicy, guard_handle
+
+CLASSES = [sample_app.X, sample_app.Y, sample_app.Z]
+CALLS = 300
+
+
+# ---------------------------------------------------------------------------
+# Ablation 1: rebindable handles vs direct local implementations
+# ---------------------------------------------------------------------------
+
+def bench_direct_local_implementation(benchmark):
+    """Static policy: the factory returns the local implementation itself."""
+    app = ApplicationTransformer(all_local_policy()).transform(CLASSES)
+    y = app.new("Y", 1)
+
+    def run():
+        total = 0
+        for value in range(CALLS):
+            total += y.n(value)
+        return total
+
+    total = benchmark(run)
+    benchmark.extra_info["handle_kind"] = type(y).__name__
+    assert total == sum(range(CALLS)) + CALLS
+
+
+def bench_rebindable_handle(benchmark):
+    """Dynamic policy: every call goes through the redirector's metaobject."""
+    app = ApplicationTransformer(all_local_policy(dynamic=True)).transform(CLASSES)
+    y = app.new("Y", 1)
+
+    def run():
+        total = 0
+        for value in range(CALLS):
+            total += y.n(value)
+        return total
+
+    total = benchmark(run)
+    benchmark.extra_info["handle_kind"] = type(y).__name__
+    assert total == sum(range(CALLS)) + CALLS
+
+
+# ---------------------------------------------------------------------------
+# Ablation 2: link characteristics (LAN vs WAN)
+# ---------------------------------------------------------------------------
+
+def _remote_run(link):
+    network = SimulatedNetwork(default_link=link)
+    cluster = Cluster(("client", "server"), network=network)
+    app = ApplicationTransformer(place_classes_on({"Y": "server"})).transform(CLASSES)
+    app.deploy(cluster, default_node="client")
+    y = app.new("Y", 1)
+    for value in range(100):
+        y.n(value)
+    return cluster
+
+
+def bench_remote_calls_on_lan(benchmark):
+    cluster = benchmark(lambda: _remote_run(LAN_LINK))
+    benchmark.extra_info["simulated_seconds"] = round(cluster.clock.now, 6)
+    benchmark.extra_info["link"] = "LAN (0.5 ms, 100 Mbit/s)"
+
+
+def bench_remote_calls_on_wan(benchmark):
+    cluster = benchmark(lambda: _remote_run(WAN_LINK))
+    benchmark.extra_info["simulated_seconds"] = round(cluster.clock.now, 6)
+    benchmark.extra_info["link"] = "WAN (30 ms, 10 Mbit/s)"
+
+
+def bench_lan_vs_wan_redistribution_incentive(benchmark):
+    """How much simulated time a boundary change saves on each link type."""
+
+    def run():
+        results = {}
+        for name, link in (("lan", LAN_LINK), ("wan", WAN_LINK)):
+            remote_cluster = _remote_run(link)
+            # The same workload run entirely locally costs no simulated time,
+            # so the remote run's clock *is* the potential saving.
+            results[name] = remote_cluster.clock.now
+        return results
+
+    savings = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert savings["wan"] > savings["lan"]
+    benchmark.extra_info["potential_saving_seconds"] = {
+        name: round(value, 6) for name, value in savings.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ablation 3: fault tolerance under message loss
+# ---------------------------------------------------------------------------
+
+def _lossy_run(drop_probability: float):
+    policy = all_local_policy()
+    policy.set_class("Y", instances=remote("server", dynamic=True))
+    app = ApplicationTransformer(policy).transform(CLASSES)
+    network = SimulatedNetwork(failures=FailureModel(drop_probability=0.0, seed=17))
+    cluster = Cluster(("client", "server"), network=network)
+    app.deploy(cluster, default_node="client")
+    y = app.new("Y", 1)
+    log = guard_handle(y, policy=RetryPolicy(max_attempts=8, initial_backoff=0.001))
+    network.failures.drop_probability = drop_probability
+    completed = 0
+    for value in range(100):
+        y.n(value)
+        completed += 1
+    return cluster, log, completed
+
+
+def bench_reliable_network(benchmark):
+    cluster, log, completed = benchmark(lambda: _lossy_run(0.0))
+    assert completed == 100 and log.total_failures == 0
+    benchmark.extra_info["loss_rate"] = 0.0
+    benchmark.extra_info["retries"] = log.total_failures
+
+
+def bench_one_percent_loss(benchmark):
+    cluster, log, completed = benchmark(lambda: _lossy_run(0.01))
+    assert completed == 100
+    benchmark.extra_info["loss_rate"] = 0.01
+    benchmark.extra_info["retries"] = log.total_failures
+
+
+def bench_five_percent_loss(benchmark):
+    cluster, log, completed = benchmark(lambda: _lossy_run(0.05))
+    assert completed == 100
+    benchmark.extra_info["loss_rate"] = 0.05
+    benchmark.extra_info["retries"] = log.total_failures
+
+
+def bench_loss_rate_sweep(benchmark):
+    """Messages and simulated time as the loss rate rises; all calls complete."""
+
+    def run():
+        outcome = {}
+        for rate in (0.0, 0.01, 0.05, 0.10):
+            cluster, log, completed = _lossy_run(rate)
+            assert completed == 100
+            outcome[rate] = {
+                "messages": cluster.metrics.total_messages,
+                "drops": cluster.metrics.total_drops,
+                "retries": log.total_failures,
+                "simulated_seconds": round(cluster.clock.now, 6),
+            }
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome[0.10]["retries"] >= outcome[0.01]["retries"]
+    benchmark.extra_info["sweep"] = {str(rate): data for rate, data in outcome.items()}

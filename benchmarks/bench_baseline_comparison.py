@@ -1,0 +1,158 @@
+"""Experiment E9 (§3 related work): RAFDA versus statically-placed middleware.
+
+JavaParty and ProActive both require the programmer to decide *at design
+time* which objects may be remote; RAFDA defers that decision to policy and
+can revise it while the program runs.  The benchmark runs the same
+shifting-locality workload (phase 1 used from the front node, phase 2 from
+the back node) under:
+
+* RAFDA with adaptive redistribution,
+* a JavaParty-style fixed placement (best case for phase 1, i.e. wrong for
+  phase 2), and
+* a ProActive-style active object on a fixed node.
+
+The claim being reproduced is qualitative: only the RAFDA configuration can
+follow the workload, so its remote-call count is the lowest once the access
+pattern shifts.
+"""
+
+from __future__ import annotations
+
+from _helpers import record_simulation  # noqa: F401 - path setup
+
+import sample_app
+from repro.baselines.javaparty import JavaPartyRuntime, remote_class
+from repro.baselines.proactive import ProActiveRuntime
+from repro.core.transformer import ApplicationTransformer
+from repro.policy.adaptive import AdaptiveDistributionManager
+from repro.policy.policy import all_local_policy
+from repro.runtime.cluster import Cluster
+from repro.runtime.redistribution import DistributionController
+
+PHASE_CALLS = 80
+
+
+class Counter:
+    """The shared service object used by every configuration."""
+
+    def __init__(self, start):
+        self.value = start
+
+    def bump(self, by):
+        self.value = self.value + by
+        return self.value
+
+
+@remote_class
+class RemoteCounter(Counter):
+    """JavaParty needs the remote decision annotated on the class itself."""
+
+
+def _rafda_adaptive():
+    app = ApplicationTransformer(all_local_policy(dynamic=True)).transform([Counter])
+    cluster = Cluster(("front", "back"))
+    app.deploy(cluster, default_node="front")
+    controller = DistributionController(app, cluster)
+    manager = AdaptiveDistributionManager(app, controller, threshold=0.6, min_calls=10)
+    counter = app.new("Counter", 0)
+    manager.attach(counter)
+
+    for value in range(PHASE_CALLS):
+        counter.bump(value)
+    manager.adapt()
+    with app.executing_on("back"):
+        for value in range(PHASE_CALLS // 8):
+            counter.bump(value)
+        manager.adapt()
+        for value in range(PHASE_CALLS - PHASE_CALLS // 8):
+            counter.bump(value)
+    return cluster.metrics.total_messages, cluster.clock.now
+
+
+def _javaparty_static():
+    cluster = Cluster(("front", "back"))
+    runtime = JavaPartyRuntime(
+        cluster, home_node="front", placement={"RemoteCounter": "front"}
+    )
+    counter = runtime.new(RemoteCounter, 0)
+    # Phase 1 on the front node: co-located, cheap.
+    for value in range(PHASE_CALLS):
+        counter.bump(value)
+    # Phase 2: the back node uses the counter, but the placement cannot change,
+    # so every call crosses the network.
+    back_proxy = type(counter)(counter._ref, cluster.space("back"), runtime.transport)
+    for value in range(PHASE_CALLS):
+        back_proxy.bump(value)
+    return cluster.metrics.total_messages, cluster.clock.now
+
+
+def _proactive_static():
+    import random
+
+    cluster = Cluster(("front", "back"))
+    runtime = ProActiveRuntime(cluster)
+    active = runtime.new_active(Counter, (0,), node="front")
+    # Phase 1: local-ish asynchronous calls served on the front node.
+    futures = [active.bump(value) for value in range(PHASE_CALLS)]
+    active.serve_all()
+    for future in futures:
+        future.get()
+    # Phase 2: calls conceptually issued from the back node; the active object
+    # stays on the front node, so every request and reply crosses the network
+    # (modelled as two messages of typical size per call).
+    rng = random.Random(0)
+    link = cluster.network.link_config("front", "back")
+    futures = [active.bump(value) for value in range(PHASE_CALLS)]
+    active.serve_all()
+    for future in futures:
+        future.get()
+        for direction, size in (("back", 96), ("front", 64)):
+            source, destination = ("front", "back") if direction == "back" else ("back", "front")
+            delay = link.one_way_delay(size, rng)
+            cluster.network.clock.advance(delay)
+            cluster.network.metrics.record(source, destination, size, delay)
+    return cluster.metrics.total_messages, cluster.clock.now
+
+
+def bench_rafda_adaptive(benchmark):
+    messages, simulated = benchmark(_rafda_adaptive)
+    benchmark.extra_info.update(
+        {"approach": "RAFDA adaptive", "messages": messages,
+         "simulated_seconds": round(simulated, 6)}
+    )
+
+
+def bench_javaparty_static(benchmark):
+    messages, simulated = benchmark(_javaparty_static)
+    benchmark.extra_info.update(
+        {"approach": "JavaParty-style static", "messages": messages,
+         "simulated_seconds": round(simulated, 6)}
+    )
+
+
+def bench_proactive_static(benchmark):
+    messages, simulated = benchmark(_proactive_static)
+    benchmark.extra_info.update(
+        {"approach": "ProActive-style static", "messages": messages,
+         "simulated_seconds": round(simulated, 6)}
+    )
+
+
+def bench_flexibility_comparison(benchmark):
+    """One-shot comparison: only RAFDA follows the shifting access pattern."""
+
+    def run():
+        return {
+            "rafda_adaptive": _rafda_adaptive(),
+            "javaparty_static": _javaparty_static(),
+            "proactive_static": _proactive_static(),
+        }
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    rafda_messages = outcome["rafda_adaptive"][0]
+    assert rafda_messages < outcome["javaparty_static"][0]
+    assert rafda_messages < outcome["proactive_static"][0]
+    benchmark.extra_info["messages"] = {name: value[0] for name, value in outcome.items()}
+    benchmark.extra_info["simulated_seconds"] = {
+        name: round(value[1], 6) for name, value in outcome.items()
+    }

@@ -1,0 +1,76 @@
+"""Experiment E1 (Figure 1): the re-distribution scenario.
+
+Regenerates the paper's motivating figure as measurements: the same A/B/C
+program is run (a) untransformed, (b) transformed all-local, (c) with the
+shared C placed remotely behind a proxy, and (d) with C moved at run time.
+The figure's claim is qualitative — the program keeps working unchanged while
+its distribution changes — so the benchmark reports the cost of each
+configuration and asserts behavioural equality.
+"""
+
+from __future__ import annotations
+
+from _helpers import deploy_figure1, record_simulation
+
+from repro.runtime.redistribution import DistributionController
+from repro.workloads.figure1 import run_figure1_plain, run_figure1_scenario
+
+VALUES = tuple(range(1, 21))
+
+
+def bench_original(benchmark):
+    """Baseline: the untransformed program."""
+    result = benchmark(lambda: run_figure1_plain(VALUES))
+    benchmark.extra_info["total"] = result.total
+
+
+def bench_transformed_local(benchmark):
+    """Transformed program, single address space (no proxies involved)."""
+    oracle = run_figure1_plain(VALUES)
+
+    def run():
+        app, cluster = deploy_figure1(node_for_c=None)
+        return run_figure1_scenario(app, VALUES), cluster
+
+    result, cluster = benchmark(run)
+    assert result.as_tuple() == oracle.as_tuple()
+    record_simulation(benchmark, cluster, configuration="all-local")
+
+
+def bench_shared_c_remote(benchmark):
+    """Figure 1 proper: the shared C instance is remote behind proxy Cp."""
+    oracle = run_figure1_plain(VALUES)
+
+    def run():
+        app, cluster = deploy_figure1(node_for_c="server")
+        return run_figure1_scenario(app, VALUES), cluster
+
+    result, cluster = benchmark(run)
+    assert result.as_tuple() == oracle.as_tuple()
+    assert cluster.metrics.total_messages > 0
+    record_simulation(benchmark, cluster, configuration="C on server")
+
+
+def bench_dynamic_move_mid_run(benchmark):
+    """C starts local and is pushed to the server half-way through the run."""
+    oracle = run_figure1_plain(VALUES)
+
+    def run():
+        app, cluster = deploy_figure1(node_for_c=None, dynamic=True)
+        controller = DistributionController(app, cluster)
+        shared = app.new("C", "shared")
+        holder_a = app.new("A", shared)
+        holder_b = app.new("B", shared)
+        midpoint = len(VALUES) // 2
+        for value in VALUES[:midpoint]:
+            holder_a.record(value)
+            holder_b.record(value)
+        controller.make_remote(shared, "server")
+        for value in VALUES[midpoint:]:
+            holder_a.record(value)
+            holder_b.record(value)
+        return shared.get_total(), cluster
+
+    total, cluster = benchmark(run)
+    assert total == oracle.total
+    record_simulation(benchmark, cluster, configuration="local then moved to server")

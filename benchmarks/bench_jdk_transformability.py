@@ -1,0 +1,68 @@
+"""Experiment E5 (§2.4): the JDK 1.4.1 transformability study.
+
+Paper claim: "About 40% of the 8,200 classes and interfaces in JDK 1.4.1
+cannot be transformed.  This percentage would increase if the user code
+contains native methods which refer to a JDK class."
+
+The benchmark regenerates the headline percentage, the per-package breakdown
+and the user-code sensitivity sweep over the synthetic JDK-like corpus, and
+records them in the benchmark report.
+"""
+
+from __future__ import annotations
+
+import _helpers  # noqa: F401 - path setup
+
+from repro.corpus.analysis import run_study, user_code_sensitivity
+from repro.corpus.generator import generate_corpus, generate_user_code
+
+
+def bench_corpus_generation(benchmark):
+    """Cost of generating the 8,200-class synthetic corpus."""
+    corpus = benchmark(generate_corpus)
+    assert len(corpus) == 8200
+    benchmark.extra_info["classes"] = len(corpus)
+    benchmark.extra_info["native_classes"] = corpus.native_class_count()
+
+
+def bench_headline_study(benchmark):
+    """The ~40% non-transformable figure over the full corpus."""
+    corpus = generate_corpus()
+
+    result = benchmark.pedantic(lambda: run_study(corpus), rounds=3, iterations=1)
+
+    assert 34.0 <= result.percent_non_transformable <= 47.0
+    benchmark.extra_info["paper_claim_percent"] = 40.0
+    benchmark.extra_info["measured_percent"] = round(result.percent_non_transformable, 1)
+    benchmark.extra_info["per_package_percent"] = {
+        breakdown.package: round(100.0 * breakdown.fraction, 1)
+        for breakdown in result.packages
+    }
+
+
+def bench_user_code_sensitivity(benchmark):
+    """The increase caused by user native code referencing JDK classes."""
+    corpus = generate_corpus()
+
+    def run():
+        return user_code_sensitivity(
+            corpus, user_classes=300, native_fractions=(0.0, 0.1, 0.25, 0.5), seed=11
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    increases = [round(point.percent_increase_over_baseline, 2) for point in points]
+    assert increases[-1] >= increases[1] >= 0.0
+    benchmark.extra_info["native_fractions"] = [point.native_fraction for point in points]
+    benchmark.extra_info["percent_increase_over_baseline"] = increases
+
+
+def bench_analysis_scales_with_corpus_size(benchmark):
+    """Closure cost on a corpus of user code layered over the JDK."""
+    corpus = generate_corpus()
+    user_code = generate_user_code(corpus, class_count=1000, native_fraction=0.05)
+
+    result = benchmark.pedantic(
+        lambda: run_study(corpus, extra_descriptors=user_code), rounds=3, iterations=1
+    )
+    assert result.corpus_size == 8200
+    benchmark.extra_info["total_classes_analysed"] = 8200 + len(user_code)

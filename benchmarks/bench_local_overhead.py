@@ -1,0 +1,105 @@
+"""Experiment E10 (§4): the transformed application executed locally.
+
+Paper claim: the implementation allows "the creation of a local version of
+the transformed application that executes within a single address space".
+The benchmark quantifies what that componentised local version costs relative
+to the original program: accessor indirection and factory-mediated creation
+are the only added work, so the slowdown should be a small constant factor
+(and far below the wrapper baseline measured in experiment E6).
+"""
+
+from __future__ import annotations
+
+from _helpers import transform_sample  # noqa: F401 - path setup side effect
+
+import sample_app
+from repro.core.transformer import ApplicationTransformer
+from repro.policy.policy import all_local_policy
+from repro.workloads.figure1 import A, B, C, run_figure1_plain, run_figure1_scenario
+
+CALLS = 500
+
+
+def bench_original_method_calls(benchmark):
+    """Direct calls on the original, untransformed classes."""
+    y = sample_app.Y(3)
+    x = sample_app.X(y)
+
+    def run():
+        total = 0
+        for value in range(CALLS):
+            total += x.m(value)
+        return total
+
+    total = benchmark(run)
+    benchmark.extra_info["calls"] = CALLS
+    assert total == sum(range(CALLS)) + 3 * CALLS
+
+
+def bench_transformed_local_method_calls(benchmark):
+    """The same calls through the generated local implementations."""
+    app = transform_sample()
+    y = app.new("Y", 3)
+    x = app.new("X", y)
+
+    def run():
+        total = 0
+        for value in range(CALLS):
+            total += x.m(value)
+        return total
+
+    total = benchmark(run)
+    benchmark.extra_info["calls"] = CALLS
+    assert total == sum(range(CALLS)) + 3 * CALLS
+
+
+def bench_original_object_creation(benchmark):
+    """Constructing original objects directly."""
+    result = benchmark(lambda: [sample_app.Y(index) for index in range(100)])
+    assert len(result) == 100
+
+
+def bench_factory_object_creation(benchmark):
+    """Constructing the same objects through the generated factories."""
+    app = transform_sample()
+    factory = app.factory("Y")
+    result = benchmark(lambda: [factory.create(index) for index in range(100)])
+    assert len(result) == 100
+
+
+def bench_static_access_original(benchmark):
+    """Static method access on the original class."""
+    total = benchmark(lambda: sum(sample_app.X.p(index) for index in range(200)))
+    assert total == sum(42 * index for index in range(200))
+
+
+def bench_static_access_transformed(benchmark):
+    """Static access through the class-factory singleton."""
+    app = transform_sample()
+    statics = app.statics("X")
+    total = benchmark(lambda: sum(statics.p(index) for index in range(200)))
+    assert total == sum(42 * index for index in range(200))
+
+
+def bench_figure1_local_overhead_factor(benchmark):
+    """One-shot factor: transformed-local Figure 1 run versus the original."""
+    import time
+
+    app = ApplicationTransformer(all_local_policy()).transform([A, B, C])
+    values = tuple(range(1, 101))
+
+    def measure(runner) -> float:
+        started = time.perf_counter()
+        runner()
+        return time.perf_counter() - started
+
+    def run():
+        original = measure(lambda: run_figure1_plain(values))
+        transformed = measure(lambda: run_figure1_scenario(app, values))
+        return original, transformed
+
+    original, transformed = benchmark.pedantic(run, rounds=5, iterations=1)
+    benchmark.extra_info["transformed_over_original"] = round(transformed / original, 2)
+    # The componentised version pays bounded accessor/factory overhead; it must
+    # stay within a small constant factor of the original program.
+    assert transformed < original * 25

@@ -1,0 +1,99 @@
+"""Experiment E7: interchangeable proxy protocols (SOAP, RMI, CORBA).
+
+The paper's proxies differ only in transport; the benchmark measures, for the
+same remote workload, the real (wall-clock) cost of each protocol's
+marshalling and the simulated cost (bytes on the wire, simulated seconds) of
+carrying the calls, and asserts the expected ordering: SOAP is the most
+expensive, the RMI-like binary protocol the cheapest, CORBA in between.
+"""
+
+from __future__ import annotations
+
+from _helpers import record_simulation
+
+import sample_app
+from repro.core.transformer import ApplicationTransformer
+from repro.policy.policy import place_classes_on
+from repro.runtime.cluster import Cluster
+from repro.transports.corba import CorbaTransport
+from repro.transports.rmi import RmiTransport
+from repro.transports.soap import SoapTransport
+
+CALLS = 50
+_SAMPLE_REQUEST = {
+    "target": "server:17",
+    "interface": "Cache_O_Int",
+    "member": "put",
+    "args": ["some-key", [1, 2, 3, 4], {"weight": 2.5, "tags": ["a", "b"]}],
+    "kwargs": {"overwrite": True},
+}
+
+
+def _deploy(transport: str):
+    app = ApplicationTransformer(
+        place_classes_on({"Y": "server"}, transport=transport)
+    ).transform([sample_app.X, sample_app.Y, sample_app.Z])
+    cluster = Cluster(("client", "server"))
+    app.deploy(cluster, default_node="client")
+    return app, cluster
+
+
+def _remote_workload(transport: str):
+    app, cluster = _deploy(transport)
+    y = app.new("Y", 5)
+    for value in range(CALLS):
+        y.n(value)
+    return cluster
+
+
+def bench_remote_calls_over_soap(benchmark):
+    cluster = benchmark(lambda: _remote_workload("soap"))
+    record_simulation(benchmark, cluster, transport="soap", calls=CALLS)
+
+
+def bench_remote_calls_over_corba(benchmark):
+    cluster = benchmark(lambda: _remote_workload("corba"))
+    record_simulation(benchmark, cluster, transport="corba", calls=CALLS)
+
+
+def bench_remote_calls_over_rmi(benchmark):
+    cluster = benchmark(lambda: _remote_workload("rmi"))
+    record_simulation(benchmark, cluster, transport="rmi", calls=CALLS)
+
+
+def bench_transport_cost_ordering(benchmark):
+    """One-shot comparison asserting the paper-family cost ordering."""
+
+    def run():
+        return {
+            transport: _remote_workload(transport)
+            for transport in ("soap", "corba", "rmi")
+        }
+
+    clusters = benchmark.pedantic(run, rounds=3, iterations=1)
+    bytes_on_wire = {name: cluster.metrics.total_bytes for name, cluster in clusters.items()}
+    simulated = {name: cluster.clock.now for name, cluster in clusters.items()}
+    assert bytes_on_wire["soap"] > bytes_on_wire["corba"] > bytes_on_wire["rmi"]
+    assert simulated["soap"] > simulated["rmi"]
+    benchmark.extra_info["bytes_on_wire"] = bytes_on_wire
+    benchmark.extra_info["simulated_seconds"] = {
+        name: round(value, 6) for name, value in simulated.items()
+    }
+
+
+def bench_soap_encoding(benchmark):
+    transport = SoapTransport()
+    payload = benchmark(lambda: transport.encode_request(_SAMPLE_REQUEST))
+    benchmark.extra_info["message_bytes"] = len(payload)
+
+
+def bench_corba_encoding(benchmark):
+    transport = CorbaTransport()
+    payload = benchmark(lambda: transport.encode_request(_SAMPLE_REQUEST))
+    benchmark.extra_info["message_bytes"] = len(payload)
+
+
+def bench_rmi_encoding(benchmark):
+    transport = RmiTransport()
+    payload = benchmark(lambda: transport.encode_request(_SAMPLE_REQUEST))
+    benchmark.extra_info["message_bytes"] = len(payload)

@@ -1,0 +1,27 @@
+"""Path setup and shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one row of EXPERIMENTS.md: it runs the
+workload behind a paper claim, records the *simulated* quantities (messages,
+bytes, simulated seconds) in ``benchmark.extra_info`` so they appear in the
+pytest-benchmark report, and asserts the claim's *shape* (who wins, what the
+ordering is) — absolute numbers are not expected to match a 2003 testbed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+for candidate in (_ROOT / "src", _ROOT / "tests", _ROOT / "benchmarks"):
+    if str(candidate) not in sys.path:
+        sys.path.insert(0, str(candidate))
+
+
+@pytest.fixture
+def sample_classes():
+    import sample_app
+
+    return [sample_app.X, sample_app.Y, sample_app.Z]

@@ -1,0 +1,101 @@
+"""Capturing and deciding distribution policy (the paper's stated future work).
+
+This example closes the loop the paper sketches in its conclusions:
+
+1. the application is transformed once, with every class *dynamic*;
+2. a profiling run observes which node actually uses which object
+   (the :class:`PlacementRecommender`);
+3. the recommendation is captured as a deployment descriptor (plain JSON);
+4. the same program is redeployed from that descriptor — no code changes —
+   and the remote handles are guarded with retry-based fault tolerance.
+
+Run with:  python examples/deployment_profiles.py
+"""
+
+from __future__ import annotations
+
+from repro import ApplicationTransformer, Cluster
+from repro.policy import all_local_policy
+from repro.policy.loader import policy_to_dict
+from repro.runtime import RetryPolicy, guard_handle
+from repro.tools import (
+    DeploymentDescriptor,
+    NodeSpec,
+    application_report,
+    deployment_from_dict,
+    profile_and_recommend,
+    traffic_report,
+)
+from repro.workloads.shared_cache import Cache, CacheClient
+
+CLASSES = [Cache, CacheClient]
+NODES = ("front", "compute")
+
+
+def build_profiling_app():
+    """Everything dynamic, everything monitored: the profiling configuration."""
+    app = ApplicationTransformer(all_local_policy(dynamic=True)).transform(CLASSES)
+    app.deploy(Cluster(NODES), default_node="front")
+    return app
+
+
+def profiling_workload(app, cache):
+    """The cache is hammered by worker objects living on the compute node."""
+    def run():
+        with app.executing_on("compute"):
+            clients = [app.new("CacheClient", f"worker-{i}", cache) for i in range(3)]
+            for client in clients:
+                client.warm(15)
+                client.read_back(15)
+    return run
+
+
+def main() -> None:
+    # ---- 1 + 2: profile the application ------------------------------------
+    profiling_app = build_profiling_app()
+    cache = profiling_app.new("Cache", 128)
+    recommendation = profile_and_recommend(
+        profiling_app, profiling_workload(profiling_app, cache), min_calls=10
+    )
+    print(recommendation.describe())
+    print()
+
+    # ---- 3: capture the decision as a deployment descriptor ----------------
+    policy = recommendation.to_policy(transport="rmi", home_node="front")
+    descriptor = DeploymentDescriptor(
+        nodes=tuple(NodeSpec(node) for node in NODES),
+        default_node="front",
+        policy=policy,
+    )
+    print("captured deployment descriptor (excerpt):")
+    captured = descriptor.to_dict()
+    print("  nodes      :", [node["id"] for node in captured["nodes"]])
+    print("  placements :", {
+        name: entry.get("node", "local")
+        for name, entry in policy_to_dict(policy)["classes"].items()
+    })
+    print()
+
+    # ---- 4: redeploy the same program from the captured descriptor ----------
+    production_app = ApplicationTransformer(all_local_policy(dynamic=True)).transform(CLASSES)
+    production_cluster = deployment_from_dict(captured).apply(production_app)
+
+    cache = production_app.new("Cache", 128)
+    # Remote handles get retry-based fault tolerance (paper §4: network failure).
+    for handle in production_app.handles():
+        if handle.meta.is_remote:
+            guard_handle(handle, policy=RetryPolicy(max_attempts=3))
+
+    with production_app.executing_on("compute"):
+        clients = [production_app.new("CacheClient", f"worker-{i}", cache) for i in range(3)]
+        for client in clients:
+            client.warm(15)
+            client.read_back(15)
+
+    print(application_report(production_app))
+    print()
+    print(traffic_report(production_cluster, title="production run traffic"))
+
+
+if __name__ == "__main__":
+    main()

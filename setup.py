@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The full project metadata lives in ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e .``) work in offline
+environments where the ``wheel`` package is unavailable and PEP 517 build
+isolation cannot download build requirements.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,102 @@
+"""RAFDA reproduction: reflective flexibility in application distribution.
+
+This package reproduces the system described in "A Reflective Approach to
+Providing Flexibility in Application Distribution" (Rebón Portillo, Walker,
+Kirby, Dearle — Middleware 2003).  Ordinary, non-distributed Python classes
+are transformed into a componentised, semantically equivalent application
+whose distribution boundaries are decided by policy and can be changed while
+the program runs.
+
+Quickstart
+----------
+
+>>> from repro import ApplicationTransformer, Cluster
+>>> from repro.policy import place_classes_on
+>>>
+>>> class Counter:
+...     def __init__(self, start):
+...         self.value = start
+...     def increment(self, by):
+...         self.value = self.value + by
+...         return self.value
+...
+>>> app = ApplicationTransformer(place_classes_on({"Counter": "server"})).transform([Counter])
+>>> app.deploy(Cluster(("client", "server")), default_node="client")
+>>> counter = app.new("Counter", 10)       # created on "server", used from "client"
+>>> counter.increment(5)
+15
+
+See ``examples/`` for complete scenarios and ``DESIGN.md`` for the mapping
+from the paper's sections to the modules of this package.
+"""
+
+from repro.core.analyzer import (
+    AnalysisResult,
+    NonTransformableReason,
+    TransformabilityAnalyzer,
+    analyse_classes,
+)
+from repro.core.classmodel import ClassModel, ClassUniverse
+from repro.core.introspect import class_model_from_python, native
+from repro.core.metaobject import Metaobject, TracingInterceptor, metaobject_of, unwrap
+from repro.core.transformer import (
+    ApplicationTransformer,
+    TransformedApplication,
+    transform_application,
+)
+from repro.errors import (
+    NetworkError,
+    NotTransformableError,
+    PolicyError,
+    RedistributionError,
+    RemoteInvocationError,
+    ReproError,
+    TransformationError,
+)
+from repro.network.simnet import LinkConfig, SimulatedNetwork
+from repro.policy.policy import DistributionPolicy, PlacementDecision, all_local_policy
+from repro.runtime.address_space import AddressSpace
+from repro.runtime.cluster import Cluster, lan_cluster, single_node_cluster
+from repro.runtime.migration import ObjectMigrator
+from repro.runtime.redistribution import DistributionController
+from repro.runtime.remote_ref import RemoteRef
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressSpace",
+    "AnalysisResult",
+    "ApplicationTransformer",
+    "ClassModel",
+    "ClassUniverse",
+    "Cluster",
+    "DistributionController",
+    "DistributionPolicy",
+    "LinkConfig",
+    "Metaobject",
+    "NetworkError",
+    "NonTransformableReason",
+    "NotTransformableError",
+    "ObjectMigrator",
+    "PlacementDecision",
+    "PolicyError",
+    "RedistributionError",
+    "RemoteInvocationError",
+    "RemoteRef",
+    "ReproError",
+    "SimulatedNetwork",
+    "TracingInterceptor",
+    "TransformabilityAnalyzer",
+    "TransformationError",
+    "TransformedApplication",
+    "all_local_policy",
+    "analyse_classes",
+    "class_model_from_python",
+    "lan_cluster",
+    "metaobject_of",
+    "native",
+    "single_node_cluster",
+    "transform_application",
+    "unwrap",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Baseline approaches the paper compares against (related work, §3).
+
+``wrapper``
+    The wrapper-per-instance alternative: much simpler to implement than
+    direct transformation, but every access pays an interception cost.
+``javaparty``
+    JavaParty-style: the programmer marks remote classes at design time; the
+    placement cannot change at run time.
+``proactive``
+    ProActive-style active objects: asynchronous method calls through a
+    request queue, with programmer-directed placement and migration.
+"""
+
+from repro.baselines.wrapper import (
+    ObjectWrapper,
+    WrapperRuntime,
+    wrap,
+)
+from repro.baselines.javaparty import (
+    GenericRemoteProxy,
+    JavaPartyRuntime,
+    is_remote_class,
+    remote_class,
+)
+from repro.baselines.proactive import (
+    ActiveObject,
+    Future,
+    ProActiveRuntime,
+)
+
+__all__ = [
+    "ActiveObject",
+    "Future",
+    "GenericRemoteProxy",
+    "JavaPartyRuntime",
+    "ObjectWrapper",
+    "ProActiveRuntime",
+    "WrapperRuntime",
+    "is_remote_class",
+    "remote_class",
+    "wrap",
+]

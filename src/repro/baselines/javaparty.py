@@ -1,0 +1,115 @@
+"""JavaParty-style baseline (paper §3).
+
+JavaParty adds a ``remote`` keyword to Java: the programmer decides *at
+design time* which classes may have remote instances, and a preprocessor
+turns the annotated source into RMI-based code.  The contrast with RAFDA is
+that the decision is static: it is baked into the source, cannot differ
+between deployments without editing code, and cannot change while the
+program runs.
+
+The Python analogue here is a ``@remote_class`` decorator plus a small
+runtime that places instances of decorated classes on a fixed node and hands
+back a generic forwarding proxy.  Instances of undecorated classes are always
+local.  There is deliberately no rebinding machinery — that is the
+flexibility JavaParty lacks and RAFDA provides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import PolicyError
+
+_REMOTE_MARKER = "_javaparty_remote"
+
+
+def remote_class(cls: type) -> type:
+    """Mark a class as ``remote`` at design time (the JavaParty keyword)."""
+    setattr(cls, _REMOTE_MARKER, True)
+    return cls
+
+
+def is_remote_class(cls: type) -> bool:
+    return bool(getattr(cls, _REMOTE_MARKER, False))
+
+
+class GenericRemoteProxy:
+    """A forwarding proxy for one exported object (method calls only).
+
+    JavaParty (like RMI) exposes remote objects through method invocation;
+    direct field access on remote instances is not supported, which is one of
+    the restrictions the RAFDA accessor transformation removes.
+    """
+
+    def __init__(self, reference, space, transport: str = "rmi") -> None:
+        self._ref = reference
+        self._space = space
+        self._transport = transport
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        reference = object.__getattribute__(self, "_ref")
+        space = object.__getattribute__(self, "_space")
+        transport = object.__getattribute__(self, "_transport")
+
+        def invoke(*args: Any, **kwargs: Any) -> Any:
+            return space.invoke_remote(reference, name, args, kwargs, transport=transport)
+
+        invoke.__name__ = name
+        return invoke
+
+
+class JavaPartyRuntime:
+    """Creates instances according to design-time remote annotations."""
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        home_node: Optional[str] = None,
+        placement: Optional[Dict[str, str]] = None,
+        transport: str = "rmi",
+    ) -> None:
+        self.cluster = cluster
+        self.home_node = home_node or cluster.default_node_id
+        #: class name -> node hosting its remote instances (fixed for the run).
+        self.placement = dict(placement or {})
+        self.transport = transport
+        self.created_remote = 0
+        self.created_local = 0
+
+    def _node_for(self, cls: type) -> str:
+        node = self.placement.get(cls.__name__)
+        if node is None:
+            raise PolicyError(
+                f"remote class {cls.__name__!r} has no node assigned in the "
+                "JavaParty placement"
+            )
+        return node
+
+    def new(self, cls: type, *args: Any, **kwargs: Any) -> Any:
+        """Create an instance of ``cls``; remote iff the class is annotated."""
+        if not is_remote_class(cls):
+            self.created_local += 1
+            return cls(*args, **kwargs)
+
+        node_id = self._node_for(cls)
+        target_space = self.cluster.space(node_id)
+        instance = cls(*args, **kwargs)
+        reference = target_space.export(instance, interface_name=cls.__name__)
+        self.created_remote += 1
+        home_space = self.cluster.space(self.home_node)
+        if node_id == self.home_node:
+            # Co-located: JavaParty still routes through the proxy type, but
+            # the call short-circuits inside the runtime.
+            return GenericRemoteProxy(reference, home_space, self.transport)
+        return GenericRemoteProxy(reference, home_space, self.transport)
+
+    # JavaParty has no run-time redistribution: provide the method so the
+    # comparison benchmark can show the capability gap explicitly.
+    def redistribute(self, *_args: Any, **_kwargs: Any) -> None:
+        raise PolicyError(
+            "JavaParty-style placement is fixed at design time; "
+            "run-time redistribution is not supported"
+        )

@@ -1,0 +1,236 @@
+"""Command-line interface for the RAFDA reproduction.
+
+The CLI exposes the offline parts of the system — the parts a developer would
+run against their own code base before deploying it:
+
+``repro analyze app.py``
+    Run the §2.4 transformability analysis over the classes defined in a
+    Python file and report which can be transformed and why the rest cannot.
+
+``repro emit app.py --cls X``
+    Print the artifacts the transformation generates for one class (the
+    Figures 3–5 listings for that class).
+
+``repro report app.py [--policy policy.json]``
+    Transform the file's classes under a policy and print the application
+    report.
+
+``repro corpus-study [--seed N] [--user-classes N --native-fraction F]``
+    Reproduce the "about 40 % of the JDK" study on the synthetic corpus.
+
+``repro policy-template --classes A,B --nodes n1,n2``
+    Print a policy JSON skeleton placing the named classes round-robin on the
+    named nodes, as a starting point for hand editing.
+
+Run ``python -m repro --help`` for the full syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.core.analyzer import TransformabilityAnalyzer
+from repro.core.classmodel import ClassUniverse
+from repro.core.introspect import class_model_from_python
+from repro.core.transformer import ApplicationTransformer
+from repro.errors import ReproError
+from repro.policy.loader import policy_from_file, policy_to_dict
+from repro.policy.policy import all_local_policy, place_classes_on
+from repro.tools.report import application_report
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def load_classes_from_file(path: str | Path, names: Optional[Iterable[str]] = None) -> list[type]:
+    """Import a Python file and return the classes defined in it.
+
+    Only classes whose ``__module__`` is the loaded module are returned (so
+    imported library classes are not accidentally transformed).  When
+    ``names`` is given, only those classes are returned, in that order.
+    """
+
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such file: {path}")
+    module_name = f"_repro_cli_{path.stem}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:
+        raise ReproError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[module_name] = module
+    spec.loader.exec_module(module)
+
+    defined = [
+        value
+        for value in vars(module).values()
+        if isinstance(value, type) and value.__module__ == module_name
+    ]
+    if names is None:
+        return defined
+    by_name = {cls.__name__: cls for cls in defined}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise ReproError(f"classes not found in {path.name}: {', '.join(missing)}")
+    return [by_name[name] for name in names]
+
+
+def _split_csv(value: Optional[str]) -> list[str]:
+    if not value:
+        return []
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+# ---------------------------------------------------------------------------
+# sub-commands
+# ---------------------------------------------------------------------------
+
+def command_analyze(args: argparse.Namespace, out) -> int:
+    classes = load_classes_from_file(args.module, _split_csv(args.classes) or None)
+    if not classes:
+        print("no classes defined in the given module", file=out)
+        return 1
+    models = [class_model_from_python(cls) for cls in classes]
+    result = TransformabilityAnalyzer(ClassUniverse(models)).analyse()
+    print(f"classes analysed        : {len(models)}", file=out)
+    print(
+        f"transformable           : {len([m for m in models if result.is_transformable(m.name)])}",
+        file=out,
+    )
+    for model in models:
+        if result.is_transformable(model.name):
+            print(f"  [ok]   {model.name}", file=out)
+        else:
+            reasons = ", ".join(sorted(str(r) for r in result.reasons_for(model.name)))
+            print(f"  [skip] {model.name}: {reasons}", file=out)
+    return 0
+
+
+def command_emit(args: argparse.Namespace, out) -> int:
+    classes = load_classes_from_file(args.module)
+    transports = _split_csv(args.transports) or ["soap", "rmi"]
+    app = ApplicationTransformer(all_local_policy(), transports=transports).transform(classes)
+    target = args.cls or classes[0].__name__
+    if not app.is_transformed(target):
+        print(f"class {target!r} was not transformed (see `repro analyze`)", file=out)
+        return 1
+    sources = app.emit_sources(target, transports=transports)
+    for name in sorted(sources):
+        print("#", "=" * 70, file=out)
+        print("#", name, file=out)
+        print("#", "=" * 70, file=out)
+        print(sources[name], file=out)
+    return 0
+
+
+def command_report(args: argparse.Namespace, out) -> int:
+    classes = load_classes_from_file(args.module)
+    policy = policy_from_file(args.policy) if args.policy else all_local_policy()
+    app = ApplicationTransformer(policy).transform(classes)
+    print(application_report(app), file=out)
+    return 0
+
+
+def command_corpus_study(args: argparse.Namespace, out) -> int:
+    from repro.corpus import generate_corpus, generate_user_code, run_study
+
+    corpus = generate_corpus(seed=args.seed)
+    extra = ()
+    if args.user_classes:
+        extra = generate_user_code(
+            corpus, class_count=args.user_classes, native_fraction=args.native_fraction
+        )
+    study = run_study(corpus, extra_descriptors=extra)
+    print(f"corpus classes            : {study.corpus_size}", file=out)
+    print(
+        f"non-transformable         : {study.non_transformable} "
+        f"({study.percent_non_transformable:.1f} %)",
+        file=out,
+    )
+    print("per package:", file=out)
+    for breakdown in sorted(study.packages, key=lambda b: -b.fraction):
+        print(
+            f"  {breakdown.package:18s} {100 * breakdown.fraction:5.1f} %"
+            f"  ({breakdown.non_transformable}/{breakdown.total})",
+            file=out,
+        )
+    return 0
+
+
+def command_policy_template(args: argparse.Namespace, out) -> int:
+    classes = _split_csv(args.classes)
+    nodes = _split_csv(args.nodes)
+    if not classes or not nodes:
+        print("both --classes and --nodes are required", file=out)
+        return 1
+    placements = {
+        class_name: nodes[index % len(nodes)] for index, class_name in enumerate(classes)
+    }
+    policy = place_classes_on(placements, transport=args.transport, dynamic=args.dynamic)
+    print(json.dumps(policy_to_dict(policy), indent=2, sort_keys=True), file=out)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RAFDA reproduction: reflective flexibility in application distribution",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="transformability analysis of a Python file")
+    analyze.add_argument("module", help="path to a Python file defining application classes")
+    analyze.add_argument("--classes", help="comma-separated subset of classes to analyse")
+    analyze.set_defaults(handler=command_analyze)
+
+    emit = subparsers.add_parser("emit", help="print the generated artifacts for one class")
+    emit.add_argument("module", help="path to a Python file defining application classes")
+    emit.add_argument("--cls", help="class to emit (defaults to the first class in the file)")
+    emit.add_argument("--transports", help="comma-separated transports (default: soap,rmi)")
+    emit.set_defaults(handler=command_emit)
+
+    report = subparsers.add_parser("report", help="transform a file and print the report")
+    report.add_argument("module", help="path to a Python file defining application classes")
+    report.add_argument("--policy", help="path to a policy JSON file")
+    report.set_defaults(handler=command_report)
+
+    corpus = subparsers.add_parser("corpus-study", help="run the §2.4 JDK transformability study")
+    corpus.add_argument("--seed", type=int, default=1414)
+    corpus.add_argument("--user-classes", type=int, default=0)
+    corpus.add_argument("--native-fraction", type=float, default=0.0)
+    corpus.set_defaults(handler=command_corpus_study)
+
+    template = subparsers.add_parser("policy-template", help="print a policy JSON skeleton")
+    template.add_argument("--classes", required=True, help="comma-separated class names")
+    template.add_argument("--nodes", required=True, help="comma-separated node names")
+    template.add_argument("--transport", default="rmi")
+    template.add_argument("--dynamic", action="store_true")
+    template.set_defaults(handler=command_policy_template)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=out)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

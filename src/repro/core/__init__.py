@@ -1,0 +1,105 @@
+"""The paper's primary contribution: the RAFDA class transformation engine.
+
+Submodules
+----------
+``classmodel``   intermediate representation of classes and members
+``introspect``   building class models from live Python classes
+``analyzer``     §2.4 transformability / substitutability analysis
+``interfaces``   extraction of the ``*_O_Int`` / ``*_C_Int`` interfaces
+``rewriter``     AST rewriting of method bodies to use interfaces/factories
+``generator``    generation of local implementations, proxies and factories
+``codegen``      emission of the generated artifacts as Python source text
+``registry``     registry of generated artifacts
+``metaobject``   the reflective metaobject protocol behind handles
+``transformer``  the whole-application transformation driver
+"""
+
+from repro.core.analyzer import (
+    AnalysisResult,
+    NonTransformableReason,
+    TransformabilityAnalyzer,
+    analyse_classes,
+    substitutable_classes,
+)
+from repro.core.classmodel import (
+    ClassModel,
+    ClassUniverse,
+    ConstructorModel,
+    FieldModel,
+    MethodModel,
+    ParameterModel,
+    TypeRef,
+    Visibility,
+)
+from repro.core.generator import ClassArtifacts
+from repro.core.interfaces import (
+    InterfaceModel,
+    MethodSignature,
+    extract_class_interface,
+    extract_instance_interface,
+    extract_interfaces,
+)
+from repro.core.introspect import (
+    class_model_from_descriptor,
+    class_model_from_python,
+    native,
+    universe_from_classes,
+)
+from repro.core.metaobject import (
+    CallStatistics,
+    Interceptor,
+    Invocation,
+    Metaobject,
+    Redirector,
+    TracingInterceptor,
+    collect_statistics,
+    is_redirected,
+    metaobject_of,
+    unwrap,
+)
+from repro.core.registry import TransformationRegistry
+from repro.core.transformer import (
+    ApplicationTransformer,
+    TransformedApplication,
+    transform_application,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "ApplicationTransformer",
+    "CallStatistics",
+    "ClassArtifacts",
+    "ClassModel",
+    "ClassUniverse",
+    "ConstructorModel",
+    "FieldModel",
+    "Interceptor",
+    "InterfaceModel",
+    "Invocation",
+    "Metaobject",
+    "MethodModel",
+    "MethodSignature",
+    "NonTransformableReason",
+    "ParameterModel",
+    "Redirector",
+    "TracingInterceptor",
+    "TransformabilityAnalyzer",
+    "TransformationRegistry",
+    "TransformedApplication",
+    "TypeRef",
+    "Visibility",
+    "analyse_classes",
+    "class_model_from_descriptor",
+    "class_model_from_python",
+    "collect_statistics",
+    "extract_class_interface",
+    "extract_instance_interface",
+    "extract_interfaces",
+    "is_redirected",
+    "metaobject_of",
+    "native",
+    "substitutable_classes",
+    "transform_application",
+    "universe_from_classes",
+    "unwrap",
+]

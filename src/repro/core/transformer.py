@@ -1,0 +1,545 @@
+"""Whole-application transformation driver.
+
+:class:`ApplicationTransformer` takes a set of ordinary (non-distributed)
+Python classes, analyses which of them can be transformed, extracts the
+interfaces, generates the local implementations, proxies, redirectors and
+factories, and returns a :class:`TransformedApplication` — the componentised,
+semantically equivalent version of the original program (paper §4).
+
+The transformed application can then be
+
+* executed entirely within a single address space (the "local version" the
+  paper describes as the first step), or
+* bound to a cluster of simulated address spaces and driven by a
+  :class:`~repro.policy.policy.DistributionPolicy`, in which case its object
+  and class factories transparently create remote instances behind proxies
+  and, for *dynamic* decisions, rebindable redirector handles whose
+  distribution boundary can be changed while the program runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.core.analyzer import AnalysisResult, TransformabilityAnalyzer
+from repro.core.classmodel import ClassModel, ClassUniverse
+from repro.core import codegen
+from repro.core.generator import (
+    ClassArtifacts,
+    GenerationContext,
+    generate_class_factory,
+    generate_class_local,
+    generate_interface_class,
+    generate_local_class,
+    generate_object_factory,
+    generate_proxy_class,
+    generate_redirector_class,
+)
+from repro.core.interfaces import extract_class_interface, extract_instance_interface
+from repro.core.introspect import class_model_from_python
+from repro.core.metaobject import KIND_LOCAL, KIND_REMOTE, Metaobject
+from repro.core.registry import TransformationRegistry
+from repro.errors import TransformationError
+from repro.policy.policy import (
+    DistributionPolicy,
+    PlacementDecision,
+    all_local_policy,
+    remote as remote_decision,
+)
+
+#: Transports for which proxies are generated when none are named explicitly.
+DEFAULT_TRANSPORTS: tuple[str, ...] = ("soap", "rmi", "corba")
+
+_UNBOUND_NODE = "__unbound__"
+
+
+class TransformedApplication:
+    """The componentised, distribution-flexible version of an application."""
+
+    def __init__(
+        self,
+        registry: TransformationRegistry,
+        analysis: AnalysisResult,
+        policy: DistributionPolicy,
+        transport_names: Sequence[str],
+    ) -> None:
+        self.registry = registry
+        self.analysis = analysis
+        self.policy = policy
+        self.transport_names = tuple(transport_names)
+        self._cluster = None
+        self._default_space = None
+        self._space_stack: list[Any] = []
+        self._singletons: dict[tuple[str, str], Any] = {}
+        self._singleton_refs: dict[tuple[str, str], Any] = {}
+        self._handles: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # Artifact access
+    # ------------------------------------------------------------------
+
+    def artifacts(self, class_name: str) -> ClassArtifacts:
+        return self.registry.artifacts(class_name)
+
+    def factory(self, class_name: str) -> type:
+        return self.artifacts(class_name).object_factory
+
+    def class_factory(self, class_name: str) -> type:
+        return self.artifacts(class_name).class_factory
+
+    def interface(self, class_name: str) -> type:
+        return self.artifacts(class_name).instance_interface_cls
+
+    def class_interface(self, class_name: str) -> type:
+        return self.artifacts(class_name).class_interface_cls
+
+    def local_class(self, class_name: str) -> type:
+        return self.artifacts(class_name).local_cls
+
+    def proxy_class(self, class_name: str, transport: str, kind: str = "instance") -> type:
+        return self.artifacts(class_name).proxy_for(transport, kind)
+
+    def transformed_classes(self) -> set[str]:
+        return self.registry.class_names()
+
+    def is_transformed(self, class_name: str) -> bool:
+        return class_name in self.registry
+
+    # ------------------------------------------------------------------
+    # Convenience creation API
+    # ------------------------------------------------------------------
+
+    def new(self, class_name: str, *args: Any, **kwargs: Any) -> Any:
+        """Create an instance via the object factory (policy applies)."""
+        return self.factory(class_name).create(*args, **kwargs)
+
+    def new_local(self, class_name: str, *args: Any, **kwargs: Any) -> Any:
+        """Create a purely local instance, bypassing the placement policy."""
+        artifacts = self.artifacts(class_name)
+        instance = artifacts.local_cls()
+        artifacts.object_factory.init(instance, *args, **kwargs)
+        return instance
+
+    def statics(self, class_name: str) -> Any:
+        """The implementation of the class's static members (policy applies)."""
+        return self.class_factory(class_name).discover()
+
+    def emit_sources(
+        self, class_name: str, transports: Optional[Sequence[str]] = None
+    ) -> dict[str, str]:
+        """Emit the generated artifacts of one class as Python source text."""
+        model = self.artifacts(class_name).model
+        universe = {artifact.class_name: artifact.model for artifact in self.registry}
+        return codegen.emit_class_artifacts(
+            model,
+            self.registry.class_names(),
+            universe,
+            transports or self.transport_names,
+        )
+
+    # ------------------------------------------------------------------
+    # Runtime binding
+    # ------------------------------------------------------------------
+
+    @property
+    def cluster(self):
+        return self._cluster
+
+    @property
+    def is_bound(self) -> bool:
+        return self._cluster is not None
+
+    def bind_runtime(self, cluster, default_node: Optional[str] = None) -> None:
+        """Attach the application to a cluster of address spaces.
+
+        Every space learns about the application (so its dispatcher can build
+        proxies for incoming references) and registers it as a dispatch hook
+        (so nested invocations attribute their traffic to the correct node).
+        """
+
+        self._cluster = cluster
+        node_id = default_node or cluster.default_node_id
+        self._default_space = cluster.space(node_id)
+        for space in cluster.spaces():
+            space.application = self
+            space.add_dispatch_hook(self)
+
+    def deploy(
+        self,
+        cluster,
+        placement: Optional[Mapping[str, str]] = None,
+        *,
+        transport: Optional[str] = None,
+        dynamic: bool = False,
+        default_node: Optional[str] = None,
+    ) -> None:
+        """Bind to ``cluster`` and optionally place classes on nodes.
+
+        ``placement`` maps class names to node identifiers; both instances
+        and statics of those classes are created on the named node.  The
+        placement is recorded in the policy, so the program itself does not
+        change — only its configuration does.
+        """
+
+        if placement:
+            for class_name, node_id in placement.items():
+                decision = remote_decision(
+                    node_id,
+                    transport=transport or self.policy.instance_decision(class_name).transport,
+                    dynamic=dynamic,
+                )
+                self.policy.place_instances(class_name, decision)
+                self.policy.place_statics(class_name, decision)
+        self.bind_runtime(cluster, default_node=default_node)
+
+    # -- dispatch context (which space is currently executing) ---------------
+
+    @property
+    def current_space(self):
+        if self._space_stack:
+            return self._space_stack[-1]
+        return self._default_space
+
+    def before_dispatch(self, space) -> None:
+        self._space_stack.append(space)
+
+    def after_dispatch(self, space) -> None:
+        if self._space_stack and self._space_stack[-1] is space:
+            self._space_stack.pop()
+
+    def _current_node_id(self) -> str:
+        space = self.current_space
+        return space.node_id if space is not None else _UNBOUND_NODE
+
+    def executing_on(self, node_id: str):
+        """Context manager: run the enclosed code as if it executed on ``node_id``.
+
+        Used by workloads and benchmarks to model application code running on
+        different nodes of the cluster (e.g. clients on separate machines
+        calling into a shared object); factory decisions and traffic
+        accounting are attributed to that node while the context is active.
+        """
+
+        application = self
+
+        class _ExecutionContext:
+            def __enter__(self):
+                space = application._cluster.space(node_id)
+                application.before_dispatch(space)
+                return space
+
+            def __exit__(self, exc_type, exc, tb):
+                application.after_dispatch(application._cluster.space(node_id))
+                return False
+
+        if not self.is_bound:
+            raise TransformationError(
+                "executing_on() requires the application to be deployed to a cluster"
+            )
+        return _ExecutionContext()
+
+    # ------------------------------------------------------------------
+    # Factory back-ends (the only implementation-aware operations)
+    # ------------------------------------------------------------------
+
+    def _make_instance(self, class_name: str) -> Any:
+        """Backs ``A_O_Factory.make``: choose and create an implementation."""
+        artifacts = self.artifacts(class_name)
+        decision = self._effective_instance_decision(class_name)
+
+        if not decision.is_remote or decision.node_id == self._current_node_id():
+            implementation: Any = artifacts.local_cls()
+            if decision.dynamic:
+                return self._wrap_dynamic(
+                    artifacts, implementation, KIND_LOCAL, self._current_node_id()
+                )
+            return implementation
+
+        target_space = self._cluster.space(decision.node_id)
+        implementation = artifacts.local_cls()
+        reference = target_space.export(implementation)
+        proxy = self.proxy_for_ref(
+            reference, self.current_space, transport=decision.transport
+        )
+        if decision.dynamic:
+            return self._wrap_dynamic(artifacts, proxy, KIND_REMOTE, decision.node_id)
+        return proxy
+
+    def _discover_class(self, class_name: str) -> Any:
+        """Backs ``A_C_Factory.discover``: locate the static-member singleton."""
+        decision = self._effective_static_decision(class_name)
+        if not decision.is_remote or decision.node_id == self._current_node_id():
+            return self._local_singleton(class_name)
+        reference = self._remote_singleton_ref(class_name, decision.node_id)
+        return self.proxy_for_ref(
+            reference, self.current_space, transport=decision.transport, kind="class"
+        )
+
+    def _effective_instance_decision(self, class_name: str) -> PlacementDecision:
+        if not self.is_bound or not self.policy.is_substitutable(class_name):
+            return PlacementDecision()
+        return self.policy.instance_decision(class_name)
+
+    def _effective_static_decision(self, class_name: str) -> PlacementDecision:
+        if not self.is_bound or not self.policy.is_substitutable(class_name):
+            return PlacementDecision()
+        return self.policy.static_decision(class_name)
+
+    def _local_singleton(self, class_name: str) -> Any:
+        key = (self._current_node_id(), class_name)
+        if key not in self._singletons:
+            artifacts = self.artifacts(class_name)
+            singleton = artifacts.class_local_cls()
+            self._singletons[key] = singleton
+            artifacts.class_factory.clinit(singleton)
+        return self._singletons[key]
+
+    def _singleton_on_node(self, class_name: str, node_id: str) -> Any:
+        key = (node_id, class_name)
+        if key not in self._singletons:
+            artifacts = self.artifacts(class_name)
+            singleton = artifacts.class_local_cls()
+            self._singletons[key] = singleton
+            artifacts.class_factory.clinit(singleton)
+        return self._singletons[key]
+
+    def _remote_singleton_ref(self, class_name: str, node_id: str):
+        key = (node_id, class_name)
+        if key not in self._singleton_refs:
+            target_space = self._cluster.space(node_id)
+            singleton = self._singleton_on_node(class_name, node_id)
+            self._singleton_refs[key] = target_space.export(singleton)
+        return self._singleton_refs[key]
+
+    # ------------------------------------------------------------------
+    # Proxy and handle management
+    # ------------------------------------------------------------------
+
+    def proxy_for_ref(
+        self,
+        reference,
+        space,
+        *,
+        transport: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> Any:
+        """Build a proxy bound to ``reference`` usable from ``space``."""
+        interface_name = reference.interface_name
+        artifacts = self.registry.artifacts_for_interface(interface_name)
+        if kind is None:
+            kind = self.registry.interface_kind(interface_name)
+        if transport is None:
+            if kind == "instance":
+                transport = self.policy.instance_decision(artifacts.class_name).transport
+            else:
+                transport = self.policy.static_decision(artifacts.class_name).transport
+        proxy_cls = artifacts.proxy_for(transport, kind)
+        return proxy_cls(reference, space)
+
+    def _wrap_dynamic(
+        self, artifacts: ClassArtifacts, target: Any, kind: str, node_id: Optional[str]
+    ) -> Any:
+        metaobject = Metaobject(
+            target,
+            kind,
+            interface_name=artifacts.instance_interface.name,
+            node_id=node_id,
+            application=self,
+        )
+        handle = artifacts.redirector_cls(metaobject)
+        self._handles.append(handle)
+        return handle
+
+    def _invoke_handle_via_runtime(
+        self, metaobject: Metaobject, member: str, args: tuple, kwargs: dict
+    ) -> Any:
+        """Carry a handle invocation from the executing node to the object's home.
+
+        Used by :class:`~repro.core.metaobject.Metaobject` when the calling
+        code runs on a different node from the one hosting the object: the
+        target is exported from its home space (if it is not already) and the
+        call is issued from the caller's space so that latency and traffic are
+        attributed to the correct link.  When caller and home coincide the
+        address space short-circuits to a direct local call.
+        """
+
+        from repro.runtime.remote_ref import reference_of
+
+        target = metaobject.target
+        reference = reference_of(target)
+        if reference is None:
+            home_space = self._cluster.space(metaobject.node_id)
+            reference = home_space.export(target)
+        caller_space = self.current_space
+        artifacts = self.registry.artifacts_for_interface(reference.interface_name)
+        transport = self.policy.instance_decision(artifacts.class_name).transport
+        if metaobject.remote_invoker is not None:
+            return metaobject.remote_invoker.invoke(
+                reference, member, args, kwargs, transport=transport, space=caller_space
+            )
+        return caller_space.invoke_remote(
+            reference, member, args, kwargs, transport=transport
+        )
+
+    def handles(self) -> list[Any]:
+        """Every rebindable handle the factories have produced so far."""
+        return list(self._handles)
+
+    def handles_for(self, class_name: str) -> list[Any]:
+        return [
+            handle
+            for handle in self._handles
+            if getattr(handle, "_repro_class_name", None) == class_name
+        ]
+
+
+class ApplicationTransformer:
+    """Transforms a set of ordinary classes into a flexible application."""
+
+    def __init__(
+        self,
+        policy: Optional[DistributionPolicy] = None,
+        transports: Sequence[str] = DEFAULT_TRANSPORTS,
+        *,
+        special_class_names: Iterable[str] = (),
+        strict: bool = False,
+    ) -> None:
+        self.policy = policy if policy is not None else all_local_policy()
+        self.transport_names = tuple(transports)
+        self.special_class_names = set(special_class_names)
+        #: When strict, asking to transform a non-transformable class raises
+        #: instead of silently leaving the class untouched.
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+
+    def transform(self, classes: Iterable[type | ClassModel]) -> TransformedApplication:
+        models = [self._as_model(entry) for entry in classes]
+        if not models:
+            raise TransformationError("no classes supplied for transformation")
+        universe = ClassUniverse(models)
+
+        analyzer = TransformabilityAnalyzer(
+            universe,
+            special_class_names=self.special_class_names,
+            excluded=self.policy.excluded_classes(),
+        )
+        analysis = analyzer.analyse()
+
+        substitutable = {
+            model.name
+            for model in models
+            if analysis.is_transformable(model.name)
+            and self.policy.is_substitutable(model.name)
+        }
+        if self.strict:
+            for model in models:
+                if model.name not in substitutable:
+                    analysis.require_transformable(model.name)
+
+        registry = TransformationRegistry()
+        application = TransformedApplication(
+            registry, analysis, self.policy, self.transport_names
+        )
+        namespace = registry.namespace
+        self._seed_namespace(namespace, models)
+
+        model_index = {model.name: model for model in models}
+        context = GenerationContext(
+            transformed_names=frozenset(substitutable),
+            universe=model_index,
+            transport_names=self.transport_names,
+            namespace=namespace,
+            application=application,
+        )
+
+        # Pass 1: interfaces for every substitutable class (so that adapted
+        # annotations in rewritten bodies resolve during pass 2).
+        pending: list[ClassArtifacts] = []
+        for model in models:
+            if model.name not in substitutable:
+                continue
+            instance_interface = extract_instance_interface(model, substitutable)
+            class_interface = extract_class_interface(model, substitutable)
+            artifacts = ClassArtifacts(
+                model=model,
+                instance_interface=instance_interface,
+                class_interface=class_interface,
+            )
+            artifacts.instance_interface_cls = generate_interface_class(
+                instance_interface, context
+            )
+            artifacts.class_interface_cls = generate_interface_class(
+                class_interface, context
+            )
+            pending.append(artifacts)
+
+        # Pass 2: implementations, proxies, redirectors and factories.
+        for artifacts in pending:
+            model = artifacts.model
+            artifacts.local_cls = generate_local_class(
+                model, artifacts.instance_interface, artifacts.instance_interface_cls,
+                context, artifacts,
+            )
+            artifacts.class_local_cls = generate_class_local(
+                model, artifacts.class_interface, artifacts.class_interface_cls,
+                context, artifacts,
+            )
+            artifacts.redirector_cls = generate_redirector_class(
+                model, artifacts.instance_interface, artifacts.instance_interface_cls, context
+            )
+            for transport in self.transport_names:
+                artifacts.instance_proxies[transport] = generate_proxy_class(
+                    model, artifacts.instance_interface, artifacts.instance_interface_cls,
+                    transport, context, kind="instance",
+                )
+                artifacts.class_proxies[transport] = generate_proxy_class(
+                    model, artifacts.class_interface, artifacts.class_interface_cls,
+                    transport, context, kind="class",
+                )
+            artifacts.object_factory = generate_object_factory(
+                model, artifacts.instance_interface, context, artifacts
+            )
+            artifacts.class_factory = generate_class_factory(
+                model, artifacts.class_interface, context, artifacts
+            )
+            registry.register(artifacts)
+
+        return application
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_model(entry: type | ClassModel) -> ClassModel:
+        if isinstance(entry, ClassModel):
+            return entry
+        if isinstance(entry, type):
+            return class_model_from_python(entry)
+        raise TransformationError(
+            f"cannot transform {entry!r}: expected a class or a ClassModel"
+        )
+
+    @staticmethod
+    def _seed_namespace(namespace: dict, models: Sequence[ClassModel]) -> None:
+        """Make the original modules' globals visible to rewritten bodies."""
+        for model in models:
+            cls = model.python_class
+            if cls is None:
+                continue
+            module = sys.modules.get(cls.__module__)
+            if module is None:
+                continue
+            for name, value in vars(module).items():
+                namespace.setdefault(name, value)
+
+
+def transform_application(
+    classes: Iterable[type | ClassModel],
+    policy: Optional[DistributionPolicy] = None,
+    transports: Sequence[str] = DEFAULT_TRANSPORTS,
+    **kwargs,
+) -> TransformedApplication:
+    """Convenience wrapper: transform ``classes`` in one call."""
+    transformer = ApplicationTransformer(policy=policy, transports=transports, **kwargs)
+    return transformer.transform(classes)

@@ -1,0 +1,146 @@
+"""Exception hierarchy for the RAFDA reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications embedding the framework can catch a single base class.  The
+hierarchy mirrors the subsystems described in DESIGN.md: transformation,
+runtime/distribution, networking, policy and the class corpus study.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Transformation (repro.core)
+# ---------------------------------------------------------------------------
+
+class TransformationError(ReproError):
+    """A class could not be transformed into its componentised form."""
+
+
+class NotTransformableError(TransformationError):
+    """Raised when a transformation is requested for a non-transformable class.
+
+    The §2.4 rules (native methods, special classes, inheritance and
+    reference constraints) determine which classes fall in this category.
+    """
+
+    def __init__(self, class_name: str, reasons=()):
+        self.class_name = class_name
+        self.reasons = tuple(reasons)
+        detail = ", ".join(str(reason) for reason in self.reasons) or "unknown reason"
+        super().__init__(f"class {class_name!r} is not transformable: {detail}")
+
+
+class InterfaceExtractionError(TransformationError):
+    """An instance or class interface could not be extracted."""
+
+
+class RewriteError(TransformationError):
+    """A method body could not be rewritten to use interface types."""
+
+
+class GenerationError(TransformationError):
+    """A generated artifact (local, proxy or factory) could not be built."""
+
+
+class UnknownClassError(TransformationError):
+    """A transformed-class artifact was requested for an unknown class."""
+
+    def __init__(self, class_name: str):
+        self.class_name = class_name
+        super().__init__(f"no transformation artifacts registered for class {class_name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Distributed runtime (repro.runtime)
+# ---------------------------------------------------------------------------
+
+class RuntimeLayerError(ReproError):
+    """Base class for errors raised by the distributed object layer."""
+
+
+class SerializationError(RuntimeLayerError):
+    """A value could not be marshalled to, or unmarshalled from, wire form."""
+
+
+class InvocationError(RuntimeLayerError):
+    """A remote invocation failed before reaching application code."""
+
+
+class RemoteInvocationError(RuntimeLayerError):
+    """The remote application method raised; carries the remote error text."""
+
+    def __init__(self, remote_type: str, message: str):
+        self.remote_type = remote_type
+        self.remote_message = message
+        super().__init__(f"remote {remote_type}: {message}")
+
+
+class UnknownObjectError(RuntimeLayerError):
+    """A remote reference does not resolve to an object in the target space."""
+
+
+class MigrationError(RuntimeLayerError):
+    """An object could not be migrated between address spaces."""
+
+
+class RedistributionError(RuntimeLayerError):
+    """A distribution-boundary change could not be applied."""
+
+
+class NamingError(RuntimeLayerError):
+    """A name could not be bound or resolved in the naming service."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated network (repro.network) and transports (repro.transports)
+# ---------------------------------------------------------------------------
+
+class NetworkError(ReproError):
+    """Base class for simulated-network failures."""
+
+
+class NodeUnreachableError(NetworkError):
+    """The destination node is not registered on the network."""
+
+
+class PartitionError(NetworkError):
+    """The source and destination nodes are on different sides of a partition."""
+
+
+class MessageDroppedError(NetworkError):
+    """The message was dropped by the configured loss model."""
+
+
+class TransportError(ReproError):
+    """A transport could not encode, decode or deliver an invocation."""
+
+
+class UnknownTransportError(TransportError):
+    """The requested transport name is not registered."""
+
+    def __init__(self, name: str, available=()):
+        self.name = name
+        self.available = tuple(available)
+        listing = ", ".join(sorted(self.available)) or "none"
+        super().__init__(f"unknown transport {name!r} (available: {listing})")
+
+
+# ---------------------------------------------------------------------------
+# Policy (repro.policy)
+# ---------------------------------------------------------------------------
+
+class PolicyError(ReproError):
+    """A distribution policy is invalid or could not produce a decision."""
+
+
+# ---------------------------------------------------------------------------
+# Corpus study (repro.corpus)
+# ---------------------------------------------------------------------------
+
+class CorpusError(ReproError):
+    """The synthetic class corpus could not be generated or analysed."""

@@ -1,0 +1,27 @@
+"""Simulated network substrate: clock, links, failures and traffic metrics."""
+
+from repro.network.clock import SimClock, Stopwatch, Timeline
+from repro.network.failures import FailureModel, NoFailures
+from repro.network.metrics import LinkMetrics, NetworkMetrics
+from repro.network.simnet import (
+    LAN_LINK,
+    LOOPBACK_LINK,
+    WAN_LINK,
+    LinkConfig,
+    SimulatedNetwork,
+)
+
+__all__ = [
+    "FailureModel",
+    "LAN_LINK",
+    "LOOPBACK_LINK",
+    "LinkConfig",
+    "LinkMetrics",
+    "NetworkMetrics",
+    "NoFailures",
+    "SimClock",
+    "SimulatedNetwork",
+    "Stopwatch",
+    "Timeline",
+    "WAN_LINK",
+]

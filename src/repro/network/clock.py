@@ -1,0 +1,84 @@
+"""Simulated clock.
+
+All timing in the distributed substrate is *simulated*: the clock advances
+only when the simulation says so (message latency, transmission time,
+processing delays).  This keeps every experiment deterministic and
+independent of the speed of the machine running the reproduction, which is
+what lets the benchmark harness reproduce the paper's comparative *shapes*
+rather than wall-clock numbers from a 2003 testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+
+@dataclass
+class SimClock:
+    """A monotonically advancing simulated clock measured in seconds."""
+
+    now: float = 0.0
+    _listeners: List[Callable[[float, float], None]] = field(default_factory=list)
+
+    def advance(self, seconds: float) -> float:
+        """Advance simulated time by ``seconds`` (negative values are ignored)."""
+        if seconds <= 0:
+            return self.now
+        previous = self.now
+        self.now += seconds
+        for listener in self._listeners:
+            listener(previous, self.now)
+        return self.now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to ``timestamp`` if it lies in the future."""
+        if timestamp > self.now:
+            self.advance(timestamp - self.now)
+        return self.now
+
+    def reset(self) -> None:
+        self.now = 0.0
+
+    def on_advance(self, listener: Callable[[float, float], None]) -> None:
+        """Register a listener called with (previous, new) time on every advance."""
+        self._listeners.append(listener)
+
+
+class Stopwatch:
+    """Measures elapsed *simulated* time between two points."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._started_at = clock.now
+
+    def restart(self) -> None:
+        self._started_at = self._clock.now
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock.now - self._started_at
+
+
+class Timeline:
+    """Records (timestamp, label) events against a simulated clock.
+
+    Used by the benchmarks to reconstruct time series (e.g. throughput before
+    and after an adaptive redistribution).
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self.events: List[Tuple[float, str]] = []
+
+    def record(self, label: str) -> None:
+        self.events.append((self._clock.now, label))
+
+    def events_labelled(self, label: str) -> List[float]:
+        return [timestamp for timestamp, event in self.events if event == label]
+
+    def between(self, start: float, end: float) -> List[Tuple[float, str]]:
+        return [(t, label) for t, label in self.events if start <= t <= end]
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,104 @@
+"""Traffic accounting for the simulated network.
+
+Metrics are collected per directed link (source node, destination node) and
+aggregated network-wide.  The benchmark harness uses them to report message
+counts, bytes on the wire and per-transport overhead — the quantities behind
+the paper's comparative claims (wrapper overhead, transport interchange,
+redistribution benefit).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class LinkMetrics:
+    """Counters for one directed link."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    drops: int = 0
+    total_latency: float = 0.0
+
+    def record(self, size: int, latency: float) -> None:
+        self.messages += 1
+        self.bytes_sent += size
+        self.total_latency += latency
+
+    def record_drop(self) -> None:
+        self.drops += 1
+
+    @property
+    def mean_latency(self) -> float:
+        if self.messages == 0:
+            return 0.0
+        return self.total_latency / self.messages
+
+    @property
+    def mean_message_size(self) -> float:
+        if self.messages == 0:
+            return 0.0
+        return self.bytes_sent / self.messages
+
+
+class NetworkMetrics:
+    """Aggregated metrics for a whole simulated network."""
+
+    def __init__(self) -> None:
+        self._links: Dict[Tuple[str, str], LinkMetrics] = defaultdict(LinkMetrics)
+
+    def link(self, source: str, destination: str) -> LinkMetrics:
+        return self._links[(source, destination)]
+
+    def record(self, source: str, destination: str, size: int, latency: float) -> None:
+        self.link(source, destination).record(size, latency)
+
+    def record_drop(self, source: str, destination: str) -> None:
+        self.link(source, destination).record_drop()
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        return sum(link.messages for link in self._links.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(link.bytes_sent for link in self._links.values())
+
+    @property
+    def total_drops(self) -> int:
+        return sum(link.drops for link in self._links.values())
+
+    def messages_from(self, source: str) -> int:
+        return sum(
+            link.messages for (src, _), link in self._links.items() if src == source
+        )
+
+    def messages_between(self, source: str, destination: str) -> int:
+        return self.link(source, destination).messages
+
+    def links(self) -> Dict[Tuple[str, str], LinkMetrics]:
+        return dict(self._links)
+
+    def reset(self) -> None:
+        self._links.clear()
+
+    def snapshot(self) -> dict:
+        """A plain-data summary suitable for benchmark reports."""
+        return {
+            "messages": self.total_messages,
+            "bytes": self.total_bytes,
+            "drops": self.total_drops,
+            "links": {
+                f"{src}->{dst}": {
+                    "messages": link.messages,
+                    "bytes": link.bytes_sent,
+                    "mean_latency": round(link.mean_latency, 6),
+                }
+                for (src, dst), link in sorted(self._links.items())
+            },
+        }

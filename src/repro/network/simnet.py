@@ -1,0 +1,167 @@
+"""The simulated network connecting address spaces.
+
+The paper deploys transformed applications on a LAN; this reproduction has no
+testbed, so the substrate is a deterministic in-process network simulator.
+Nodes register a message handler; :meth:`SimulatedNetwork.send_request`
+models a synchronous request/response exchange with configurable per-link
+latency, bandwidth-proportional transmission time, jitter, message loss and
+partitions.  Simulated time is charged to a :class:`~repro.network.clock.SimClock`
+and traffic is accounted in :class:`~repro.network.metrics.NetworkMetrics`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import (
+    MessageDroppedError,
+    NodeUnreachableError,
+    PartitionError,
+)
+from repro.network.clock import SimClock
+from repro.network.failures import FailureModel, NoFailures
+from repro.network.metrics import NetworkMetrics
+
+#: A node-side handler: receives the raw request payload, returns the response.
+MessageHandler = Callable[[str, bytes], bytes]
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Latency/bandwidth characteristics of one (or every) directed link."""
+
+    #: One-way propagation latency in seconds.
+    latency: float = 0.0005
+    #: Link bandwidth in bytes per second (transmission time = size / bandwidth).
+    bandwidth: float = 12_500_000.0  # 100 Mbit/s, a 2003-era LAN
+    #: Maximum random jitter added to each one-way latency, in seconds.
+    jitter: float = 0.0
+
+    def one_way_delay(self, size: int, rng: random.Random) -> float:
+        transmission = size / self.bandwidth if self.bandwidth > 0 else 0.0
+        jitter = rng.uniform(0.0, self.jitter) if self.jitter > 0 else 0.0
+        return self.latency + transmission + jitter
+
+
+#: A link configuration approximating calls within a single address space.
+LOOPBACK_LINK = LinkConfig(latency=0.0, bandwidth=0.0, jitter=0.0)
+
+#: A link configuration approximating a 2003-era switched LAN.
+LAN_LINK = LinkConfig(latency=0.0005, bandwidth=12_500_000.0, jitter=0.0)
+
+#: A link configuration approximating a WAN hop.
+WAN_LINK = LinkConfig(latency=0.030, bandwidth=1_250_000.0, jitter=0.002)
+
+
+class SimulatedNetwork:
+    """A deterministic message-passing fabric between named nodes."""
+
+    def __init__(
+        self,
+        default_link: LinkConfig = LAN_LINK,
+        clock: Optional[SimClock] = None,
+        failures: Optional[FailureModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.default_link = default_link
+        self.clock = clock if clock is not None else SimClock()
+        self.failures = failures if failures is not None else NoFailures()
+        self.metrics = NetworkMetrics()
+        self._handlers: Dict[str, MessageHandler] = {}
+        self._links: Dict[Tuple[str, str], LinkConfig] = {}
+        self._rng = random.Random(seed)
+
+    # -- topology ----------------------------------------------------------------
+
+    def register(self, node_id: str, handler: MessageHandler) -> None:
+        """Attach a node's request handler to the network."""
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        self._handlers.pop(node_id, None)
+
+    def nodes(self) -> set[str]:
+        return set(self._handlers)
+
+    def is_registered(self, node_id: str) -> bool:
+        return node_id in self._handlers
+
+    def set_link(self, source: str, destination: str, config: LinkConfig) -> None:
+        """Override the link characteristics for one directed pair."""
+        self._links[(source, destination)] = config
+
+    def set_symmetric_link(self, node_a: str, node_b: str, config: LinkConfig) -> None:
+        self.set_link(node_a, node_b, config)
+        self.set_link(node_b, node_a, config)
+
+    def link_config(self, source: str, destination: str) -> LinkConfig:
+        return self._links.get((source, destination), self.default_link)
+
+    # -- message exchange -----------------------------------------------------------
+
+    def send_request(self, source: str, destination: str, payload: bytes) -> bytes:
+        """Synchronously deliver ``payload`` and return the handler's response.
+
+        Simulated time advances by the request's one-way delay, the handler
+        runs (its own nested sends advance time further), and time advances
+        again for the response's one-way delay.  Failures raise subclasses of
+        :class:`~repro.errors.NetworkError`.
+        """
+
+        if source == destination:
+            # Same address space: no network is involved.
+            handler = self._require_handler(destination)
+            return handler(source, payload)
+
+        self._check_reachability(source, destination)
+        if self.failures.should_drop(source, destination):
+            self.metrics.record_drop(source, destination)
+            raise MessageDroppedError(
+                f"message from {source!r} to {destination!r} was dropped"
+            )
+
+        link = self.link_config(source, destination)
+        request_delay = link.one_way_delay(len(payload), self._rng)
+        self.clock.advance(request_delay)
+        self.metrics.record(source, destination, len(payload), request_delay)
+
+        handler = self._require_handler(destination)
+        response = handler(source, payload)
+
+        if self.failures.should_drop(destination, source):
+            self.metrics.record_drop(destination, source)
+            raise MessageDroppedError(
+                f"response from {destination!r} to {source!r} was dropped"
+            )
+        reverse_link = self.link_config(destination, source)
+        response_delay = reverse_link.one_way_delay(len(response), self._rng)
+        self.clock.advance(response_delay)
+        self.metrics.record(destination, source, len(response), response_delay)
+        return response
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _require_handler(self, node_id: str) -> MessageHandler:
+        handler = self._handlers.get(node_id)
+        if handler is None:
+            raise NodeUnreachableError(f"node {node_id!r} is not registered on the network")
+        return handler
+
+    def _check_reachability(self, source: str, destination: str) -> None:
+        if destination not in self._handlers:
+            raise NodeUnreachableError(
+                f"node {destination!r} is not registered on the network"
+            )
+        if self.failures.is_node_down(source) or self.failures.is_node_down(destination):
+            raise NodeUnreachableError(
+                f"node {source!r} or {destination!r} is down"
+            )
+        if self.failures.is_partitioned(source, destination):
+            raise PartitionError(
+                f"nodes {source!r} and {destination!r} are partitioned"
+            )
+
+    def reset_metrics(self) -> None:
+        self.metrics.reset()

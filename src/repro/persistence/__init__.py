@@ -1,0 +1,30 @@
+"""Orthogonal persistence over the transformed application.
+
+The paper notes that the componentised program "can be extended while
+retaining program semantics in order to provide requirements such as
+distribution **or persistence**" (§4), and its related work compares the
+transformation with Orthogonally Persistent Java.  This package provides that
+extension for the reproduction: because every field of a transformed object
+is reachable through its interface accessors, a whole object graph can be
+snapshotted to plain data (and JSON), stored, and later restored into fresh
+implementations — without the application classes knowing anything about it.
+"""
+
+from repro.persistence.snapshot import (
+    GraphSnapshot,
+    ObjectGraphSnapshotter,
+    restore_snapshot,
+    snapshot_to_json,
+    snapshot_from_json,
+)
+from repro.persistence.store import FileSnapshotStore, InMemorySnapshotStore
+
+__all__ = [
+    "FileSnapshotStore",
+    "GraphSnapshot",
+    "InMemorySnapshotStore",
+    "ObjectGraphSnapshotter",
+    "restore_snapshot",
+    "snapshot_from_json",
+    "snapshot_to_json",
+]

@@ -1,0 +1,102 @@
+"""Snapshot stores: named, versioned storage for object-graph snapshots.
+
+A store keeps a history of snapshots per name, so applications can checkpoint
+periodically and roll back to any earlier state.  Two implementations are
+provided: an in-memory store (tests, simulations) and a file-backed store
+(one JSON document per checkpoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import SerializationError
+from repro.persistence.snapshot import GraphSnapshot, snapshot_from_json, snapshot_to_json
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Metadata about one stored checkpoint."""
+
+    name: str
+    version: int
+    object_count: int
+
+
+class InMemorySnapshotStore:
+    """Keeps snapshot versions in process memory."""
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[str, List[GraphSnapshot]] = {}
+
+    def save(self, name: str, snapshot: GraphSnapshot) -> CheckpointInfo:
+        versions = self._snapshots.setdefault(name, [])
+        versions.append(snapshot)
+        return CheckpointInfo(name=name, version=len(versions), object_count=snapshot.object_count)
+
+    def load(self, name: str, version: Optional[int] = None) -> GraphSnapshot:
+        versions = self._snapshots.get(name)
+        if not versions:
+            raise SerializationError(f"no checkpoint named {name!r}")
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise SerializationError(
+                f"checkpoint {name!r} has no version {version} (latest is {len(versions)})"
+            )
+        return versions[version - 1]
+
+    def versions(self, name: str) -> int:
+        return len(self._snapshots.get(name, []))
+
+    def names(self) -> set[str]:
+        return set(self._snapshots)
+
+    def checkpoints(self) -> list[CheckpointInfo]:
+        return [
+            CheckpointInfo(name=name, version=index + 1, object_count=snapshot.object_count)
+            for name, versions in sorted(self._snapshots.items())
+            for index, snapshot in enumerate(versions)
+        ]
+
+
+class FileSnapshotStore:
+    """Stores each checkpoint as ``<name>.v<version>.json`` under a directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _paths_for(self, name: str) -> list[Path]:
+        return sorted(
+            self.directory.glob(f"{name}.v*.json"),
+            key=lambda path: int(path.stem.rsplit(".v", 1)[1]),
+        )
+
+    def save(self, name: str, snapshot: GraphSnapshot) -> CheckpointInfo:
+        version = len(self._paths_for(name)) + 1
+        path = self.directory / f"{name}.v{version}.json"
+        path.write_text(snapshot_to_json(snapshot), encoding="utf-8")
+        return CheckpointInfo(name=name, version=version, object_count=snapshot.object_count)
+
+    def load(self, name: str, version: Optional[int] = None) -> GraphSnapshot:
+        paths = self._paths_for(name)
+        if not paths:
+            raise SerializationError(f"no checkpoint named {name!r} in {self.directory}")
+        if version is None:
+            path = paths[-1]
+        else:
+            if not 1 <= version <= len(paths):
+                raise SerializationError(
+                    f"checkpoint {name!r} has no version {version} (latest is {len(paths)})"
+                )
+            path = paths[version - 1]
+        return snapshot_from_json(path.read_text(encoding="utf-8"))
+
+    def versions(self, name: str) -> int:
+        return len(self._paths_for(name))
+
+    def names(self) -> set[str]:
+        return {path.stem.rsplit(".v", 1)[0] for path in self.directory.glob("*.v*.json")}

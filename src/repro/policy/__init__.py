@@ -1,0 +1,57 @@
+"""Distribution policy: static, rule-based and adaptive placement decisions."""
+
+from repro.policy.adaptive import (
+    AccessMonitor,
+    AdaptationRecord,
+    AdaptiveDistributionManager,
+    RedistributionSuggestion,
+)
+from repro.policy.loader import (
+    policy_from_dict,
+    policy_from_file,
+    policy_from_json,
+    policy_to_dict,
+)
+from repro.policy.policy import (
+    ClassPolicy,
+    DistributionPolicy,
+    PlacementDecision,
+    all_local_policy,
+    local,
+    place_classes_on,
+    remote,
+)
+from repro.policy.rules import (
+    Rule,
+    RuleBasedPolicy,
+    always,
+    name_in,
+    name_is,
+    name_matches,
+    name_regex,
+)
+
+__all__ = [
+    "AccessMonitor",
+    "AdaptationRecord",
+    "AdaptiveDistributionManager",
+    "ClassPolicy",
+    "DistributionPolicy",
+    "PlacementDecision",
+    "RedistributionSuggestion",
+    "Rule",
+    "RuleBasedPolicy",
+    "all_local_policy",
+    "always",
+    "local",
+    "name_in",
+    "name_is",
+    "name_matches",
+    "name_regex",
+    "place_classes_on",
+    "policy_from_dict",
+    "policy_from_file",
+    "policy_from_json",
+    "policy_to_dict",
+    "remote",
+]

@@ -1,0 +1,208 @@
+"""Adaptive distribution policy.
+
+The transformed program "can adapt to its environment by dynamically altering
+its distribution boundaries" (paper §1).  This module supplies the decision
+half of that loop:
+
+* :class:`AccessMonitor` is an interceptor installed on rebindable handles;
+  it attributes every invocation to the node the calling code was executing
+  on and accumulates per-node call counts over a sliding window.
+* :class:`AdaptiveDistributionManager` periodically examines those counts
+  and, when an object is being used predominantly from a node other than the
+  one hosting it, asks the :class:`~repro.runtime.redistribution.DistributionController`
+  to move the object (locally, if the dominant caller is the handle's home
+  node; otherwise to the dominant remote node).
+
+The manager implements a simple affinity heuristic; richer policies can be
+plugged in by subclassing and overriding :meth:`AdaptiveDistributionManager.suggest_for`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.metaobject import Interceptor, Invocation, metaobject_of
+from repro.errors import RedistributionError
+
+
+class AccessMonitor(Interceptor):
+    """Counts invocations on one handle, attributed to the calling node."""
+
+    def __init__(self, application) -> None:
+        self._application = application
+        self.calls_per_node: Counter = Counter()
+        self.total_calls = 0
+
+    def before(self, invocation: Invocation) -> None:
+        node = self._application._current_node_id()
+        invocation.caller_node = node
+        self.calls_per_node[node] += 1
+        self.total_calls += 1
+
+    def dominant_node(self) -> Optional[tuple[str, float]]:
+        """The node issuing the most calls and its share of the window."""
+        if not self.calls_per_node:
+            return None
+        node, count = self.calls_per_node.most_common(1)[0]
+        return node, count / self.total_calls
+
+    def reset(self) -> None:
+        self.calls_per_node.clear()
+        self.total_calls = 0
+
+
+@dataclass
+class RedistributionSuggestion:
+    """One proposed boundary change."""
+
+    handle: Any
+    class_name: str
+    current_node: Optional[str]
+    target_node: str
+    caller_share: float
+    call_count: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.class_name}: {self.call_count} calls, "
+            f"{self.caller_share:.0%} from {self.target_node!r} "
+            f"(currently on {self.current_node!r})"
+        )
+
+
+@dataclass
+class AdaptationRecord:
+    """The outcome of one adaptation round."""
+
+    suggestions: list[RedistributionSuggestion] = field(default_factory=list)
+    applied: list[RedistributionSuggestion] = field(default_factory=list)
+
+    @property
+    def moved(self) -> int:
+        return len(self.applied)
+
+
+class AdaptiveDistributionManager:
+    """Monitors handles and moves objects towards the nodes that use them."""
+
+    def __init__(
+        self,
+        application,
+        controller,
+        *,
+        threshold: float = 0.6,
+        min_calls: int = 10,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise RedistributionError("threshold must be in (0, 1]")
+        self.application = application
+        self.controller = controller
+        self.threshold = threshold
+        self.min_calls = min_calls
+        self._monitors: dict[int, AccessMonitor] = {}
+        self.history: list[AdaptationRecord] = []
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+
+    def attach(self, handle: Any) -> AccessMonitor:
+        """Install an access monitor on one rebindable handle."""
+        meta = metaobject_of(handle)
+        if meta is None:
+            raise RedistributionError(
+                "adaptive distribution requires rebindable handles "
+                "(policy decisions with dynamic=True)"
+            )
+        if id(handle) in self._monitors:
+            return self._monitors[id(handle)]
+        monitor = AccessMonitor(self.application)
+        meta.add_interceptor(monitor)
+        self._monitors[id(handle)] = monitor
+        return monitor
+
+    def attach_all(self) -> int:
+        """Monitor every handle the application has produced so far."""
+        count = 0
+        for handle in self.application.handles():
+            self.attach(handle)
+            count += 1
+        return count
+
+    def monitored_handles(self) -> list[Any]:
+        ids = set(self._monitors)
+        return [handle for handle in self.application.handles() if id(handle) in ids]
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def suggest_for(self, handle: Any) -> Optional[RedistributionSuggestion]:
+        """Apply the affinity heuristic to one monitored handle."""
+        monitor = self._monitors.get(id(handle))
+        meta = metaobject_of(handle)
+        if monitor is None or meta is None:
+            return None
+        if monitor.total_calls < self.min_calls:
+            return None
+        dominant = monitor.dominant_node()
+        if dominant is None:
+            return None
+        node, share = dominant
+        if share < self.threshold:
+            return None
+        current = meta.node_id
+        if node == current:
+            return None
+        return RedistributionSuggestion(
+            handle=handle,
+            class_name=getattr(type(handle), "_repro_class_name", type(handle).__name__),
+            current_node=current,
+            target_node=node,
+            caller_share=share,
+            call_count=monitor.total_calls,
+        )
+
+    def evaluate(self) -> list[RedistributionSuggestion]:
+        """Examine every monitored handle and collect suggested moves."""
+        suggestions = []
+        for handle in self.monitored_handles():
+            suggestion = self.suggest_for(handle)
+            if suggestion is not None:
+                suggestions.append(suggestion)
+        return suggestions
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+
+    def adapt(self) -> AdaptationRecord:
+        """Close one observation epoch: apply every suggestion, reset windows.
+
+        Each call to ``adapt`` treats the calls observed since the previous
+        call as one epoch — suggested moves are applied and every monitor's
+        window is cleared so the next epoch reflects only future behaviour
+        (otherwise a long stable phase would drown out a new access pattern).
+        """
+
+        record = AdaptationRecord(suggestions=self.evaluate())
+        home_node = self.application.current_space.node_id if self.application.current_space else None
+        for suggestion in record.suggestions:
+            meta = metaobject_of(suggestion.handle)
+            try:
+                if suggestion.target_node == home_node and meta.kind == "remote":
+                    self.controller.make_local(suggestion.handle)
+                else:
+                    self.controller.make_remote(suggestion.handle, suggestion.target_node)
+            except RedistributionError:
+                continue
+            record.applied.append(suggestion)
+        self.reset_window()
+        self.history.append(record)
+        return record
+
+    def reset_window(self) -> None:
+        for monitor in self._monitors.values():
+            monitor.reset()

@@ -1,0 +1,130 @@
+"""Loading distribution policies from configuration data.
+
+The paper's long-term goal is "a complete system for deciding and capturing
+distribution policy"; this module provides the capturing half: policies can
+be expressed as plain dictionaries (or JSON files) and loaded without any
+code change to the transformed application.  A configuration looks like::
+
+    {
+        "default": {"placement": "local", "dynamic": false},
+        "classes": {
+            "Cache":        {"placement": "remote", "node": "server",
+                             "transport": "rmi", "dynamic": true},
+            "OrderStore":   {"placement": "remote", "node": "warehouse"},
+            "SessionState": {"substitutable": false}
+        }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.errors import PolicyError
+from repro.policy.policy import (
+    ClassPolicy,
+    DistributionPolicy,
+    PlacementDecision,
+    DEFAULT_TRANSPORT,
+    KIND_LOCAL,
+    KIND_REMOTE,
+)
+
+
+def _decision_from_config(config: Mapping, context: str) -> PlacementDecision:
+    placement = config.get("placement", KIND_LOCAL)
+    if placement not in (KIND_LOCAL, KIND_REMOTE):
+        raise PolicyError(
+            f"{context}: placement must be 'local' or 'remote', got {placement!r}"
+        )
+    node = config.get("node")
+    if placement == KIND_REMOTE and not node:
+        raise PolicyError(f"{context}: remote placement requires a 'node'")
+    return PlacementDecision(
+        kind=placement,
+        node_id=node,
+        transport=config.get("transport", DEFAULT_TRANSPORT),
+        dynamic=bool(config.get("dynamic", False)),
+    )
+
+
+def _class_policy_from_config(config: Mapping, context: str) -> ClassPolicy:
+    if not isinstance(config, Mapping):
+        raise PolicyError(f"{context}: expected a mapping, got {type(config).__name__}")
+    substitutable = bool(config.get("substitutable", True))
+    instance_config = dict(config)
+    statics_config = config.get("statics")
+    instances = _decision_from_config(instance_config, context)
+    if statics_config is None:
+        statics = instances
+    else:
+        statics = _decision_from_config(statics_config, f"{context}.statics")
+    return ClassPolicy(substitutable=substitutable, instances=instances, statics=statics)
+
+
+def policy_from_dict(config: Mapping) -> DistributionPolicy:
+    """Build a :class:`DistributionPolicy` from a plain configuration mapping."""
+    if not isinstance(config, Mapping):
+        raise PolicyError("policy configuration must be a mapping")
+    default_config = config.get("default", {})
+    default = _class_policy_from_config(default_config, "default") if default_config else None
+    policy = DistributionPolicy(default=default)
+    classes = config.get("classes", {})
+    if not isinstance(classes, Mapping):
+        raise PolicyError("'classes' must be a mapping of class name to settings")
+    for class_name, class_config in classes.items():
+        entry = _class_policy_from_config(class_config, f"classes.{class_name}")
+        policy.set_class(
+            class_name,
+            substitutable=entry.substitutable,
+            instances=entry.instances,
+            statics=entry.statics,
+        )
+    return policy
+
+
+def policy_from_json(text: str) -> DistributionPolicy:
+    """Build a policy from a JSON document (the dict form above)."""
+    try:
+        config = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PolicyError(f"invalid policy JSON: {exc}") from exc
+    return policy_from_dict(config)
+
+
+def policy_from_file(path: Union[str, Path]) -> DistributionPolicy:
+    """Build a policy from a JSON file on disk."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise PolicyError(f"cannot read policy file {path}: {exc}") from exc
+    return policy_from_json(text)
+
+
+def policy_to_dict(policy: DistributionPolicy) -> dict:
+    """Serialise a policy back into the configuration-dictionary form."""
+
+    def decision_to_dict(decision: PlacementDecision) -> dict:
+        result: dict = {"placement": decision.kind, "dynamic": decision.dynamic}
+        if decision.node_id is not None:
+            result["node"] = decision.node_id
+        result["transport"] = decision.transport
+        return result
+
+    def entry_to_dict(entry: ClassPolicy) -> dict:
+        result = decision_to_dict(entry.instances)
+        result["substitutable"] = entry.substitutable
+        if entry.statics != entry.instances:
+            result["statics"] = decision_to_dict(entry.statics)
+        return result
+
+    return {
+        "default": entry_to_dict(policy.default),
+        "classes": {
+            name: entry_to_dict(policy.for_class(name))
+            for name in sorted(policy.configured_classes())
+        },
+    }

@@ -1,0 +1,147 @@
+"""Rule-based distribution policies.
+
+A :class:`RuleBasedPolicy` composes an ordered list of rules; the first rule
+whose predicate matches a class name supplies the placement decisions.  Rules
+make it easy to express deployment configurations such as "every ``*Service``
+class lives on the server node, everything else stays local" without
+enumerating classes one by one — the paper's goal of separating distribution
+concerns from application code.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.policy.policy import (
+    ClassPolicy,
+    DistributionPolicy,
+    PlacementDecision,
+)
+
+#: A predicate deciding whether a rule applies to a class name.
+ClassPredicate = Callable[[str], bool]
+
+
+@dataclass
+class Rule:
+    """One policy rule: a predicate plus the decisions it implies."""
+
+    predicate: ClassPredicate
+    instances: PlacementDecision
+    statics: Optional[PlacementDecision] = None
+    substitutable: bool = True
+    description: str = ""
+
+    def matches(self, class_name: str) -> bool:
+        return bool(self.predicate(class_name))
+
+    def to_class_policy(self) -> ClassPolicy:
+        return ClassPolicy(
+            substitutable=self.substitutable,
+            instances=self.instances,
+            statics=self.statics if self.statics is not None else self.instances,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Predicate constructors
+# ---------------------------------------------------------------------------
+
+def name_is(class_name: str) -> ClassPredicate:
+    return lambda name: name == class_name
+
+def name_in(class_names: Iterable[str]) -> ClassPredicate:
+    names = frozenset(class_names)
+    return lambda name: name in names
+
+def name_matches(pattern: str) -> ClassPredicate:
+    """Glob-style match, e.g. ``"*Service"`` or ``"Order*"``."""
+    return lambda name: fnmatch.fnmatchcase(name, pattern)
+
+def name_regex(pattern: str) -> ClassPredicate:
+    compiled = re.compile(pattern)
+    return lambda name: bool(compiled.search(name))
+
+def always() -> ClassPredicate:
+    return lambda name: True
+
+
+class RuleBasedPolicy(DistributionPolicy):
+    """A distribution policy driven by an ordered rule list."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] = (),
+        default: Optional[ClassPolicy] = None,
+    ) -> None:
+        super().__init__(default=default)
+        self._rules: list[Rule] = list(rules)
+
+    # -- rule management ---------------------------------------------------------
+
+    def add_rule(self, rule: Rule) -> Rule:
+        self._rules.append(rule)
+        return rule
+
+    def place_matching(
+        self,
+        pattern: str,
+        decision: PlacementDecision,
+        *,
+        statics: Optional[PlacementDecision] = None,
+        description: str = "",
+    ) -> Rule:
+        """Add a glob rule: classes matching ``pattern`` get ``decision``."""
+        return self.add_rule(
+            Rule(
+                predicate=name_matches(pattern),
+                instances=decision,
+                statics=statics,
+                description=description or f"classes matching {pattern!r}",
+            )
+        )
+
+    def exclude_matching(self, pattern: str, description: str = "") -> Rule:
+        """Classes matching ``pattern`` are not substitutable at all."""
+        return self.add_rule(
+            Rule(
+                predicate=name_matches(pattern),
+                instances=PlacementDecision(),
+                substitutable=False,
+                description=description or f"exclude {pattern!r}",
+            )
+        )
+
+    def rules(self) -> list[Rule]:
+        return list(self._rules)
+
+    # -- DistributionPolicy interface ----------------------------------------------
+
+    def for_class(self, class_name: str) -> ClassPolicy:
+        explicit = super().for_class(class_name)
+        if class_name in self.configured_classes():
+            # Explicit per-class entries (set_class / place_instances) win
+            # over rules so programmatic overrides behave as expected.
+            return explicit
+        for rule in self._rules:
+            if rule.matches(class_name):
+                return rule.to_class_policy()
+        return explicit
+
+    def matching_rule(self, class_name: str) -> Optional[Rule]:
+        for rule in self._rules:
+            if rule.matches(class_name):
+                return rule
+        return None
+
+    def explain(self, class_name: str) -> str:
+        """A human-readable account of why a class gets its decision."""
+        if class_name in self.configured_classes():
+            return f"{class_name}: explicit per-class entry"
+        rule = self.matching_rule(class_name)
+        if rule is not None:
+            return f"{class_name}: rule ({rule.description or 'unnamed rule'})"
+        return f"{class_name}: default policy"

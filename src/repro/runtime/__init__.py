@@ -1,0 +1,50 @@
+"""The distributed object layer: address spaces, references, migration."""
+
+from repro.runtime.address_space import AddressSpace
+from repro.runtime.faulttolerance import (
+    NO_RETRY,
+    FailureLog,
+    FailureObservingInterceptor,
+    FaultTolerantInvoker,
+    RetryPolicy,
+    guard_handle,
+)
+from repro.runtime.cluster import (
+    Cluster,
+    default_transport_registry,
+    lan_cluster,
+    single_node_cluster,
+)
+from repro.runtime.invocation import InvocationRequest, InvocationResponse
+from repro.runtime.migration import MigrationRecord, ObjectMigrator, capture_state, restore_state
+from repro.runtime.naming import NamingService
+from repro.runtime.redistribution import BoundaryChange, DistributionController
+from repro.runtime.remote_ref import ObjectIdAllocator, RemoteRef, reference_of
+from repro.runtime.serialization import Marshaller
+
+__all__ = [
+    "AddressSpace",
+    "BoundaryChange",
+    "Cluster",
+    "DistributionController",
+    "FailureLog",
+    "FailureObservingInterceptor",
+    "FaultTolerantInvoker",
+    "InvocationRequest",
+    "InvocationResponse",
+    "Marshaller",
+    "MigrationRecord",
+    "NO_RETRY",
+    "NamingService",
+    "ObjectIdAllocator",
+    "ObjectMigrator",
+    "RemoteRef",
+    "RetryPolicy",
+    "guard_handle",
+    "capture_state",
+    "default_transport_registry",
+    "lan_cluster",
+    "reference_of",
+    "restore_state",
+    "single_node_cluster",
+]

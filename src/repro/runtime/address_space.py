@@ -1,0 +1,228 @@
+"""Address spaces: the nodes of the distributed object layer.
+
+An :class:`AddressSpace` is the unit of distribution in the paper: objects
+live in exactly one address space, other spaces hold proxies to them, and
+"changing applications to span address space boundaries" means placing
+objects in different spaces.  Each space owns
+
+* an object table of exported objects (keyed by object identifier),
+* a marshaller that converts arguments and results to and from wire values,
+* the set of installed transports, and
+* a network-facing dispatcher that serves incoming invocation requests by
+  invoking the target object and returning the marshalled result.
+
+Address spaces are deliberately unaware of policy and of the transformation:
+they host whatever objects the application exports into them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+from repro.errors import (
+    InvocationError,
+    RemoteInvocationError,
+    UnknownObjectError,
+)
+from repro.network.simnet import SimulatedNetwork
+from repro.runtime.invocation import InvocationRequest, InvocationResponse
+from repro.runtime.remote_ref import ObjectIdAllocator, RemoteRef
+from repro.runtime.serialization import Marshaller
+from repro.transports.base import TransportRegistry, frame_message, unframe_message
+
+
+class AddressSpace:
+    """One simulated address space (node) hosting exported objects."""
+
+    def __init__(
+        self,
+        node_id: str,
+        network: SimulatedNetwork,
+        transports: TransportRegistry,
+        default_transport: str = "rmi",
+    ) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.transports = transports
+        self.default_transport = default_transport
+        self.marshaller = Marshaller(self)
+        #: Set by TransformedApplication.bind_runtime; used to build proxies
+        #: for references that arrive over the wire.
+        self.application: Any = None
+
+        self._objects: Dict[str, Any] = {}
+        self._exported_refs: Dict[int, RemoteRef] = {}
+        self._allocator = ObjectIdAllocator(node_id)
+        self._dispatch_hooks: list[Any] = []
+
+        #: Number of invocation requests served by this space's dispatcher.
+        self.invocations_served = 0
+        #: Number of remote invocations issued from this space.
+        self.invocations_sent = 0
+
+        network.register(node_id, self._handle_message)
+
+    # ------------------------------------------------------------------
+    # Object table
+    # ------------------------------------------------------------------
+
+    def export(self, implementation: Any, interface_name: Optional[str] = None) -> RemoteRef:
+        """Export an object from this space, returning its remote reference.
+
+        Exporting the same object twice returns the same reference.
+        """
+
+        existing = self._exported_refs.get(id(implementation))
+        if existing is not None:
+            return existing
+        if interface_name is None:
+            interface_name = getattr(type(implementation), "_repro_interface_name", None)
+            if interface_name is None:
+                interface_name = type(implementation).__name__
+        object_id = self._allocator.allocate()
+        reference = RemoteRef(object_id, self.node_id, interface_name)
+        self._objects[object_id] = implementation
+        self._exported_refs[id(implementation)] = reference
+        return reference
+
+    def unexport(self, reference: RemoteRef) -> None:
+        implementation = self._objects.pop(reference.object_id, None)
+        if implementation is not None:
+            self._exported_refs.pop(id(implementation), None)
+
+    def lookup_local_object(self, object_id: str) -> Any:
+        try:
+            return self._objects[object_id]
+        except KeyError as exc:
+            raise UnknownObjectError(
+                f"object {object_id!r} is not exported by node {self.node_id!r}"
+            ) from exc
+
+    def is_exported(self, implementation: Any) -> bool:
+        return id(implementation) in self._exported_refs
+
+    def reference_for(self, implementation: Any) -> Optional[RemoteRef]:
+        return self._exported_refs.get(id(implementation))
+
+    def exported_objects(self) -> Dict[str, Any]:
+        return dict(self._objects)
+
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    # ------------------------------------------------------------------
+    # Dispatch hooks (used by the application to track the executing node)
+    # ------------------------------------------------------------------
+
+    def add_dispatch_hook(self, hook: Any) -> None:
+        if hook not in self._dispatch_hooks:
+            self._dispatch_hooks.append(hook)
+
+    def remove_dispatch_hook(self, hook: Any) -> None:
+        if hook in self._dispatch_hooks:
+            self._dispatch_hooks.remove(hook)
+
+    # ------------------------------------------------------------------
+    # Outgoing invocations (the proxy side)
+    # ------------------------------------------------------------------
+
+    def invoke_remote(
+        self,
+        reference: RemoteRef,
+        member: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        transport: Optional[str] = None,
+    ) -> Any:
+        """Invoke ``member`` on the object behind ``reference``.
+
+        When the reference points at this very space the call short-circuits
+        to a direct local invocation — remote and non-remote versions of an
+        object are interchangeable, so a proxy that finds itself co-located
+        with its target behaves like the local version.
+        """
+
+        kwargs = kwargs or {}
+        if reference.located_on(self.node_id):
+            target = self.lookup_local_object(reference.object_id)
+            return getattr(target, member)(*args, **kwargs)
+
+        transport_impl = self.transports.get(transport or self.default_transport)
+        wire_args, wire_kwargs = self.marshaller.marshal_arguments(tuple(args), kwargs)
+        request = InvocationRequest(
+            target_id=reference.object_id,
+            interface_name=reference.interface_name,
+            member=member,
+            args=wire_args,
+            kwargs=wire_kwargs,
+        )
+        body = transport_impl.encode_request(request.to_dict())
+        self.network.clock.advance(transport_impl.processing_overhead)
+        payload = frame_message(transport_impl.name, body)
+
+        self.invocations_sent += 1
+        raw_response = self.network.send_request(self.node_id, reference.node_id, payload)
+
+        response_name, response_body = unframe_message(raw_response)
+        response_transport = self.transports.get(response_name)
+        self.network.clock.advance(response_transport.processing_overhead)
+        response = InvocationResponse.from_dict(
+            response_transport.decode_response(response_body)
+        )
+        if response.is_error:
+            raise RemoteInvocationError(response.error_type, response.error_message or "")
+        return self.marshaller.from_wire(response.result)
+
+    # ------------------------------------------------------------------
+    # Incoming invocations (the dispatcher side)
+    # ------------------------------------------------------------------
+
+    def _handle_message(self, source: str, payload: bytes) -> bytes:
+        transport_name, body = unframe_message(payload)
+        transport = self.transports.get(transport_name)
+        request = InvocationRequest.from_dict(transport.decode_request(body))
+        response = self._dispatch(request)
+        return frame_message(transport_name, transport.encode_response(response.to_dict()))
+
+    def _dispatch(self, request: InvocationRequest) -> InvocationResponse:
+        self.invocations_served += 1
+        for hook in self._dispatch_hooks:
+            hook.before_dispatch(self)
+        try:
+            try:
+                target = self.lookup_local_object(request.target_id)
+            except UnknownObjectError as exc:
+                return InvocationResponse.for_exception(exc)
+            try:
+                member = getattr(target, request.member)
+            except AttributeError as exc:
+                return InvocationResponse.for_exception(
+                    InvocationError(
+                        f"object {request.target_id!r} has no member {request.member!r}"
+                    )
+                )
+            args, kwargs = self.marshaller.unmarshal_arguments(
+                request.args, request.kwargs
+            )
+            try:
+                result = member(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - application errors travel back
+                return InvocationResponse.for_exception(exc)
+            try:
+                return InvocationResponse.for_result(self.marshaller.to_wire(result))
+            except Exception as exc:  # noqa: BLE001 - marshalling errors travel back
+                return InvocationResponse.for_exception(exc)
+        finally:
+            for hook in reversed(self._dispatch_hooks):
+                hook.after_dispatch(self)
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Detach this space from the network and drop its object table."""
+        self.network.unregister(self.node_id)
+        self._objects.clear()
+        self._exported_refs.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AddressSpace {self.node_id!r} objects={len(self._objects)}>"

@@ -1,0 +1,128 @@
+"""Clusters: a convenience bundle of address spaces on one simulated network.
+
+A :class:`Cluster` creates the address spaces, installs the same transport
+registry on each of them, shares a naming service and exposes the pieces the
+benchmarks need (clock, metrics).  It is what a transformed application binds
+to via :meth:`~repro.core.transformer.TransformedApplication.deploy`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.network.clock import SimClock
+from repro.network.failures import FailureModel
+from repro.network.metrics import NetworkMetrics
+from repro.network.simnet import LinkConfig, SimulatedNetwork
+from repro.runtime.address_space import AddressSpace
+from repro.runtime.naming import NamingService
+from repro.transports.base import TransportRegistry
+from repro.transports.corba import CorbaTransport
+from repro.transports.inproc import InProcTransport
+from repro.transports.rmi import RmiTransport
+from repro.transports.soap import SoapTransport
+
+
+def default_transport_registry() -> TransportRegistry:
+    """All transports shipped with the reproduction."""
+    return TransportRegistry(
+        [InProcTransport(), RmiTransport(), CorbaTransport(), SoapTransport()]
+    )
+
+
+class Cluster:
+    """A set of address spaces connected by one simulated network."""
+
+    def __init__(
+        self,
+        node_ids: Sequence[str] = ("node-0", "node-1"),
+        *,
+        network: Optional[SimulatedNetwork] = None,
+        link: Optional[LinkConfig] = None,
+        failures: Optional[FailureModel] = None,
+        transports: Optional[TransportRegistry] = None,
+        default_transport: str = "rmi",
+    ) -> None:
+        if not node_ids:
+            raise ValueError("a cluster needs at least one node")
+        if network is None:
+            network = SimulatedNetwork(
+                default_link=link or SimulatedNetwork().default_link,
+                failures=failures,
+            )
+        self.network = network
+        self.transports = transports or default_transport_registry()
+        self.naming = NamingService()
+        self._spaces: Dict[str, AddressSpace] = {}
+        for node_id in node_ids:
+            self._spaces[node_id] = AddressSpace(
+                node_id, network, self.transports, default_transport=default_transport
+            )
+        self._default_node_id = node_ids[0]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def default_node_id(self) -> str:
+        return self._default_node_id
+
+    @property
+    def clock(self) -> SimClock:
+        return self.network.clock
+
+    @property
+    def metrics(self) -> NetworkMetrics:
+        return self.network.metrics
+
+    def space(self, node_id: str) -> AddressSpace:
+        try:
+            return self._spaces[node_id]
+        except KeyError as exc:
+            raise KeyError(f"cluster has no node {node_id!r}") from exc
+
+    def spaces(self) -> Iterable[AddressSpace]:
+        return list(self._spaces.values())
+
+    def node_ids(self) -> list[str]:
+        return list(self._spaces)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._spaces
+
+    def __len__(self) -> int:
+        return len(self._spaces)
+
+    # ------------------------------------------------------------------
+
+    def add_node(self, node_id: str, default_transport: str = "rmi") -> AddressSpace:
+        """Add a node to a running cluster (the environment can grow)."""
+        if node_id in self._spaces:
+            raise ValueError(f"node {node_id!r} already exists")
+        space = AddressSpace(
+            node_id, self.network, self.transports, default_transport=default_transport
+        )
+        self._spaces[node_id] = space
+        return space
+
+    def remove_node(self, node_id: str) -> None:
+        space = self._spaces.pop(node_id, None)
+        if space is not None:
+            space.shutdown()
+
+    def shutdown(self) -> None:
+        for space in self._spaces.values():
+            space.shutdown()
+        self._spaces.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster nodes={sorted(self._spaces)}>"
+
+
+def single_node_cluster(node_id: str = "local") -> Cluster:
+    """A cluster with one address space: the single-address-space deployment."""
+    return Cluster((node_id,))
+
+
+def lan_cluster(count: int = 3, prefix: str = "node") -> Cluster:
+    """A LAN-like cluster with ``count`` nodes named ``<prefix>-<i>``."""
+    return Cluster(tuple(f"{prefix}-{index}" for index in range(count)))

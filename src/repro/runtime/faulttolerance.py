@@ -1,0 +1,238 @@
+"""Fault tolerance for remote invocations.
+
+Changing applications to span address-space boundaries introduces network
+failure problems, which makes it impossible to guarantee full preservation of
+the original application semantics (paper §4).  The paper leaves the
+behaviour of practical applications under failure as future work restricted
+to a LAN; this module provides the mechanisms such applications need:
+
+* :class:`RetryPolicy` — bounded retries with (simulated-time) backoff for
+  idempotent operations;
+* :class:`FaultTolerantInvoker` — wraps an address space's ``invoke_remote``
+  with a retry policy and failure accounting;
+* :class:`guard_handle` — installs fault tolerance on a rebindable handle, so
+  transient message loss is retried and permanent partition failures surface
+  as :class:`~repro.errors.NetworkError` to the application;
+* :class:`FailureLog` — a record of every failure observed, for tests,
+  reports and the benchmarks that study behaviour under failure injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.metaobject import Interceptor, Invocation, Metaobject, metaobject_of
+from repro.errors import (
+    MessageDroppedError,
+    NetworkError,
+    NodeUnreachableError,
+    PartitionError,
+    RedistributionError,
+)
+
+#: Failure classes considered *transient*: a retry may succeed.
+TRANSIENT_FAILURES = (MessageDroppedError,)
+
+#: Failure classes considered *fatal* for the current topology: retrying
+#: without operator/adaptation intervention will not help.
+FATAL_FAILURES = (PartitionError, NodeUnreachableError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a fault-tolerant invoker reacts to transient failures."""
+
+    max_attempts: int = 3
+    #: Simulated seconds waited before the first retry.
+    initial_backoff: float = 0.001
+    #: Multiplier applied to the backoff after every failed attempt.
+    backoff_factor: float = 2.0
+    #: Whether fatal failures (partitions, crashed nodes) should also be
+    #: retried — normally False, they need topology changes to heal.
+    retry_fatal: bool = False
+
+    def backoff_for_attempt(self, attempt: int) -> float:
+        """Backoff charged before retry number ``attempt`` (1-based)."""
+        if attempt <= 0:
+            return 0.0
+        return self.initial_backoff * (self.backoff_factor ** (attempt - 1))
+
+    def should_retry(self, error: Exception, attempt: int) -> bool:
+        if attempt >= self.max_attempts:
+            return False
+        if isinstance(error, TRANSIENT_FAILURES):
+            return True
+        if isinstance(error, FATAL_FAILURES):
+            return self.retry_fatal
+        return False
+
+
+#: A retry policy that never retries: failures surface immediately.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+@dataclass
+class FailureRecord:
+    """One observed remote-invocation failure."""
+
+    member: str
+    error_type: str
+    attempt: int
+    recovered: bool
+    simulated_time: float
+
+
+@dataclass
+class FailureLog:
+    """Accumulates failure records across invocations."""
+
+    records: list[FailureRecord] = field(default_factory=list)
+
+    def record(self, record: FailureRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def total_failures(self) -> int:
+        return len(self.records)
+
+    @property
+    def recovered_failures(self) -> int:
+        return sum(1 for record in self.records if record.recovered)
+
+    @property
+    def unrecovered_failures(self) -> int:
+        return self.total_failures - self.recovered_failures
+
+    def failures_for(self, member: str) -> list[FailureRecord]:
+        return [record for record in self.records if record.member == member]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class FaultTolerantInvoker:
+    """Wraps remote invocation with retries, backoff and failure accounting."""
+
+    def __init__(
+        self,
+        space,
+        policy: RetryPolicy = RetryPolicy(),
+        log: Optional[FailureLog] = None,
+    ) -> None:
+        self.space = space
+        self.policy = policy
+        self.log = log if log is not None else FailureLog()
+
+    def invoke(
+        self,
+        reference,
+        member: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        transport: Optional[str] = None,
+        space=None,
+    ) -> Any:
+        """Invoke ``member`` with retries according to the policy.
+
+        ``space`` selects which address space issues the call (so traffic is
+        attributed to the node the calling code actually runs on); it defaults
+        to the space the invoker was constructed with.
+        """
+
+        calling_space = space if space is not None else self.space
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return calling_space.invoke_remote(
+                    reference, member, args, kwargs or {}, transport=transport
+                )
+            except NetworkError as error:
+                retry = self.policy.should_retry(error, attempt)
+                self.log.record(
+                    FailureRecord(
+                        member=member,
+                        error_type=type(error).__name__,
+                        attempt=attempt,
+                        recovered=retry,
+                        simulated_time=calling_space.network.clock.now,
+                    )
+                )
+                if not retry:
+                    raise
+                # Charge the backoff to simulated time before the next attempt.
+                calling_space.network.clock.advance(self.policy.backoff_for_attempt(attempt))
+
+
+class _RetryingTarget:
+    """A drop-in replacement target that routes calls through an invoker."""
+
+    def __init__(self, invoker: FaultTolerantInvoker, reference, transport: Optional[str]):
+        self._invoker = invoker
+        self._reference = reference
+        self._transport = transport
+        # Mirror the attributes proxies expose so marshalling keeps working.
+        self._ref = reference
+        self._space = invoker.space
+
+    def __getattr__(self, name: str) -> Callable:
+        if name.startswith("_"):
+            raise AttributeError(name)
+
+        def call(*args: Any, **kwargs: Any) -> Any:
+            return self._invoker.invoke(
+                self._reference, name, args, kwargs, transport=self._transport
+            )
+
+        call.__name__ = name
+        return call
+
+
+def guard_handle(
+    handle: Any,
+    *,
+    policy: RetryPolicy = RetryPolicy(),
+    log: Optional[FailureLog] = None,
+) -> FailureLog:
+    """Install retry-based fault tolerance on a rebindable remote handle.
+
+    The handle must currently be bound to a remote proxy (fault tolerance is
+    meaningless for a purely local object).  Both invocation paths are
+    covered: calls routed through the distributed object layer use the
+    metaobject's ``remote_invoker`` hook, and direct calls on the proxy are
+    replaced by a retrying target.  Returns the failure log used, so callers
+    can inspect what happened.
+    """
+
+    meta: Optional[Metaobject] = metaobject_of(handle)
+    if meta is None:
+        raise RedistributionError("fault tolerance requires a rebindable handle")
+    target = meta.target
+    reference = getattr(target, "_ref", None)
+    space = getattr(target, "_space", None)
+    if reference is None or space is None:
+        raise RedistributionError(
+            "the handle is not bound to a remote proxy; guard it after making it remote"
+        )
+    transport = getattr(type(target), "_repro_transport", None)
+    invoker = FaultTolerantInvoker(space, policy=policy, log=log)
+    meta.remote_invoker = invoker
+    meta.rebind(_RetryingTarget(invoker, reference, transport), meta.kind, node_id=meta.node_id)
+    return invoker.log
+
+
+class FailureObservingInterceptor(Interceptor):
+    """Counts invocations that raised network errors on a handle."""
+
+    def __init__(self) -> None:
+        self.network_failures = 0
+        self.other_failures = 0
+
+    def after(self, invocation: Invocation, result: Any, error: Optional[BaseException]) -> None:
+        if error is None:
+            return
+        if isinstance(error, NetworkError):
+            self.network_failures += 1
+        else:
+            self.other_failures += 1

@@ -1,0 +1,80 @@
+"""Invocation messages exchanged between address spaces.
+
+A remote method call is represented by an :class:`InvocationRequest` (which
+object, which member, which — already marshalled — arguments) and an
+:class:`InvocationResponse` (a marshalled result or an error description).
+Transports only ever see the dictionary form of these messages, so every
+protocol carries exactly the same logical content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class InvocationRequest:
+    """One remote member invocation, in marshalled (wire-value) form."""
+
+    target_id: str
+    interface_name: str
+    member: str
+    args: list = field(default_factory=list)
+    kwargs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target_id,
+            "interface": self.interface_name,
+            "member": self.member,
+            "args": list(self.args),
+            "kwargs": dict(self.kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InvocationRequest":
+        return cls(
+            target_id=payload.get("target", ""),
+            interface_name=payload.get("interface", ""),
+            member=payload.get("member", ""),
+            args=list(payload.get("args", [])),
+            kwargs=dict(payload.get("kwargs", {})),
+        )
+
+
+@dataclass
+class InvocationResponse:
+    """The outcome of a remote invocation, in marshalled form."""
+
+    result: Any = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.error_type is not None
+
+    def to_dict(self) -> dict:
+        if self.is_error:
+            return {"error": {"type": self.error_type, "message": self.error_message}}
+        return {"result": self.result}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InvocationResponse":
+        error = payload.get("error")
+        if error:
+            return cls(
+                result=None,
+                error_type=error.get("type", "Exception"),
+                error_message=error.get("message", ""),
+            )
+        return cls(result=payload.get("result"))
+
+    @classmethod
+    def for_result(cls, result: Any) -> "InvocationResponse":
+        return cls(result=result)
+
+    @classmethod
+    def for_exception(cls, exc: BaseException) -> "InvocationResponse":
+        return cls(result=None, error_type=type(exc).__name__, error_message=str(exc))

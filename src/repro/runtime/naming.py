@@ -1,0 +1,55 @@
+"""Naming service.
+
+A simple flat namespace mapping well-known names to remote references.  One
+naming service is shared by every address space of a cluster (the simulated
+equivalent of a registry process reachable by all nodes) so applications can
+publish an object on one node and look it up from another without passing
+references by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import NamingError
+from repro.runtime.remote_ref import RemoteRef
+
+
+class NamingService:
+    """Flat name → reference registry shared by a cluster."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, RemoteRef] = {}
+
+    def bind(self, name: str, reference: RemoteRef) -> None:
+        """Bind ``name`` to ``reference``; rebinding an existing name fails."""
+        if name in self._bindings:
+            raise NamingError(f"name {name!r} is already bound")
+        self._bindings[name] = reference
+
+    def rebind(self, name: str, reference: RemoteRef) -> None:
+        """Bind ``name`` to ``reference``, replacing any previous binding."""
+        self._bindings[name] = reference
+
+    def lookup(self, name: str) -> RemoteRef:
+        try:
+            return self._bindings[name]
+        except KeyError as exc:
+            raise NamingError(f"name {name!r} is not bound") from exc
+
+    def maybe_lookup(self, name: str) -> Optional[RemoteRef]:
+        return self._bindings.get(name)
+
+    def unbind(self, name: str) -> None:
+        if name not in self._bindings:
+            raise NamingError(f"name {name!r} is not bound")
+        del self._bindings[name]
+
+    def names(self) -> set[str]:
+        return set(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __len__(self) -> int:
+        return len(self._bindings)

@@ -1,0 +1,86 @@
+"""Remote object references.
+
+A :class:`RemoteRef` identifies an object exported by some address space: the
+identifier of the hosting node, a per-node object identifier, and the name of
+the extracted interface the object implements.  References are what travel on
+the wire when a transformed object is passed by reference between address
+spaces; the receiving side turns them back into proxies (or into the local
+object itself when the reference points home).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ObjectIdAllocator:
+    """Allocates monotonically increasing per-node object identifiers.
+
+    Identifiers are deterministic (``<node>:<counter>``) so test runs and
+    benchmark traces are reproducible; no wall-clock or random component is
+    involved.
+    """
+
+    def __init__(self, node_id: str) -> None:
+        self._node_id = node_id
+        self._counter = itertools.count(1)
+
+    def allocate(self) -> str:
+        return f"{self._node_id}:{next(self._counter)}"
+
+
+@dataclass(frozen=True)
+class RemoteRef:
+    """A location-and-interface-qualified reference to an exported object."""
+
+    object_id: str
+    node_id: str
+    interface_name: str
+
+    # -- wire form -------------------------------------------------------------
+
+    _WIRE_KIND = "ref"
+
+    def to_wire(self) -> dict:
+        return {
+            "__kind__": self._WIRE_KIND,
+            "object_id": self.object_id,
+            "node_id": self.node_id,
+            "interface": self.interface_name,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "RemoteRef":
+        return cls(
+            object_id=wire["object_id"],
+            node_id=wire["node_id"],
+            interface_name=wire["interface"],
+        )
+
+    @classmethod
+    def is_wire_ref(cls, value: object) -> bool:
+        return isinstance(value, dict) and value.get("__kind__") == cls._WIRE_KIND
+
+    # -- helpers ----------------------------------------------------------------
+
+    def located_on(self, node_id: str) -> bool:
+        return self.node_id == node_id
+
+    def with_node(self, node_id: str) -> "RemoteRef":
+        return RemoteRef(self.object_id, node_id, self.interface_name)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.interface_name}@{self.object_id}"
+
+
+def reference_of(proxy_or_handle: object) -> Optional[RemoteRef]:
+    """Extract the :class:`RemoteRef` behind a proxy (or a handle bound to one)."""
+    ref = getattr(proxy_or_handle, "_ref", None)
+    if isinstance(ref, RemoteRef):
+        return ref
+    meta = getattr(proxy_or_handle, "__meta__", None)
+    if meta is not None:
+        return reference_of(meta.target)
+    return None

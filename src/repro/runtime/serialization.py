@@ -1,0 +1,149 @@
+"""Marshalling of invocation arguments and results.
+
+Primitive values pass by value.  Containers pass by value with their elements
+marshalled recursively.  Objects of transformed classes — local
+implementations, proxies and rebindable handles alike — pass **by
+reference**: the sending side exports the object (or reuses the reference a
+proxy already carries) and puts a :class:`~repro.runtime.remote_ref.RemoteRef`
+on the wire; the receiving side either resolves the reference to its own
+local object (when the reference points home) or manufactures a proxy for it
+through the owning application's registry.
+
+This is the mechanism that makes Figure 1 work: when the shared instance of
+``C`` becomes remote, the references ``A`` and ``B`` hold are (transparently)
+references, not copies.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.runtime.remote_ref import RemoteRef
+
+_KIND = "__kind__"
+_PRIMITIVES = (type(None), bool, int, float, str)
+
+
+def _is_transformed_instance(value: Any) -> bool:
+    """True for generated locals, proxies and redirector handles."""
+    return getattr(type(value), "_repro_interface_name", None) is not None
+
+
+class Marshaller:
+    """Converts between live values and wire values for one address space."""
+
+    def __init__(self, space) -> None:
+        self._space = space
+
+    # ------------------------------------------------------------------
+    # live -> wire
+    # ------------------------------------------------------------------
+
+    def to_wire(self, value: Any) -> Any:
+        if isinstance(value, _PRIMITIVES):
+            return value
+        if isinstance(value, bytes):
+            return {_KIND: "bytes", "data": base64.b64encode(value).decode("ascii")}
+        if isinstance(value, (list, tuple)):
+            return {
+                _KIND: "list" if isinstance(value, list) else "tuple",
+                "items": [self.to_wire(item) for item in value],
+            }
+        if isinstance(value, (set, frozenset)):
+            return {
+                _KIND: "set",
+                "items": sorted((self.to_wire(item) for item in value), key=repr),
+            }
+        if isinstance(value, dict):
+            items = []
+            for key, item in value.items():
+                if not isinstance(key, str):
+                    raise SerializationError(
+                        f"only string keys can be marshalled, got {type(key).__name__}"
+                    )
+                items.append([key, self.to_wire(item)])
+            return {_KIND: "map", "items": items}
+        if isinstance(value, RemoteRef):
+            return value.to_wire()
+        if _is_transformed_instance(value):
+            return self._reference_for(value).to_wire()
+        raise SerializationError(
+            f"cannot marshal value of type {type(value).__name__}: it is neither a "
+            "primitive, a container of marshallable values, nor an instance of a "
+            "transformed class"
+        )
+
+    def _reference_for(self, value: Any) -> RemoteRef:
+        role = getattr(type(value), "_repro_role", None)
+        if role == "proxy":
+            reference = getattr(value, "_ref", None)
+            if reference is None:
+                raise SerializationError("proxy is not bound to a remote reference")
+            return reference
+        if role == "redirector":
+            meta = getattr(value, "__meta__", None)
+            if meta is None:
+                raise SerializationError("redirector handle has no metaobject")
+            return self._reference_for(meta.target)
+        # A local implementation (instance or class singleton): export it from
+        # this address space so the receiver can call back into it.
+        return self._space.export(value)
+
+    # ------------------------------------------------------------------
+    # wire -> live
+    # ------------------------------------------------------------------
+
+    def from_wire(self, value: Any) -> Any:
+        if isinstance(value, _PRIMITIVES):
+            return value
+        if isinstance(value, list):
+            return [self.from_wire(item) for item in value]
+        if isinstance(value, dict):
+            kind = value.get(_KIND)
+            if kind is None:
+                return {key: self.from_wire(item) for key, item in value.items()}
+            if kind == "bytes":
+                return base64.b64decode(value["data"])
+            if kind == "list":
+                return [self.from_wire(item) for item in value["items"]]
+            if kind == "tuple":
+                return tuple(self.from_wire(item) for item in value["items"])
+            if kind == "set":
+                return {self.from_wire(item) for item in value["items"]}
+            if kind == "map":
+                return {key: self.from_wire(item) for key, item in value["items"]}
+            if kind == RemoteRef._WIRE_KIND:
+                return self._resolve_reference(RemoteRef.from_wire(value))
+            raise SerializationError(f"unknown wire kind {kind!r}")
+        raise SerializationError(
+            f"cannot unmarshal wire value of type {type(value).__name__}"
+        )
+
+    def _resolve_reference(self, reference: RemoteRef) -> Any:
+        if reference.located_on(self._space.node_id):
+            return self._space.lookup_local_object(reference.object_id)
+        application = getattr(self._space, "application", None)
+        if application is None:
+            raise SerializationError(
+                "cannot build a proxy for an incoming reference: the address space "
+                "is not attached to a transformed application"
+            )
+        return application.proxy_for_ref(reference, self._space)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def marshal_arguments(self, args: tuple, kwargs: dict) -> tuple[list, dict]:
+        return (
+            [self.to_wire(argument) for argument in args],
+            {key: self.to_wire(value) for key, value in kwargs.items()},
+        )
+
+    def unmarshal_arguments(self, args: list, kwargs: dict) -> tuple[list, dict]:
+        return (
+            [self.from_wire(argument) for argument in args],
+            {key: self.from_wire(value) for key, value in kwargs.items()},
+        )

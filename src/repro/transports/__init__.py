@@ -1,0 +1,23 @@
+"""Interchangeable wire protocols behind the generated proxy classes."""
+
+from repro.transports.base import (
+    Transport,
+    TransportRegistry,
+    frame_message,
+    unframe_message,
+)
+from repro.transports.corba import CorbaTransport
+from repro.transports.inproc import InProcTransport
+from repro.transports.rmi import RmiTransport
+from repro.transports.soap import SoapTransport
+
+__all__ = [
+    "CorbaTransport",
+    "InProcTransport",
+    "RmiTransport",
+    "SoapTransport",
+    "Transport",
+    "TransportRegistry",
+    "frame_message",
+    "unframe_message",
+]

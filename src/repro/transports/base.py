@@ -1,0 +1,121 @@
+"""Transport abstraction.
+
+Various proxies implementing the interface extracted from a class provide
+alternative remote versions — SOAP-based, RMI-based, CORBA-based, etc.
+(paper §1).  Each transport turns an *invocation request* (a plain dict built
+by the runtime's marshaller) into a wire message and back.  All transports
+carry the same logical content, so proxies using different transports are
+interchangeable; they differ only in wire format, message size and therefore
+cost on the simulated network.
+
+Request dictionaries have the shape::
+
+    {"target": <object id>, "interface": <interface name>,
+     "member": <member name>, "args": [<wire value>...], "kwargs": {...}}
+
+Response dictionaries have the shape::
+
+    {"result": <wire value>}            on success
+    {"error": {"type": ..., "message": ...}}  on failure
+
+Wire values are produced by :mod:`repro.runtime.serialization` and are always
+JSON-compatible (None, bool, int, float, str, list, dict).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Optional
+
+from repro.errors import TransportError, UnknownTransportError
+
+
+class Transport(abc.ABC):
+    """Encodes and decodes invocation requests and responses for one protocol."""
+
+    #: Short lower-case protocol name ("soap", "rmi", "corba", "inproc").
+    name: str = "abstract"
+
+    # -- encoding ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def encode_request(self, request: dict) -> bytes:
+        """Serialise a request dictionary into this protocol's wire form."""
+
+    @abc.abstractmethod
+    def decode_request(self, payload: bytes) -> dict:
+        """Parse a wire request back into a request dictionary."""
+
+    @abc.abstractmethod
+    def encode_response(self, response: dict) -> bytes:
+        """Serialise a response dictionary into this protocol's wire form."""
+
+    @abc.abstractmethod
+    def decode_response(self, payload: bytes) -> dict:
+        """Parse a wire response back into a response dictionary."""
+
+    # -- cost model ----------------------------------------------------------
+
+    #: Fixed per-call processing overhead charged to the simulated clock, in
+    #: seconds (marshalling cost beyond raw byte size).  Values are relative:
+    #: text protocols pay more than binary ones.
+    processing_overhead: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class TransportRegistry:
+    """Named collection of transports shared by the address spaces of a cluster."""
+
+    def __init__(self, transports: Iterable[Transport] = ()) -> None:
+        self._transports: Dict[str, Transport] = {}
+        for transport in transports:
+            self.register(transport)
+
+    def register(self, transport: Transport) -> Transport:
+        self._transports[transport.name] = transport
+        return transport
+
+    def get(self, name: str) -> Transport:
+        try:
+            return self._transports[name]
+        except KeyError as exc:
+            raise UnknownTransportError(name, self._transports) from exc
+
+    def maybe_get(self, name: str) -> Optional[Transport]:
+        return self._transports.get(name)
+
+    def names(self) -> set[str]:
+        return set(self._transports)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._transports
+
+    def __iter__(self):
+        return iter(self._transports.values())
+
+    def __len__(self) -> int:
+        return len(self._transports)
+
+
+def frame_message(transport_name: str, body: bytes) -> bytes:
+    """Prefix a wire message with the transport that produced it.
+
+    The receiving address space uses the prefix to select the matching
+    transport for decoding; this plays the role of the port/endpoint
+    dispatching a real middleware stack would perform.
+    """
+
+    if "\n" in transport_name:
+        raise TransportError("transport names must not contain newlines")
+    return transport_name.encode("ascii") + b"\n" + body
+
+
+def unframe_message(payload: bytes) -> tuple[str, bytes]:
+    """Split a framed message into (transport name, body)."""
+    try:
+        name, body = payload.split(b"\n", 1)
+    except ValueError as exc:
+        raise TransportError("malformed framed message: missing transport prefix") from exc
+    return name.decode("ascii"), body

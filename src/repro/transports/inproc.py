@@ -1,0 +1,51 @@
+"""In-process transport.
+
+The "null" transport: requests and responses are carried as JSON with no
+envelope and no simulated marshalling charge.  It is used for calls that stay
+within one address space and as the lower bound in the transport-comparison
+benchmarks (experiment E7) — the closest a remote call can get to a direct
+local invocation.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import TransportError
+from repro.transports.base import Transport
+
+
+class InProcTransport(Transport):
+    """JSON passthrough with no protocol framing."""
+
+    name = "inproc"
+    processing_overhead = 0.0
+
+    @staticmethod
+    def _dump(message: dict) -> bytes:
+        try:
+            return json.dumps(message, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise TransportError(f"message is not JSON-encodable: {exc}") from exc
+
+    @staticmethod
+    def _load(payload: bytes) -> dict:
+        try:
+            message = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TransportError(f"malformed in-process message: {exc}") from exc
+        if not isinstance(message, dict):
+            raise TransportError("in-process message did not contain an object")
+        return message
+
+    def encode_request(self, request: dict) -> bytes:
+        return self._dump(request)
+
+    def decode_request(self, payload: bytes) -> dict:
+        return self._load(payload)
+
+    def encode_response(self, response: dict) -> bytes:
+        return self._dump(response)
+
+    def decode_response(self, payload: bytes) -> dict:
+        return self._load(payload)

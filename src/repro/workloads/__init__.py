@@ -1,0 +1,37 @@
+"""Synthetic application workloads used by the examples, tests and benchmarks.
+
+Each workload is a small, ordinary (non-distributed) Python program written
+exactly as the paper's input programs are: with no awareness of the
+middleware.  The drivers then transform them and exercise them under
+different distribution policies.
+"""
+
+from repro.workloads.figure1 import A, B, C, Figure1Result, run_figure1_scenario
+from repro.workloads.shared_cache import Cache, CacheClient, CacheStats, run_cache_workload
+from repro.workloads.pipeline import Buffer, Consumer, Producer, run_pipeline
+from repro.workloads.orders import (
+    Catalog,
+    CustomerSession,
+    OrderStore,
+    run_order_phase,
+)
+
+__all__ = [
+    "A",
+    "B",
+    "Buffer",
+    "C",
+    "Cache",
+    "CacheClient",
+    "CacheStats",
+    "Catalog",
+    "Consumer",
+    "CustomerSession",
+    "Figure1Result",
+    "OrderStore",
+    "Producer",
+    "run_cache_workload",
+    "run_figure1_scenario",
+    "run_order_phase",
+    "run_pipeline",
+]

@@ -1,0 +1,122 @@
+"""The paper's Figure 1 scenario.
+
+Objects of class ``A`` and class ``B`` hold references to a shared instance
+of class ``C``.  The application is transformed so that the instance of ``C``
+may be made remote to its reference holders: the local instance is replaced
+with a proxy ``Cp`` to the remote implementation ``C'`` — without any change
+to ``A``, ``B`` or the code that drives them.
+
+The three classes below are deliberately ordinary Python: no middleware
+imports, no annotations, no awareness of distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class C:
+    """The shared object: a small accumulating counter/journal."""
+
+    def __init__(self, label):
+        self.label = label
+        self.total = 0
+        self.entries = 0
+
+    def add(self, amount):
+        self.total = self.total + amount
+        self.entries = self.entries + 1
+        return self.total
+
+    def average(self):
+        if self.entries == 0:
+            return 0
+        return self.total / self.entries
+
+    def describe(self):
+        return self.label + ":" + str(self.total)
+
+
+class A:
+    """First reference holder: records readings into the shared C."""
+
+    def __init__(self, shared):
+        self.shared = shared
+        self.recorded = 0
+
+    def record(self, value):
+        self.recorded = self.recorded + 1
+        return self.shared.add(value)
+
+    def summary(self):
+        return self.shared.describe()
+
+
+class B:
+    """Second reference holder: also records into the same shared C."""
+
+    def __init__(self, shared):
+        self.shared = shared
+        self.recorded = 0
+
+    def record(self, value):
+        self.recorded = self.recorded + 1
+        return self.shared.add(value * 2)
+
+    def running_average(self):
+        return self.shared.average()
+
+
+@dataclass
+class Figure1Result:
+    """Observable outcome of one run of the Figure 1 interaction sequence."""
+
+    total: float
+    average: float
+    description: str
+    a_recorded: int
+    b_recorded: int
+
+    def as_tuple(self) -> tuple:
+        return (self.total, self.average, self.description, self.a_recorded, self.b_recorded)
+
+
+def run_figure1_plain(values=(1, 2, 3, 4, 5)) -> Figure1Result:
+    """Run the scenario with the original (untransformed) classes."""
+    shared = C("shared")
+    a = A(shared)
+    b = B(shared)
+    for value in values:
+        a.record(value)
+        b.record(value)
+    return Figure1Result(
+        total=shared.total,
+        average=shared.average(),
+        description=shared.describe(),
+        a_recorded=a.recorded,
+        b_recorded=b.recorded,
+    )
+
+
+def run_figure1_scenario(application, values=(1, 2, 3, 4, 5)) -> Figure1Result:
+    """Run the same interaction sequence through a transformed application.
+
+    ``application`` must have been produced by transforming ``[A, B, C]``;
+    whether the shared ``C`` instance is local or remote is entirely up to
+    the application's policy — the driver code is identical either way, which
+    is the point of the experiment.
+    """
+
+    shared = application.new("C", "shared")
+    a = application.new("A", shared)
+    b = application.new("B", shared)
+    for value in values:
+        a.record(value)
+        b.record(value)
+    return Figure1Result(
+        total=shared.get_total(),
+        average=shared.average(),
+        description=shared.describe(),
+        a_recorded=a.get_recorded(),
+        b_recorded=b.get_recorded(),
+    )

@@ -1,0 +1,98 @@
+"""Producer/consumer pipeline workload.
+
+A producer pushes work items into a buffer; a consumer drains them and
+accumulates results.  The interesting distribution question is where the
+buffer should live: co-located with the producer, with the consumer, or on a
+third node.  With the RAFDA transformation the answer is a policy setting,
+not a code change.
+"""
+
+from __future__ import annotations
+
+
+class Buffer:
+    """A FIFO buffer with simple statistics."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.items = []
+        self.enqueued = 0
+        self.dequeued = 0
+        self.rejected = 0
+
+    def offer(self, item):
+        items = self.items
+        if len(items) >= self.capacity:
+            self.rejected = self.rejected + 1
+            return False
+        items.append(item)
+        self.items = items
+        self.enqueued = self.enqueued + 1
+        return True
+
+    def poll(self):
+        items = self.items
+        if not items:
+            return None
+        item = items.pop(0)
+        self.items = items
+        self.dequeued = self.dequeued + 1
+        return item
+
+    def depth(self):
+        return len(self.items)
+
+
+class Producer:
+    """Produces sequentially numbered work items into a buffer."""
+
+    def __init__(self, buffer):
+        self.buffer = buffer
+        self.produced = 0
+        self.dropped = 0
+
+    def produce(self, count):
+        for _ in range(count):
+            item = self.produced
+            if self.buffer.offer(item):
+                self.produced = self.produced + 1
+            else:
+                self.dropped = self.dropped + 1
+        return self.produced
+
+
+class Consumer:
+    """Drains a buffer and accumulates a checksum of consumed items."""
+
+    def __init__(self, buffer):
+        self.buffer = buffer
+        self.consumed = 0
+        self.checksum = 0
+
+    def drain(self, maximum):
+        taken = 0
+        while taken < maximum:
+            item = self.buffer.poll()
+            if item is None:
+                break
+            self.consumed = self.consumed + 1
+            self.checksum = self.checksum + item
+            taken = taken + 1
+        return taken
+
+
+def run_pipeline(application, *, rounds: int = 5, batch: int = 10, capacity: int = 64) -> dict:
+    """Run ``rounds`` produce/drain cycles through a transformed application."""
+    buffer = application.new("Buffer", capacity)
+    producer = application.new("Producer", buffer)
+    consumer = application.new("Consumer", buffer)
+    for _ in range(rounds):
+        producer.produce(batch)
+        consumer.drain(batch)
+    return {
+        "produced": producer.get_produced(),
+        "consumed": consumer.get_consumed(),
+        "checksum": consumer.get_checksum(),
+        "residual_depth": buffer.depth(),
+        "rejected": buffer.get_rejected(),
+    }

@@ -1,0 +1,124 @@
+"""Shared cache workload.
+
+A cache service shared by several clients — the canonical example of an
+object whose best location depends on who is using it.  When all clients run
+in one address space the cache should be local; when clients are spread over
+nodes the cache should sit near the busiest client (or on a dedicated server
+node).  The classes are ordinary Python; distribution is decided entirely by
+the policy of the transformed application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Cache:
+    """A bounded key/value cache with hit/miss accounting."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.store = {}
+        self.hits = 0
+        self.misses = 0
+
+    def put(self, key, value):
+        store = self.store
+        if len(store) >= self.capacity and key not in store:
+            # Evict an arbitrary (oldest-inserted) entry.
+            oldest = next(iter(store))
+            del store[oldest]
+        store[key] = value
+        self.store = store
+        return len(store)
+
+    def get(self, key):
+        store = self.store
+        if key in store:
+            self.hits = self.hits + 1
+            return store[key]
+        self.misses = self.misses + 1
+        return None
+
+    def hit_rate(self):
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def size(self):
+        return len(self.store)
+
+    def clear(self):
+        self.store = {}
+        return True
+
+
+class CacheClient:
+    """A client issuing a mix of reads and writes against a shared cache."""
+
+    def __init__(self, name, cache):
+        self.name = name
+        self.cache = cache
+        self.operations = 0
+
+    def lookup(self, key):
+        self.operations = self.operations + 1
+        return self.cache.get(key)
+
+    def publish(self, key, value):
+        self.operations = self.operations + 1
+        return self.cache.put(key, value)
+
+    def warm(self, count):
+        for index in range(count):
+            self.publish(self.name + "-" + str(index), index)
+        return count
+
+    def read_back(self, count):
+        found = 0
+        for index in range(count):
+            if self.lookup(self.name + "-" + str(index)) is not None:
+                found = found + 1
+        return found
+
+
+@dataclass
+class CacheStats:
+    """Outcome of one cache workload run."""
+
+    operations: int
+    hits: int
+    misses: int
+    hit_rate: float
+    cache_size: int
+
+
+def run_cache_workload(
+    application,
+    *,
+    clients: int = 3,
+    writes_per_client: int = 20,
+    reads_per_client: int = 20,
+    capacity: int = 256,
+) -> CacheStats:
+    """Drive a shared cache through ``clients`` transformed client objects."""
+    cache = application.new("Cache", capacity)
+    client_handles = [
+        application.new("CacheClient", f"client-{index}", cache)
+        for index in range(clients)
+    ]
+    operations = 0
+    for client in client_handles:
+        client.warm(writes_per_client)
+        operations += writes_per_client
+    for client in client_handles:
+        client.read_back(reads_per_client)
+        operations += reads_per_client
+    return CacheStats(
+        operations=operations,
+        hits=cache.get_hits(),
+        misses=cache.get_misses(),
+        hit_rate=cache.hit_rate(),
+        cache_size=cache.size(),
+    )

@@ -1,0 +1,64 @@
+"""Shared fixtures for the RAFDA reproduction test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the suite from a source checkout that has not been installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+_TESTS = Path(__file__).resolve().parent
+if str(_TESTS) not in sys.path:
+    sys.path.insert(0, str(_TESTS))
+
+from repro.core.transformer import ApplicationTransformer  # noqa: E402
+from repro.policy.policy import all_local_policy, place_classes_on  # noqa: E402
+from repro.runtime.cluster import Cluster  # noqa: E402
+
+import sample_app  # noqa: E402
+
+SAMPLE_CLASSES = [sample_app.X, sample_app.Y, sample_app.Z]
+FIGURE1_CLASSES = None  # populated lazily to avoid importing workloads at collection
+
+
+@pytest.fixture
+def sample_classes():
+    """The paper's Figure 2 sample classes (X, Y, Z)."""
+    return list(SAMPLE_CLASSES)
+
+
+@pytest.fixture
+def local_app():
+    """The sample application transformed with an all-local policy."""
+    return ApplicationTransformer(all_local_policy()).transform(SAMPLE_CLASSES)
+
+
+@pytest.fixture
+def two_node_cluster():
+    """A client/server cluster on a LAN-like simulated network."""
+    return Cluster(("client", "server"))
+
+
+@pytest.fixture
+def three_node_cluster():
+    """A three-node cluster used by redistribution and adaptive tests."""
+    return Cluster(("front", "middle", "back"))
+
+
+@pytest.fixture
+def remote_y_app(two_node_cluster):
+    """Sample app with instances of Y placed on the server node."""
+    app = ApplicationTransformer(place_classes_on({"Y": "server"})).transform(SAMPLE_CLASSES)
+    app.deploy(two_node_cluster, default_node="client")
+    return app
+
+
+@pytest.fixture
+def figure1_classes():
+    from repro.workloads.figure1 import A, B, C
+
+    return [A, B, C]

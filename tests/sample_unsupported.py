@@ -1,0 +1,71 @@
+"""Sample classes exercising the §2.4 non-transformability rules.
+
+Each class here triggers one of the reasons a class may be excluded from
+transformation: native methods, special (Throwable-like) semantics, being the
+super-class of a non-transformable class, or being referenced by one.
+"""
+
+from __future__ import annotations
+
+from repro.core.introspect import native
+
+
+class Codec:
+    """Transformable helper class referenced by the native-method class."""
+
+    def __init__(self, factor):
+        self.factor = factor
+
+    def scale(self, value):
+        return value * self.factor
+
+
+class NativeIO:
+    """Contains a native method, so it cannot be inspected or transformed."""
+
+    def __init__(self, path):
+        self.path = path
+        self.codec = Codec(2)
+
+    @native
+    def read_block(self, offset):
+        return offset
+
+    def describe(self):
+        return self.path
+
+
+class BaseDevice:
+    """Super-class of a non-transformable class (rule 3 victim)."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def identity(self):
+        return self.name
+
+
+class RawDevice(BaseDevice):
+    """Native subclass: makes its super-class non-transformable too."""
+
+    @native
+    def raw_access(self, register):
+        return register
+
+
+class ProtocolError(Exception):
+    """A Throwable-like class: special VM semantics, never transformed."""
+
+    def __init__(self, code):
+        super().__init__(f"protocol error {code}")
+        self.code = code
+
+
+class CleanHelper:
+    """A perfectly ordinary class no special rule applies to."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def doubled(self):
+        return self.value * 2

@@ -1,0 +1,207 @@
+"""Unit tests for address spaces, marshalling and the cluster bundle."""
+
+from __future__ import annotations
+
+import pytest
+
+import sample_app
+from repro.core.transformer import ApplicationTransformer
+from repro.errors import (
+    RemoteInvocationError,
+    SerializationError,
+    UnknownObjectError,
+)
+from repro.policy.policy import all_local_policy, place_classes_on
+from repro.runtime.cluster import Cluster, default_transport_registry, lan_cluster, single_node_cluster
+from repro.runtime.remote_ref import RemoteRef
+
+CLASSES = [sample_app.X, sample_app.Y, sample_app.Z]
+
+
+@pytest.fixture
+def deployed():
+    app = ApplicationTransformer(place_classes_on({"Y": "server"})).transform(CLASSES)
+    cluster = Cluster(("client", "server"))
+    app.deploy(cluster, default_node="client")
+    return app, cluster
+
+
+class TestExportAndLookup:
+    def test_export_assigns_reference_and_registers_object(self, deployed):
+        app, cluster = deployed
+        server = cluster.space("server")
+        implementation = app.new_local("Y", 1)
+        reference = server.export(implementation)
+        assert reference.node_id == "server"
+        assert reference.interface_name == "Y_O_Int"
+        assert server.lookup_local_object(reference.object_id) is implementation
+
+    def test_export_is_idempotent_per_object(self, deployed):
+        app, cluster = deployed
+        server = cluster.space("server")
+        implementation = app.new_local("Y", 1)
+        assert server.export(implementation) == server.export(implementation)
+        assert server.object_count() == 1
+
+    def test_export_plain_object_uses_type_name(self, deployed):
+        _, cluster = deployed
+        reference = cluster.space("server").export(["plain"], interface_name=None)
+        assert reference.interface_name == "list"
+
+    def test_unexport_removes_object(self, deployed):
+        app, cluster = deployed
+        server = cluster.space("server")
+        implementation = app.new_local("Y", 1)
+        reference = server.export(implementation)
+        server.unexport(reference)
+        with pytest.raises(UnknownObjectError):
+            server.lookup_local_object(reference.object_id)
+        assert not server.is_exported(implementation)
+
+    def test_reference_for_exported_object(self, deployed):
+        app, cluster = deployed
+        server = cluster.space("server")
+        implementation = app.new_local("Y", 1)
+        reference = server.export(implementation)
+        assert server.reference_for(implementation) == reference
+        assert server.reference_for(object()) is None
+
+
+class TestRemoteInvocation:
+    def test_invoke_remote_round_trip(self, deployed):
+        app, cluster = deployed
+        server = cluster.space("server")
+        client = cluster.space("client")
+        implementation = app.new_local("Y", 10)
+        reference = server.export(implementation)
+        assert client.invoke_remote(reference, "n", (5,)) == 15
+        assert server.invocations_served == 1
+        assert client.invocations_sent == 1
+
+    def test_local_reference_short_circuits(self, deployed):
+        app, cluster = deployed
+        server = cluster.space("server")
+        implementation = app.new_local("Y", 10)
+        reference = server.export(implementation)
+        before = cluster.metrics.total_messages
+        assert server.invoke_remote(reference, "n", (1,)) == 11
+        assert cluster.metrics.total_messages == before
+
+    def test_application_errors_travel_back(self, deployed):
+        app, cluster = deployed
+        server = cluster.space("server")
+        client = cluster.space("client")
+        implementation = app.new_local("Y", None)  # base None makes n() fail
+        reference = server.export(implementation)
+        with pytest.raises(RemoteInvocationError) as excinfo:
+            client.invoke_remote(reference, "n", (1,))
+        assert excinfo.value.remote_type == "TypeError"
+
+    def test_unknown_member_is_reported(self, deployed):
+        app, cluster = deployed
+        server = cluster.space("server")
+        client = cluster.space("client")
+        reference = server.export(app.new_local("Y", 1))
+        with pytest.raises(RemoteInvocationError):
+            client.invoke_remote(reference, "no_such_member", ())
+
+    def test_unknown_object_is_reported(self, deployed):
+        _, cluster = deployed
+        client = cluster.space("client")
+        bogus = RemoteRef("server:999", "server", "Y_O_Int")
+        with pytest.raises(RemoteInvocationError):
+            client.invoke_remote(bogus, "n", (1,))
+
+    def test_each_transport_can_carry_the_call(self, deployed):
+        app, cluster = deployed
+        server = cluster.space("server")
+        client = cluster.space("client")
+        reference = server.export(app.new_local("Y", 3))
+        for transport in ("soap", "rmi", "corba", "inproc"):
+            assert client.invoke_remote(reference, "n", (4,), transport=transport) == 7
+
+
+class TestMarshalling:
+    def test_primitives_and_containers_round_trip(self, deployed):
+        _, cluster = deployed
+        marshaller = cluster.space("client").marshaller
+        for value in (None, 1, 2.5, True, "text", [1, [2, 3]], (4, 5), {"k": "v"}, {1, 2}, b"raw"):
+            assert marshaller.from_wire(marshaller.to_wire(value)) == value
+
+    def test_transformed_objects_pass_by_reference(self, deployed):
+        app, cluster = deployed
+        client = cluster.space("client")
+        implementation = app.new_local("Y", 6)
+        wire = client.marshaller.to_wire(implementation)
+        assert wire["__kind__"] == "ref"
+        assert wire["node_id"] == "client"
+        # Unmarshalling on the same node returns the very same object.
+        assert client.marshaller.from_wire(wire) is implementation
+
+    def test_unmarshalling_foreign_reference_builds_a_proxy(self, deployed):
+        app, cluster = deployed
+        server = cluster.space("server")
+        client = cluster.space("client")
+        reference = server.export(app.new_local("Y", 6))
+        resolved = client.marshaller.from_wire(reference.to_wire())
+        assert type(resolved).__name__ == "Y_O_Proxy_RMI"
+        assert resolved.n(1) == 7
+
+    def test_proxy_arguments_reuse_their_reference(self, deployed):
+        app, cluster = deployed
+        client = cluster.space("client")
+        remote_y = app.new("Y", 2)  # proxy to server
+        wire = client.marshaller.to_wire(remote_y)
+        assert wire["node_id"] == "server"
+
+    def test_unmarshallable_values_are_rejected(self, deployed):
+        _, cluster = deployed
+        marshaller = cluster.space("client").marshaller
+        with pytest.raises(SerializationError):
+            marshaller.to_wire(object())
+        with pytest.raises(SerializationError):
+            marshaller.to_wire({1: "non-string key"})
+
+    def test_unknown_wire_kind_rejected(self, deployed):
+        _, cluster = deployed
+        marshaller = cluster.space("client").marshaller
+        with pytest.raises(SerializationError):
+            marshaller.from_wire({"__kind__": "alien"})
+
+
+class TestCluster:
+    def test_cluster_creates_connected_spaces(self):
+        cluster = Cluster(("a", "b", "c"))
+        assert set(cluster.node_ids()) == {"a", "b", "c"}
+        assert len(cluster) == 3
+        assert "a" in cluster
+        assert cluster.default_node_id == "a"
+
+    def test_single_node_and_lan_helpers(self):
+        assert single_node_cluster().node_ids() == ["local"]
+        assert len(lan_cluster(4)) == 4
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(KeyError):
+            Cluster(("a",)).space("z")
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(())
+
+    def test_add_and_remove_node(self):
+        cluster = Cluster(("a",))
+        cluster.add_node("b")
+        assert "b" in cluster
+        with pytest.raises(ValueError):
+            cluster.add_node("b")
+        cluster.remove_node("b")
+        assert "b" not in cluster
+
+    def test_default_registry_contains_all_transports(self):
+        assert default_transport_registry().names() == {"soap", "rmi", "corba", "inproc"}
+
+    def test_shutdown_detaches_spaces(self):
+        cluster = Cluster(("a", "b"))
+        cluster.shutdown()
+        assert len(cluster) == 0

@@ -1,0 +1,162 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import build_parser, load_classes_from_file, main
+from repro.errors import ReproError
+
+APP_SOURCE = textwrap.dedent(
+    '''
+    """A tiny application used by the CLI tests."""
+
+    from repro.core.introspect import native
+
+
+    class Ledger:
+        RATE = 3
+
+        def __init__(self, owner):
+            self.owner = owner
+            self.balance = 0
+
+        def credit(self, amount):
+            self.balance = self.balance + amount
+            return self.balance
+
+        @staticmethod
+        def convert(amount):
+            return amount * Ledger.RATE
+
+
+    class NativeBridge:
+        @native
+        def poke(self, register):
+            return register
+    '''
+)
+
+
+@pytest.fixture
+def app_file(tmp_path):
+    path = tmp_path / "ledger_app.py"
+    path.write_text(APP_SOURCE, encoding="utf-8")
+    return path
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+class TestClassLoading:
+    def test_loads_only_classes_defined_in_the_file(self, app_file):
+        classes = load_classes_from_file(app_file)
+        assert {cls.__name__ for cls in classes} == {"Ledger", "NativeBridge"}
+
+    def test_subset_selection(self, app_file):
+        classes = load_classes_from_file(app_file, ["Ledger"])
+        assert [cls.__name__ for cls in classes] == ["Ledger"]
+
+    def test_missing_class_is_an_error(self, app_file):
+        with pytest.raises(ReproError):
+            load_classes_from_file(app_file, ["Ghost"])
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_classes_from_file(tmp_path / "nope.py")
+
+
+class TestAnalyzeCommand:
+    def test_analyze_reports_both_outcomes(self, app_file):
+        code, output = run_cli("analyze", str(app_file))
+        assert code == 0
+        assert "[ok]   Ledger" in output
+        assert "[skip] NativeBridge" in output
+        assert "native" in output
+
+    def test_analyze_subset(self, app_file):
+        code, output = run_cli("analyze", str(app_file), "--classes", "Ledger")
+        assert code == 0
+        assert "NativeBridge" not in output
+
+    def test_analyze_missing_file_reports_error(self, tmp_path):
+        code, output = run_cli("analyze", str(tmp_path / "missing.py"))
+        assert code == 2
+        assert "error:" in output
+
+
+class TestEmitCommand:
+    def test_emit_prints_generated_artifacts(self, app_file):
+        code, output = run_cli("emit", str(app_file), "--cls", "Ledger")
+        assert code == 0
+        assert "Ledger_O_Int" in output
+        assert "Ledger_O_Local" in output
+        assert "Ledger_O_Factory" in output
+        assert "that.set_owner(owner)" in output
+
+    def test_emit_respects_transport_selection(self, app_file):
+        code, output = run_cli("emit", str(app_file), "--cls", "Ledger", "--transports", "corba")
+        assert code == 0
+        assert "Ledger_O_Proxy_CORBA" in output
+        assert "Ledger_O_Proxy_SOAP" not in output
+
+    def test_emit_for_non_transformable_class_fails(self, app_file):
+        code, output = run_cli("emit", str(app_file), "--cls", "NativeBridge")
+        assert code == 1
+        assert "was not transformed" in output
+
+
+class TestReportCommand:
+    def test_report_without_policy(self, app_file):
+        code, output = run_cli("report", str(app_file))
+        assert code == 0
+        assert "RAFDA transformed application" in output
+        assert "Ledger" in output
+
+    def test_report_with_policy_file(self, app_file, tmp_path):
+        policy_path = tmp_path / "policy.json"
+        policy_path.write_text(
+            json.dumps(
+                {"classes": {"Ledger": {"placement": "remote", "node": "server"}}}
+            ),
+            encoding="utf-8",
+        )
+        code, output = run_cli("report", str(app_file), "--policy", str(policy_path))
+        assert code == 0
+        assert "instances on 'server'" in output
+
+
+class TestCorpusAndTemplateCommands:
+    def test_corpus_study_smoke(self):
+        code, output = run_cli("corpus-study", "--seed", "7")
+        assert code == 0
+        assert "corpus classes            : 8200" in output
+        assert "%" in output
+
+    def test_policy_template_round_robin(self):
+        code, output = run_cli(
+            "policy-template", "--classes", "A,B,C", "--nodes", "n1,n2", "--transport", "soap"
+        )
+        assert code == 0
+        config = json.loads(output)
+        assert config["classes"]["A"]["node"] == "n1"
+        assert config["classes"]["B"]["node"] == "n2"
+        assert config["classes"]["C"]["node"] == "n1"
+        assert config["classes"]["A"]["transport"] == "soap"
+
+    def test_policy_template_requires_arguments(self):
+        code, output = run_cli("policy-template", "--classes", "", "--nodes", "n1")
+        assert code == 1
+
+    def test_parser_lists_all_subcommands(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for command in ("analyze", "emit", "report", "corpus-study", "policy-template"):
+            assert command in help_text

@@ -1,0 +1,184 @@
+"""Unit tests for the metaobject protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metaobject import (
+    KIND_LOCAL,
+    KIND_REMOTE,
+    CallStatistics,
+    Interceptor,
+    Invocation,
+    Metaobject,
+    Redirector,
+    TracingInterceptor,
+    collect_statistics,
+    is_redirected,
+    metaobject_of,
+    unwrap,
+)
+
+
+class _Greeter:
+    def __init__(self, name):
+        self.name = name
+        self.calls = 0
+
+    def greet(self, whom):
+        self.calls += 1
+        return f"{self.name} greets {whom}"
+
+    def fail(self):
+        raise ValueError("boom")
+
+
+class TestMetaobjectDispatch:
+    def test_invoke_dispatches_to_target(self):
+        meta = Metaobject(_Greeter("alice"))
+        assert meta.invoke("greet", "bob") == "alice greets bob"
+
+    def test_invoke_propagates_exceptions(self):
+        meta = Metaobject(_Greeter("alice"))
+        with pytest.raises(ValueError):
+            meta.invoke("fail")
+
+    def test_statistics_are_recorded(self):
+        meta = Metaobject(_Greeter("alice"))
+        meta.invoke("greet", "bob")
+        meta.invoke("greet", "carol")
+        assert meta.statistics.total_calls == 2
+        assert meta.statistics.calls_per_member["greet"] == 2
+        assert meta.statistics.local_calls == 2
+        assert meta.statistics.remote_calls == 0
+
+    def test_remote_kind_counts_remote_calls(self):
+        meta = Metaobject(_Greeter("alice"), kind=KIND_REMOTE, node_id="server")
+        meta.invoke("greet", "bob")
+        assert meta.is_remote
+        assert meta.statistics.remote_calls == 1
+        assert meta.statistics.remote_fraction == 1.0
+
+    def test_statistics_reset(self):
+        meta = Metaobject(_Greeter("alice"))
+        meta.invoke("greet", "bob")
+        meta.statistics.reset()
+        assert meta.statistics.total_calls == 0
+
+
+class TestInterceptors:
+    def test_tracing_interceptor_records_calls(self):
+        meta = Metaobject(_Greeter("alice"))
+        tracer = meta.add_interceptor(TracingInterceptor())
+        meta.invoke("greet", "bob")
+        assert tracer.trace == [("greet", ("bob",), {})]
+        tracer.clear()
+        assert tracer.trace == []
+
+    def test_interceptor_can_veto_an_invocation(self):
+        class Veto(Interceptor):
+            def before(self, invocation: Invocation) -> None:
+                if invocation.member == "fail":
+                    raise PermissionError("vetoed")
+
+        meta = Metaobject(_Greeter("alice"))
+        meta.add_interceptor(Veto())
+        with pytest.raises(PermissionError):
+            meta.invoke("fail")
+        # Other members still go through.
+        assert meta.invoke("greet", "bob").endswith("bob")
+
+    def test_after_hook_sees_errors(self):
+        seen = {}
+
+        class Watcher(Interceptor):
+            def after(self, invocation, result, error):
+                seen[invocation.member] = (result, type(error).__name__ if error else None)
+
+        meta = Metaobject(_Greeter("alice"))
+        meta.add_interceptor(Watcher())
+        meta.invoke("greet", "bob")
+        with pytest.raises(ValueError):
+            meta.invoke("fail")
+        assert seen["greet"][1] is None
+        assert seen["fail"] == (None, "ValueError")
+
+    def test_remove_interceptor(self):
+        meta = Metaobject(_Greeter("alice"))
+        tracer = meta.add_interceptor(TracingInterceptor())
+        meta.remove_interceptor(tracer)
+        meta.invoke("greet", "bob")
+        assert tracer.trace == []
+        assert meta.interceptors() == ()
+
+
+class TestRebinding:
+    def test_rebind_swaps_the_target(self):
+        meta = Metaobject(_Greeter("alice"))
+        meta.rebind(_Greeter("zoe"), KIND_LOCAL)
+        assert meta.invoke("greet", "bob") == "zoe greets bob"
+
+    def test_rebind_updates_kind_and_node(self):
+        meta = Metaobject(_Greeter("alice"))
+        meta.rebind(_Greeter("zoe"), KIND_REMOTE, node_id="server")
+        assert meta.kind == KIND_REMOTE
+        assert meta.node_id == "server"
+
+    def test_rebind_listeners_are_notified(self):
+        events = []
+        meta = Metaobject(_Greeter("alice"))
+        meta.on_rebind(lambda m: events.append(m.kind))
+        meta.rebind(_Greeter("zoe"), KIND_REMOTE, node_id="server")
+        assert events == [KIND_REMOTE]
+
+
+class TestRedirector:
+    def test_getattr_fallback_delegates_through_metaobject(self):
+        meta = Metaobject(_Greeter("alice"))
+        handle = Redirector(meta)
+        assert handle.greet("bob") == "alice greets bob"
+        assert meta.statistics.total_calls == 1
+
+    def test_redirector_identity_survives_rebinding(self):
+        meta = Metaobject(_Greeter("alice"))
+        handle = Redirector(meta)
+        before = id(handle)
+        meta.rebind(_Greeter("zoe"), KIND_LOCAL)
+        assert id(handle) == before
+        assert handle.greet("bob").startswith("zoe")
+
+    def test_metaobject_of_and_is_redirected(self):
+        meta = Metaobject(_Greeter("alice"))
+        handle = Redirector(meta)
+        assert metaobject_of(handle) is meta
+        assert is_redirected(handle)
+        assert not is_redirected(_Greeter("alice"))
+        assert metaobject_of(object()) is None
+
+    def test_unwrap_follows_to_base_object(self):
+        target = _Greeter("alice")
+        handle = Redirector(Metaobject(target))
+        assert unwrap(handle) is target
+        assert unwrap(target) is target
+
+    def test_dunder_attributes_are_not_intercepted(self):
+        handle = Redirector(Metaobject(_Greeter("alice")))
+        with pytest.raises(AttributeError):
+            handle.__missing_dunder__
+
+
+class TestAggregatedStatistics:
+    def test_collect_statistics_merges_handles(self):
+        handle_a = Redirector(Metaobject(_Greeter("a")))
+        handle_b = Redirector(Metaobject(_Greeter("b"), kind=KIND_REMOTE, node_id="n"))
+        handle_a.greet("x")
+        handle_b.greet("y")
+        handle_b.greet("z")
+        merged = collect_statistics([handle_a, handle_b, object()])
+        assert merged.total_calls == 3
+        assert merged.remote_calls == 2
+        assert merged.calls_per_member["greet"] == 3
+
+    def test_empty_statistics(self):
+        stats = CallStatistics()
+        assert stats.remote_fraction == 0.0

@@ -1,0 +1,170 @@
+"""Unit tests for the simulated network, failure model and traffic metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MessageDroppedError, NodeUnreachableError, PartitionError
+from repro.network.failures import FailureModel, NoFailures
+from repro.network.metrics import NetworkMetrics
+from repro.network.simnet import LAN_LINK, WAN_LINK, LinkConfig, SimulatedNetwork
+
+
+def _echo_network(**kwargs) -> SimulatedNetwork:
+    network = SimulatedNetwork(**kwargs)
+    network.register("a", lambda source, payload: b"a:" + payload)
+    network.register("b", lambda source, payload: b"b:" + payload)
+    return network
+
+
+class TestLinkConfig:
+    def test_one_way_delay_includes_latency_and_transmission(self):
+        import random
+
+        link = LinkConfig(latency=0.001, bandwidth=1000.0, jitter=0.0)
+        delay = link.one_way_delay(500, random.Random(0))
+        assert delay == pytest.approx(0.001 + 0.5)
+
+    def test_zero_bandwidth_means_no_transmission_cost(self):
+        import random
+
+        link = LinkConfig(latency=0.0, bandwidth=0.0)
+        assert link.one_way_delay(10_000, random.Random(0)) == 0.0
+
+    def test_wan_is_slower_than_lan(self):
+        import random
+
+        rng = random.Random(0)
+        assert WAN_LINK.one_way_delay(1000, rng) > LAN_LINK.one_way_delay(1000, rng)
+
+
+class TestMessageExchange:
+    def test_request_response_roundtrip(self):
+        network = _echo_network()
+        assert network.send_request("a", "b", b"ping") == b"b:ping"
+
+    def test_clock_advances_for_remote_exchange(self):
+        network = _echo_network()
+        network.send_request("a", "b", b"ping")
+        assert network.clock.now > 0.0
+
+    def test_same_node_exchange_is_free(self):
+        network = _echo_network()
+        assert network.send_request("a", "a", b"ping") == b"a:ping"
+        assert network.clock.now == 0.0
+        assert network.metrics.total_messages == 0
+
+    def test_metrics_record_both_directions(self):
+        network = _echo_network()
+        network.send_request("a", "b", b"ping")
+        assert network.metrics.messages_between("a", "b") == 1
+        assert network.metrics.messages_between("b", "a") == 1
+        assert network.metrics.total_bytes > 0
+
+    def test_unknown_destination_raises(self):
+        network = _echo_network()
+        with pytest.raises(NodeUnreachableError):
+            network.send_request("a", "ghost", b"ping")
+
+    def test_unregister_makes_node_unreachable(self):
+        network = _echo_network()
+        network.unregister("b")
+        with pytest.raises(NodeUnreachableError):
+            network.send_request("a", "b", b"ping")
+
+    def test_per_link_override_changes_latency(self):
+        fast = _echo_network()
+        slow = _echo_network()
+        slow.set_symmetric_link("a", "b", WAN_LINK)
+        fast.send_request("a", "b", b"x" * 100)
+        slow.send_request("a", "b", b"x" * 100)
+        assert slow.clock.now > fast.clock.now
+
+    def test_nodes_listing(self):
+        network = _echo_network()
+        assert network.nodes() == {"a", "b"}
+        assert network.is_registered("a")
+
+    def test_reset_metrics(self):
+        network = _echo_network()
+        network.send_request("a", "b", b"ping")
+        network.reset_metrics()
+        assert network.metrics.total_messages == 0
+
+
+class TestFailureInjection:
+    def test_partition_blocks_traffic(self):
+        failures = FailureModel()
+        failures.partition(["a"], ["b"])
+        network = _echo_network(failures=failures)
+        with pytest.raises(PartitionError):
+            network.send_request("a", "b", b"ping")
+
+    def test_heal_restores_traffic(self):
+        failures = FailureModel()
+        failures.partition(["a"], ["b"])
+        network = _echo_network(failures=failures)
+        failures.heal()
+        assert network.send_request("a", "b", b"ping") == b"b:ping"
+
+    def test_heal_specific_pair(self):
+        failures = FailureModel()
+        failures.partition(["a"], ["b", "c"])
+        failures.heal("a", "b")
+        assert not failures.is_partitioned("a", "b")
+        assert failures.is_partitioned("a", "c")
+
+    def test_crashed_node_is_unreachable(self):
+        failures = FailureModel()
+        failures.crash_node("b")
+        network = _echo_network(failures=failures)
+        with pytest.raises(NodeUnreachableError):
+            network.send_request("a", "b", b"ping")
+        failures.recover_node("b")
+        assert network.send_request("a", "b", b"ping") == b"b:ping"
+
+    def test_message_loss_is_deterministic_for_a_seed(self):
+        failures = FailureModel(drop_probability=1.0, seed=3)
+        network = _echo_network(failures=failures)
+        with pytest.raises(MessageDroppedError):
+            network.send_request("a", "b", b"ping")
+        assert network.metrics.total_drops == 1
+
+    def test_invalid_drop_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FailureModel(drop_probability=1.5)
+
+    def test_no_failures_model_never_drops(self):
+        model = NoFailures()
+        assert not model.should_drop("a", "b")
+
+
+class TestNetworkMetrics:
+    def test_link_accumulation_and_means(self):
+        metrics = NetworkMetrics()
+        metrics.record("a", "b", 100, 0.001)
+        metrics.record("a", "b", 300, 0.003)
+        link = metrics.link("a", "b")
+        assert link.messages == 2
+        assert link.bytes_sent == 400
+        assert link.mean_latency == pytest.approx(0.002)
+        assert link.mean_message_size == pytest.approx(200.0)
+
+    def test_messages_from_aggregates_by_source(self):
+        metrics = NetworkMetrics()
+        metrics.record("a", "b", 10, 0.0)
+        metrics.record("a", "c", 10, 0.0)
+        metrics.record("b", "a", 10, 0.0)
+        assert metrics.messages_from("a") == 2
+
+    def test_snapshot_is_plain_data(self):
+        metrics = NetworkMetrics()
+        metrics.record("a", "b", 10, 0.5)
+        snapshot = metrics.snapshot()
+        assert snapshot["messages"] == 1
+        assert "a->b" in snapshot["links"]
+
+    def test_empty_link_means_are_zero(self):
+        metrics = NetworkMetrics()
+        assert metrics.link("x", "y").mean_latency == 0.0
+        assert metrics.link("x", "y").mean_message_size == 0.0

@@ -1,0 +1,96 @@
+"""Property-based tests for the persistence extension.
+
+Invariant: snapshot → (JSON) → restore reproduces the observable state of the
+object graph, for arbitrary cache contents and arbitrary object graphs built
+from the Figure 1 classes, under both local and distributed target policies.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.transformer import ApplicationTransformer
+from repro.persistence import (
+    ObjectGraphSnapshotter,
+    restore_snapshot,
+    snapshot_from_json,
+    snapshot_to_json,
+)
+from repro.policy.policy import all_local_policy, place_classes_on
+from repro.runtime.cluster import Cluster
+from repro.workloads.figure1 import A, B, C
+from repro.workloads.shared_cache import Cache
+
+_keys = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+_values = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+    st.lists(st.integers(-10, 10), max_size=4),
+)
+_cache_contents = st.dictionaries(_keys, _values, max_size=12)
+
+
+class TestCacheSnapshotsRoundTrip:
+    @given(contents=_cache_contents)
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_snapshot_restore_preserves_every_entry(self, contents):
+        app = ApplicationTransformer(all_local_policy()).transform([Cache])
+        cache = app.new("Cache", 64)
+        for key, value in contents.items():
+            cache.put(key, value)
+
+        snapshot = ObjectGraphSnapshotter(app).snapshot({"cache": cache})
+        restored = restore_snapshot(app, snapshot_from_json(snapshot_to_json(snapshot)))["cache"]
+
+        assert restored.size() == cache.size()
+        for key, value in contents.items():
+            assert restored.get(key) == value
+        # Hit/miss counters are state too, and the reads above changed only
+        # the restored copy.
+        assert restored.get_misses() == cache.get_misses()
+
+    @given(contents=_cache_contents)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_restore_under_a_remote_policy_preserves_entries(self, contents):
+        source_app = ApplicationTransformer(all_local_policy()).transform([Cache])
+        cache = source_app.new("Cache", 64)
+        for key, value in contents.items():
+            cache.put(key, value)
+        snapshot = ObjectGraphSnapshotter(source_app).snapshot({"cache": cache})
+
+        target_app = ApplicationTransformer(place_classes_on({"Cache": "store"})).transform([Cache])
+        target_app.deploy(Cluster(("app", "store")), default_node="app")
+        restored = restore_snapshot(target_app, snapshot)["cache"]
+        assert restored.size() == len(contents)
+        for key, value in contents.items():
+            assert restored.get(key) == value
+
+
+class TestFigure1GraphSnapshots:
+    @given(
+        values=st.lists(st.integers(-100, 100), min_size=1, max_size=15),
+        label=st.text(alphabet="xyz-", min_size=1, max_size=8),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_shared_structure_round_trips(self, values, label):
+        app = ApplicationTransformer(all_local_policy()).transform([A, B, C])
+        shared = app.new("C", label)
+        holder_a = app.new("A", shared)
+        holder_b = app.new("B", shared)
+        for value in values:
+            holder_a.record(value)
+            holder_b.record(value)
+
+        snapshot = ObjectGraphSnapshotter(app).snapshot({"a": holder_a, "b": holder_b})
+        assert snapshot.object_count == 3
+
+        restored = restore_snapshot(app, snapshot)
+        restored_a, restored_b = restored["a"], restored["b"]
+        restored_shared = restored_a.get_shared()
+        assert restored_shared.get_total() == shared.get_total()
+        assert restored_shared.describe() == shared.describe()
+        # Sharing is preserved: a write through one holder is seen by the other.
+        restored_a.record(7)
+        assert restored_b.get_shared().get_total() == shared.get_total() + 7

@@ -1,0 +1,106 @@
+"""Experiment E10: the transformed application is semantically equivalent.
+
+Property-based testing of the paper's central correctness claim: for random
+interaction sequences, the original program, the transformed-but-local
+program, and the transformed-and-distributed program all compute the same
+observable results (modulo network failure, which is excluded here by using a
+reliable simulated network).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import sample_app
+from repro.core.transformer import ApplicationTransformer
+from repro.policy.policy import all_local_policy, place_classes_on
+from repro.runtime.cluster import Cluster
+from repro.workloads.shared_cache import Cache
+
+CLASSES = [sample_app.X, sample_app.Y, sample_app.Z]
+
+_SMALL_INTS = st.integers(min_value=-1000, max_value=1000)
+
+
+def _fresh_local_app():
+    return ApplicationTransformer(all_local_policy()).transform(CLASSES)
+
+
+def _fresh_remote_app():
+    app = ApplicationTransformer(place_classes_on({"Y": "server", "Z": "server"})).transform(
+        CLASSES
+    )
+    app.deploy(Cluster(("client", "server")), default_node="client")
+    return app
+
+
+class TestSampleProgramEquivalence:
+    @given(base=_SMALL_INTS, j=_SMALL_INTS, i=_SMALL_INTS)
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_local_transformation_matches_original(self, base, j, i):
+        expected = sample_app.run_original(base, j, i)
+        app = _fresh_local_app()
+        y = app.new("Y", base)
+        x = app.new("X", y)
+        observed = (x.m(j), app.statics("X").p(i), app.statics("Y").get_K())
+        assert observed == expected
+
+    @given(base=_SMALL_INTS, j=_SMALL_INTS, i=_SMALL_INTS)
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_distributed_transformation_matches_original(self, base, j, i):
+        expected = sample_app.run_original(base, j, i)
+        app = _fresh_remote_app()
+        y = app.new("Y", base)
+        x = app.new("X", y)
+        observed = (x.m(j), app.statics("X").p(i), app.statics("Y").get_K())
+        assert observed == expected
+
+
+# Operations for the stateful cache equivalence test.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 20), _SMALL_INTS),
+        st.tuples(st.just("get"), st.integers(0, 20)),
+        st.tuples(st.just("size")),
+        st.tuples(st.just("hit_rate")),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run_cache_ops(cache, operations):
+    observations = []
+    for operation in operations:
+        if operation[0] == "put":
+            observations.append(cache.put(f"k{operation[1]}", operation[2]))
+        elif operation[0] == "get":
+            observations.append(cache.get(f"k{operation[1]}"))
+        elif operation[0] == "size":
+            observations.append(cache.size())
+        else:
+            observations.append(round(cache.hit_rate(), 9))
+    return observations
+
+
+class TestStatefulCacheEquivalence:
+    @given(operations=_ops)
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_transformed_cache_matches_original_for_any_operation_sequence(self, operations):
+        original = Cache(8)
+        expected = _run_cache_ops(original, operations)
+
+        app = ApplicationTransformer(all_local_policy()).transform([Cache])
+        observed = _run_cache_ops(app.new("Cache", 8), operations)
+        assert observed == expected
+
+    @given(operations=_ops)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_remote_cache_matches_original_for_any_operation_sequence(self, operations):
+        original = Cache(8)
+        expected = _run_cache_ops(original, operations)
+
+        app = ApplicationTransformer(place_classes_on({"Cache": "server"})).transform([Cache])
+        app.deploy(Cluster(("client", "server")), default_node="client")
+        observed = _run_cache_ops(app.new("Cache", 8), operations)
+        assert observed == expected

@@ -1,0 +1,83 @@
+"""Unit tests for the application and traffic reports."""
+
+from __future__ import annotations
+
+import pytest
+
+import sample_app
+import sample_unsupported
+from repro.core.transformer import ApplicationTransformer
+from repro.policy.policy import all_local_policy, place_classes_on
+from repro.runtime.cluster import Cluster
+from repro.tools.report import application_report, traffic_report
+
+CLASSES = [sample_app.X, sample_app.Y, sample_app.Z]
+
+
+class TestApplicationReport:
+    def test_report_for_an_unbound_application(self):
+        app = ApplicationTransformer(all_local_policy()).transform(CLASSES)
+        report = application_report(app)
+        assert "RAFDA transformed application" in report
+        assert "not bound (single address space)" in report
+        for class_name in ("X", "Y", "Z"):
+            assert class_name in report
+        assert "X_O_Int" in report
+
+    def test_report_shows_policy_decisions(self):
+        app = ApplicationTransformer(
+            place_classes_on({"Y": "server"}, transport="soap")
+        ).transform(CLASSES)
+        app.deploy(Cluster(("client", "server")), default_node="client")
+        report = application_report(app)
+        assert "instances on 'server' via soap" in report
+        assert "bound to nodes" in report
+
+    def test_report_lists_non_transformable_classes_with_reasons(self):
+        app = ApplicationTransformer(all_local_policy()).transform(
+            CLASSES + [sample_unsupported.NativeIO]
+        )
+        report = application_report(app)
+        assert "NativeIO" in report
+        assert "native" in report
+
+    def test_report_includes_handles_and_their_boundaries(self):
+        app = ApplicationTransformer(all_local_policy(dynamic=True)).transform(CLASSES)
+        app.deploy(Cluster(("client", "server")), default_node="client")
+        y = app.new("Y", 1)
+        y.n(1)
+        report = application_report(app)
+        assert "rebindable handles" in report
+        assert "local" in report
+
+    def test_include_sources_flag_lists_rewritten_members(self):
+        app = ApplicationTransformer(all_local_policy()).transform(CLASSES)
+        report = application_report(app, include_sources=True)
+        assert "rewritten members" in report
+
+
+class TestTrafficReport:
+    def test_traffic_report_for_an_idle_cluster(self):
+        cluster = Cluster(("a", "b"))
+        report = traffic_report(cluster)
+        assert "messages       : 0" in report
+
+    def test_traffic_report_after_remote_calls(self):
+        app = ApplicationTransformer(place_classes_on({"Y": "server"})).transform(CLASSES)
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, default_node="client")
+        y = app.new("Y", 1)
+        for value in range(5):
+            y.n(value)
+        report = traffic_report(cluster, title="after 5 calls")
+        assert "after 5 calls" in report
+        assert "client" in report and "server" in report
+        assert "per-link:" in report
+
+    def test_traffic_report_counts_match_metrics(self):
+        app = ApplicationTransformer(place_classes_on({"Y": "server"})).transform(CLASSES)
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, default_node="client")
+        app.new("Y", 1).n(1)
+        report = traffic_report(cluster)
+        assert f"messages       : {cluster.metrics.total_messages}" in report

@@ -1,0 +1,143 @@
+"""Unit tests for whole-application transformation executed in one address space.
+
+This is the paper's §4 claim: the transformations act on a non-distributed
+program to produce a componentised, semantically equivalent version, and the
+local version of the transformed application executes within a single address
+space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sample_app
+import sample_unsupported
+from repro.core.classmodel import ClassModel
+from repro.core.transformer import (
+    ApplicationTransformer,
+    DEFAULT_TRANSPORTS,
+    transform_application,
+)
+from repro.errors import NotTransformableError, TransformationError, UnknownClassError
+from repro.policy.policy import all_local_policy
+
+CLASSES = [sample_app.X, sample_app.Y, sample_app.Z]
+
+
+class TestTransformDriver:
+    def test_transform_returns_an_application_with_all_classes(self):
+        app = transform_application(CLASSES)
+        assert app.transformed_classes() == {"X", "Y", "Z"}
+
+    def test_default_transports_are_generated(self):
+        app = transform_application(CLASSES)
+        assert set(app.artifacts("X").instance_proxies) == set(DEFAULT_TRANSPORTS)
+
+    def test_custom_transport_list(self):
+        app = transform_application(CLASSES, transports=("soap",))
+        assert set(app.artifacts("X").instance_proxies) == {"soap"}
+
+    def test_class_models_can_be_passed_directly(self):
+        from repro.core.introspect import class_model_from_python
+
+        models = [class_model_from_python(cls) for cls in CLASSES]
+        app = transform_application(models)
+        assert app.is_transformed("X")
+
+    def test_empty_input_is_an_error(self):
+        with pytest.raises(TransformationError):
+            transform_application([])
+
+    def test_invalid_input_is_an_error(self):
+        with pytest.raises(TransformationError):
+            transform_application(["not-a-class"])  # type: ignore[list-item]
+
+    def test_unknown_class_lookup_raises(self):
+        app = transform_application(CLASSES)
+        with pytest.raises(UnknownClassError):
+            app.artifacts("Missing")
+
+    def test_non_transformable_classes_are_left_out(self):
+        app = transform_application(
+            CLASSES + [sample_unsupported.NativeIO, sample_unsupported.ProtocolError]
+        )
+        assert not app.is_transformed("NativeIO")
+        assert not app.is_transformed("ProtocolError")
+        assert app.is_transformed("X")
+
+    def test_strict_mode_raises_for_non_transformable_input(self):
+        transformer = ApplicationTransformer(strict=True)
+        with pytest.raises(NotTransformableError):
+            transformer.transform(CLASSES + [sample_unsupported.NativeIO])
+
+    def test_policy_exclusion_is_honoured(self):
+        policy = all_local_policy()
+        policy.exclude("Z")
+        app = ApplicationTransformer(policy).transform(CLASSES)
+        assert not app.is_transformed("Z")
+        assert app.is_transformed("X")
+
+
+class TestSingleAddressSpaceExecution:
+    @pytest.fixture
+    def app(self):
+        return transform_application(CLASSES)
+
+    def test_program_behaviour_matches_original(self, app):
+        for base, j, i in [(0, 0, 0), (5, 3, 2), (-4, 10, 7)]:
+            expected = sample_app.run_original(base, j, i)
+            y = app.new("Y", base)
+            x = app.new("X", y)
+            observed = (x.m(j), app.statics("X").p(i), app.statics("Y").get_K())
+            assert observed == expected
+
+    def test_new_applies_policy_and_new_local_bypasses_it(self, app):
+        assert type(app.new("Y", 1)).__name__ == "Y_O_Local"
+        assert type(app.new_local("Y", 1)).__name__ == "Y_O_Local"
+
+    def test_objects_are_interface_typed(self, app):
+        y = app.new("Y", 1)
+        assert isinstance(y, app.interface("Y"))
+
+    def test_independent_instances_do_not_share_state(self, app):
+        first = app.new("Y", 1)
+        second = app.new("Y", 100)
+        assert first.n(0) == 1
+        assert second.n(0) == 100
+
+    def test_statics_shared_across_instances(self, app):
+        # X.p uses the class singleton regardless of which instance exists.
+        app.new("X", app.new("Y", 0))
+        assert app.statics("X").p(2) == sample_app.X.p(2)
+
+    def test_unbound_application_has_no_cluster(self, app):
+        assert not app.is_bound
+        assert app.cluster is None
+        assert app.current_space is None
+
+    def test_executing_on_requires_deployment(self, app):
+        with pytest.raises(TransformationError):
+            with app.executing_on("anywhere"):
+                pass
+
+    def test_emit_sources_available_for_every_class(self, app):
+        for name in ("X", "Y", "Z"):
+            sources = app.emit_sources(name)
+            assert f"{name}_O_Int" in sources
+
+    def test_handles_list_empty_without_dynamic_policy(self, app):
+        app.new("Y", 1)
+        assert app.handles() == []
+
+
+class TestNamespaceSeeding:
+    def test_module_globals_are_visible_to_rewritten_code(self):
+        """Rewritten bodies may reference helpers from the original module."""
+        app = transform_application(CLASSES)
+        assert "run_original" in app.registry.namespace
+
+    def test_registry_namespace_contains_generated_artifacts(self):
+        app = transform_application(CLASSES)
+        namespace = app.registry.namespace
+        for name in ("X_O_Int", "X_O_Local", "X_O_Factory", "X_C_Factory"):
+            assert name in namespace

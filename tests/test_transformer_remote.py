@@ -1,0 +1,152 @@
+"""Unit tests for transformed applications deployed across address spaces."""
+
+from __future__ import annotations
+
+import pytest
+
+import sample_app
+from repro.core.transformer import ApplicationTransformer, transform_application
+from repro.policy.policy import all_local_policy, local, place_classes_on, remote
+from repro.runtime.cluster import Cluster
+
+CLASSES = [sample_app.X, sample_app.Y, sample_app.Z]
+
+
+class TestDeployment:
+    def test_deploy_binds_every_space_to_the_application(self):
+        app = transform_application(CLASSES)
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, default_node="client")
+        for space in cluster.spaces():
+            assert space.application is app
+        assert app.is_bound
+        assert app.current_space.node_id == "client"
+
+    def test_deploy_with_placement_updates_the_policy(self):
+        app = transform_application(CLASSES)
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, placement={"Y": "server"}, default_node="client")
+        assert app.policy.instance_decision("Y").is_remote
+        assert app.policy.instance_decision("Y").node_id == "server"
+
+    def test_default_node_defaults_to_first_cluster_node(self):
+        app = transform_application(CLASSES)
+        cluster = Cluster(("alpha", "beta"))
+        app.deploy(cluster)
+        assert app.current_space.node_id == "alpha"
+
+
+class TestRemoteCreation:
+    @pytest.fixture
+    def deployed(self):
+        app = ApplicationTransformer(place_classes_on({"Y": "server"})).transform(CLASSES)
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, default_node="client")
+        return app, cluster
+
+    def test_factory_returns_proxy_for_remote_classes(self, deployed):
+        app, _ = deployed
+        y = app.new("Y", 5)
+        assert type(y).__name__ == "Y_O_Proxy_RMI"
+
+    def test_remote_object_lives_on_the_target_node(self, deployed):
+        app, cluster = deployed
+        app.new("Y", 5)
+        assert cluster.space("server").object_count() == 1
+        assert cluster.space("client").object_count() == 0
+
+    def test_remote_and_local_instances_behave_identically(self, deployed):
+        app, _ = deployed
+        remote_y = app.new("Y", 5)
+        local_y = app.new_local("Y", 5)
+        assert remote_y.n(3) == local_y.n(3) == 8
+
+    def test_remote_initialisation_goes_through_init(self, deployed):
+        app, cluster = deployed
+        y = app.new("Y", 9)
+        assert y.get_base() == 9
+        assert cluster.metrics.total_messages > 0
+
+    def test_mixed_graph_local_holder_remote_collaborator(self, deployed):
+        """X stays local, Y is remote; X.m still reaches through the proxy."""
+        app, _ = deployed
+        y = app.new("Y", 5)
+        x = app.new("X", y)
+        assert type(x).__name__ == "X_O_Local"
+        assert x.m(3) == 8
+
+    def test_objects_created_on_their_home_node_are_local(self, deployed):
+        """When the executing node equals the placement target, no proxy is used."""
+        app, _ = deployed
+        with app.executing_on("server"):
+            y = app.new("Y", 5)
+        assert type(y).__name__ == "Y_O_Local"
+
+    def test_transport_choice_follows_policy(self):
+        app = ApplicationTransformer(
+            place_classes_on({"Y": "server"}, transport="soap")
+        ).transform(CLASSES)
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, default_node="client")
+        assert type(app.new("Y", 1)).__name__ == "Y_O_Proxy_SOAP"
+
+
+class TestDynamicHandles:
+    def test_dynamic_policy_produces_redirector_handles(self):
+        policy = all_local_policy(dynamic=True)
+        app = ApplicationTransformer(policy).transform(CLASSES)
+        app.deploy(Cluster(("client", "server")), default_node="client")
+        y = app.new("Y", 4)
+        assert type(y).__name__ == "Y_O_Redirector"
+        assert y.n(1) == 5
+        assert app.handles_for("Y") == [y]
+
+    def test_dynamic_remote_handles_wrap_proxies(self):
+        policy = all_local_policy()
+        policy.set_class("Y", instances=remote("server", dynamic=True))
+        app = ApplicationTransformer(policy).transform(CLASSES)
+        app.deploy(Cluster(("client", "server")), default_node="client")
+        y = app.new("Y", 4)
+        assert type(y).__name__ == "Y_O_Redirector"
+        meta = y.meta
+        assert meta.is_remote and meta.node_id == "server"
+        assert y.n(6) == 10
+
+    def test_statics_remain_consistent_per_node(self):
+        app = ApplicationTransformer(place_classes_on({"X": "server"})).transform(CLASSES)
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, default_node="client")
+        # The statics proxy on the client and direct access on the server see
+        # the same singleton state.
+        client_view = app.statics("X")
+        with app.executing_on("server"):
+            server_view = app.statics("X")
+        replacement = app.new_local("Z", 3)
+        server_view.set_z(replacement)
+        assert client_view.p(5) == 15
+
+
+class TestReferencePassingAcrossSpaces:
+    def test_passing_a_local_object_to_a_remote_one_exports_it(self):
+        """Arguments of transformed types travel by reference, not by copy."""
+        app = ApplicationTransformer(place_classes_on({"X": "server"})).transform(CLASSES)
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, default_node="client")
+        y = app.new("Y", 7)          # local on client
+        x = app.new("X", y)          # remote on server, receives a reference to y
+        assert type(x).__name__ == "X_O_Proxy_RMI"
+        assert x.m(3) == 10
+        # The callback from server to client for y.n() generated traffic both ways.
+        assert cluster.metrics.messages_between("server", "client") > 0
+
+    def test_remote_reference_returned_to_its_home_resolves_locally(self):
+        app = ApplicationTransformer(place_classes_on({"X": "server"})).transform(CLASSES)
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, default_node="client")
+        y = app.new("Y", 7)
+        x = app.new("X", y)
+        returned = x.get_y()
+        # The reference came back to the node where the object lives, so the
+        # runtime hands back the local implementation, not a proxy to a proxy.
+        assert type(returned).__name__ == "Y_O_Local"
+        assert returned.n(1) == 8

@@ -1,0 +1,134 @@
+"""Experiment E7: remote and non-remote versions of a class are interchangeable.
+
+The use of extracted interfaces makes the local implementation and the SOAP,
+RMI and CORBA proxies interchangeable: the same driver code produces the same
+results whichever implementation the policy selects, and the transport of an
+already-running object can be exchanged without the callers noticing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import sample_app
+from repro.core.transformer import ApplicationTransformer
+from repro.policy.policy import all_local_policy, place_classes_on, remote
+from repro.runtime.cluster import Cluster
+from repro.runtime.redistribution import DistributionController
+from repro.workloads.figure1 import A, B, C, run_figure1_plain, run_figure1_scenario
+
+CLASSES = [sample_app.X, sample_app.Y, sample_app.Z]
+TRANSPORTS = ("soap", "rmi", "corba")
+
+
+def _deploy(transport: str):
+    app = ApplicationTransformer(
+        place_classes_on({"Y": "server"}, transport=transport)
+    ).transform(CLASSES)
+    cluster = Cluster(("client", "server"))
+    app.deploy(cluster, default_node="client")
+    return app, cluster
+
+
+class TestSameResultOnEveryTransport:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_remote_result_matches_local_result(self, transport):
+        local_app = ApplicationTransformer(all_local_policy()).transform(CLASSES)
+        local_y = local_app.new("Y", 5)
+        expected = local_app.new("X", local_y).m(3)
+
+        app, _ = _deploy(transport)
+        y = app.new("Y", 5)
+        assert type(y).__name__ == f"Y_O_Proxy_{transport.upper()}"
+        assert app.new("X", y).m(3) == expected
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_figure1_scenario_is_transport_independent(self, transport):
+        oracle = run_figure1_plain()
+        app = ApplicationTransformer(
+            place_classes_on({"C": "server"}, transport=transport)
+        ).transform([A, B, C])
+        app.deploy(Cluster(("client", "server")), default_node="client")
+        assert run_figure1_scenario(app).as_tuple() == oracle.as_tuple()
+
+    def test_exceptions_cross_every_transport(self):
+        from repro.errors import RemoteInvocationError
+
+        for transport in TRANSPORTS:
+            app, _ = _deploy(transport)
+            y = app.new("Y", None)  # base None: n() raises TypeError remotely
+            with pytest.raises(RemoteInvocationError):
+                y.n(1)
+
+
+class TestTransportCostOrdering:
+    def test_soap_moves_more_bytes_than_corba_than_rmi(self):
+        bytes_per_transport = {}
+        for transport in TRANSPORTS:
+            app, cluster = _deploy(transport)
+            y = app.new("Y", 5)
+            for value in range(10):
+                y.n(value)
+            bytes_per_transport[transport] = cluster.metrics.total_bytes
+        assert (
+            bytes_per_transport["soap"]
+            > bytes_per_transport["corba"]
+            > bytes_per_transport["rmi"]
+        )
+
+    def test_soap_costs_more_simulated_time_than_rmi(self):
+        elapsed = {}
+        for transport in ("soap", "rmi"):
+            app, cluster = _deploy(transport)
+            y = app.new("Y", 5)
+            for value in range(10):
+                y.n(value)
+            elapsed[transport] = cluster.clock.now
+        assert elapsed["soap"] > elapsed["rmi"]
+
+    def test_message_counts_are_identical_across_transports(self):
+        """Interchangeability: the protocols differ in cost, not in structure."""
+        counts = set()
+        for transport in TRANSPORTS:
+            app, cluster = _deploy(transport)
+            y = app.new("Y", 5)
+            for value in range(5):
+                y.n(value)
+            counts.add(cluster.metrics.total_messages)
+        assert len(counts) == 1
+
+
+class TestMixedAndSwappedTransports:
+    def test_different_classes_can_use_different_transports(self):
+        policy = all_local_policy()
+        policy.set_class("Y", instances=remote("server", transport="soap"))
+        policy.set_class("Z", instances=remote("server", transport="corba"))
+        app = ApplicationTransformer(policy).transform(CLASSES)
+        app.deploy(Cluster(("client", "server")), default_node="client")
+        assert type(app.new("Y", 1)).__name__ == "Y_O_Proxy_SOAP"
+        assert type(app.new("Z", 2)).__name__ == "Z_O_Proxy_CORBA"
+
+    def test_transport_swap_mid_run_preserves_behaviour(self):
+        policy = all_local_policy()
+        policy.set_class("Y", instances=remote("server", dynamic=True))
+        app = ApplicationTransformer(policy).transform(CLASSES)
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, default_node="client")
+        controller = DistributionController(app, cluster)
+
+        y = app.new("Y", 5)
+        first = y.n(1)
+        for transport in ("soap", "corba", "rmi"):
+            controller.set_transport(y, transport)
+            assert y.n(1) == first
+
+    def test_callers_only_depend_on_the_interface(self):
+        """A holder written against Y_O_Int accepts local, proxy and handle alike."""
+        app, cluster = _deploy("rmi")
+        interface = app.interface("Y")
+        remote_y = app.new("Y", 5)
+        local_y = app.new_local("Y", 5)
+        assert isinstance(remote_y, interface) and isinstance(local_y, interface)
+        x = app.new("X", remote_y)
+        x_local = app.new("X", local_y)
+        assert x.m(2) == x_local.m(2)

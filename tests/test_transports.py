@@ -1,0 +1,154 @@
+"""Unit tests for the interchangeable transports (SOAP, RMI, CORBA, in-process)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TransportError, UnknownTransportError
+from repro.transports.base import TransportRegistry, frame_message, unframe_message
+from repro.transports.codec import BinaryReader, BinaryWriter, decode_message, encode_message
+from repro.transports.corba import CorbaTransport
+from repro.transports.inproc import InProcTransport
+from repro.transports.rmi import RmiTransport
+from repro.transports.soap import SoapTransport
+
+ALL_TRANSPORTS = [SoapTransport(), RmiTransport(), CorbaTransport(), InProcTransport()]
+
+SAMPLE_REQUEST = {
+    "target": "server:12",
+    "interface": "Cache_O_Int",
+    "member": "put",
+    "args": ["key-1", 42, 3.5, True, None, [1, 2, 3], {"nested": "map"}],
+    "kwargs": {"overwrite": False},
+}
+
+SAMPLE_RESPONSE_OK = {"result": {"__kind__": "list", "items": [1, "two", None]}}
+SAMPLE_RESPONSE_ERROR = {"error": {"type": "KeyError", "message": "missing"}}
+
+
+@pytest.mark.parametrize("transport", ALL_TRANSPORTS, ids=lambda t: t.name)
+class TestRoundTrips:
+    def test_request_round_trip(self, transport):
+        payload = transport.encode_request(SAMPLE_REQUEST)
+        assert isinstance(payload, bytes) and payload
+        decoded = transport.decode_request(payload)
+        assert decoded["target"] == SAMPLE_REQUEST["target"]
+        assert decoded["member"] == "put"
+        assert list(decoded["args"]) == list(SAMPLE_REQUEST["args"])
+        assert decoded["kwargs"] == SAMPLE_REQUEST["kwargs"]
+
+    def test_success_response_round_trip(self, transport):
+        payload = transport.encode_response(SAMPLE_RESPONSE_OK)
+        decoded = transport.decode_response(payload)
+        assert decoded["result"] == SAMPLE_RESPONSE_OK["result"]
+
+    def test_error_response_round_trip(self, transport):
+        payload = transport.encode_response(SAMPLE_RESPONSE_ERROR)
+        decoded = transport.decode_response(payload)
+        assert decoded["error"]["type"] == "KeyError"
+        assert decoded["error"]["message"] == "missing"
+
+    def test_empty_arguments(self, transport):
+        request = {"target": "t", "interface": "I", "member": "m", "args": [], "kwargs": {}}
+        decoded = transport.decode_request(transport.encode_request(request))
+        assert list(decoded["args"]) == []
+        assert decoded["kwargs"] == {}
+
+    def test_unicode_strings_survive(self, transport):
+        request = dict(SAMPLE_REQUEST, args=["héllo wörld ✓"])
+        decoded = transport.decode_request(transport.encode_request(request))
+        assert decoded["args"][0] == "héllo wörld ✓"
+
+    def test_malformed_payload_raises(self, transport):
+        with pytest.raises(TransportError):
+            transport.decode_request(b"\x00\x01garbage that is not a message")
+
+
+class TestRelativeCosts:
+    """The paper's transports differ in verbosity; the ordering must hold."""
+
+    def test_soap_messages_are_larger_than_binary_ones(self):
+        soap = SoapTransport().encode_request(SAMPLE_REQUEST)
+        rmi = RmiTransport().encode_request(SAMPLE_REQUEST)
+        corba = CorbaTransport().encode_request(SAMPLE_REQUEST)
+        assert len(soap) > len(corba) > len(rmi)
+
+    def test_processing_overhead_ordering(self):
+        assert SoapTransport().processing_overhead > CorbaTransport().processing_overhead
+        assert CorbaTransport().processing_overhead > RmiTransport().processing_overhead
+        assert InProcTransport().processing_overhead == 0.0
+
+    def test_message_type_confusion_is_detected(self):
+        rmi = RmiTransport()
+        request_payload = rmi.encode_request(SAMPLE_REQUEST)
+        with pytest.raises(TransportError):
+            rmi.decode_response(request_payload)
+
+    def test_corba_header_carries_body_length(self):
+        corba = CorbaTransport()
+        payload = corba.encode_request(SAMPLE_REQUEST)
+        with pytest.raises(TransportError):
+            corba.decode_request(payload[:-1])  # truncated body
+
+
+class TestBinaryCodec:
+    def test_scalar_round_trips(self):
+        for value in (None, True, False, 0, -17, 2**40, 3.25, "text", ""):
+            writer = BinaryWriter()
+            writer.write_value(value)
+            assert BinaryReader(writer.getvalue()).read_value() == value
+
+    def test_nested_structures(self):
+        value = {"list": [1, [2, {"x": None}]], "flag": True}
+        assert decode_message(encode_message(value)) == value
+
+    def test_alignment_round_trip(self):
+        value = {"a": 1, "b": [1.5, 2.5], "c": "padded"}
+        assert decode_message(encode_message(value, alignment=8), alignment=8) == value
+
+    def test_non_string_map_keys_rejected(self):
+        writer = BinaryWriter()
+        with pytest.raises(TransportError):
+            writer.write_value({1: "x"})
+
+    def test_unmarshallable_python_object_rejected(self):
+        writer = BinaryWriter()
+        with pytest.raises(TransportError):
+            writer.write_value(object())
+
+    def test_truncated_stream_detected(self):
+        payload = encode_message({"k": "value"})
+        with pytest.raises(TransportError):
+            decode_message(payload[:-3])
+
+
+class TestRegistryAndFraming:
+    def test_registry_lookup(self):
+        registry = TransportRegistry(ALL_TRANSPORTS)
+        assert registry.get("soap").name == "soap"
+        assert "rmi" in registry
+        assert registry.names() == {"soap", "rmi", "corba", "inproc"}
+        assert len(registry) == 4
+
+    def test_unknown_transport_raises_with_available_listing(self):
+        registry = TransportRegistry([RmiTransport()])
+        with pytest.raises(UnknownTransportError) as excinfo:
+            registry.get("iiop")
+        assert "rmi" in str(excinfo.value)
+
+    def test_frame_unframe_round_trip(self):
+        framed = frame_message("soap", b"<xml/>")
+        assert unframe_message(framed) == ("soap", b"<xml/>")
+
+    def test_frame_preserves_binary_bodies_containing_newlines(self):
+        framed = frame_message("rmi", b"line1\nline2")
+        name, body = unframe_message(framed)
+        assert name == "rmi" and body == b"line1\nline2"
+
+    def test_unframe_rejects_malformed_payload(self):
+        with pytest.raises(TransportError):
+            unframe_message(b"no-prefix-here")
+
+    def test_soap_rejects_non_wire_values(self):
+        with pytest.raises(TransportError):
+            SoapTransport().encode_request({"target": "t", "member": "m", "args": [object()], "kwargs": {}})

@@ -1,0 +1,145 @@
+"""Unit tests for the synthetic application workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.transformer import ApplicationTransformer
+from repro.policy.policy import all_local_policy, place_classes_on
+from repro.runtime.cluster import Cluster
+from repro.workloads.figure1 import run_figure1_plain
+from repro.workloads.orders import (
+    Catalog,
+    CustomerSession,
+    OrderStore,
+    run_order_phase,
+    seed_catalog,
+)
+from repro.workloads.pipeline import Buffer, Consumer, Producer, run_pipeline
+from repro.workloads.shared_cache import Cache, CacheClient, run_cache_workload
+
+PIPELINE = [Buffer, Producer, Consumer]
+CACHE = [Cache, CacheClient]
+ORDERS = [Catalog, OrderStore, CustomerSession]
+
+
+class TestFigure1Workload:
+    def test_plain_run_is_deterministic(self):
+        assert run_figure1_plain().as_tuple() == run_figure1_plain().as_tuple()
+
+    def test_totals_reflect_both_writers(self):
+        result = run_figure1_plain((2, 4))
+        assert result.total == 2 + 4 + 4 + 8
+        assert result.description.endswith(str(result.total))
+
+
+class TestCacheWorkload:
+    def test_plain_cache_semantics(self):
+        cache = Cache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts the oldest entry
+        assert cache.size() == 2
+        assert cache.get("c") == 3
+        assert cache.get("a") is None
+        assert 0.0 < cache.hit_rate() < 1.0
+        assert cache.clear()
+        assert cache.size() == 0
+
+    def test_client_warm_and_read_back(self):
+        cache = Cache(64)
+        client = CacheClient("alpha", cache)
+        assert client.warm(10) == 10
+        assert client.read_back(10) == 10
+        assert client.operations == 20
+
+    def test_workload_runs_on_a_transformed_local_application(self):
+        app = ApplicationTransformer(all_local_policy()).transform(CACHE)
+        stats = run_cache_workload(app, clients=2, writes_per_client=5, reads_per_client=5)
+        assert stats.operations == 20
+        assert stats.hits == 10
+        assert stats.misses == 0
+        assert stats.hit_rate == 1.0
+
+    def test_workload_is_identical_when_the_cache_is_remote(self):
+        local_app = ApplicationTransformer(all_local_policy()).transform(CACHE)
+        expected = run_cache_workload(local_app, clients=2, writes_per_client=4, reads_per_client=4)
+
+        remote_app = ApplicationTransformer(place_classes_on({"Cache": "server"})).transform(CACHE)
+        cluster = Cluster(("client", "server"))
+        remote_app.deploy(cluster, default_node="client")
+        observed = run_cache_workload(remote_app, clients=2, writes_per_client=4, reads_per_client=4)
+        assert observed == expected
+        assert cluster.metrics.total_messages > 0
+
+
+class TestPipelineWorkload:
+    def test_plain_pipeline_semantics(self):
+        buffer = Buffer(3)
+        producer = Producer(buffer)
+        consumer = Consumer(buffer)
+        producer.produce(5)
+        assert producer.produced == 3 and producer.dropped == 2
+        assert buffer.depth() == 3
+        consumer.drain(10)
+        assert consumer.consumed == 3
+        assert buffer.depth() == 0
+        assert buffer.poll() is None
+
+    def test_pipeline_runs_on_a_transformed_application(self):
+        app = ApplicationTransformer(all_local_policy()).transform(PIPELINE)
+        outcome = run_pipeline(app, rounds=3, batch=4, capacity=16)
+        assert outcome["produced"] == 12
+        assert outcome["consumed"] == 12
+        assert outcome["checksum"] == sum(range(12))
+        assert outcome["residual_depth"] == 0
+
+    def test_pipeline_with_remote_buffer_matches_local(self):
+        local_app = ApplicationTransformer(all_local_policy()).transform(PIPELINE)
+        expected = run_pipeline(local_app, rounds=3, batch=4)
+
+        remote_app = ApplicationTransformer(place_classes_on({"Buffer": "queue-node"})).transform(
+            PIPELINE
+        )
+        remote_app.deploy(Cluster(("worker", "queue-node")), default_node="worker")
+        assert run_pipeline(remote_app, rounds=3, batch=4) == expected
+
+
+class TestOrdersWorkload:
+    def test_catalog_and_order_store_semantics(self):
+        catalog = Catalog()
+        orders = OrderStore()
+        catalog.add_product("sku-1", 10, 5)
+        session = CustomerSession("alice", catalog, orders)
+        assert session.browse(["sku-1", "missing"]) == 10
+        order_id = session.buy("sku-1", 2)
+        assert order_id == 0
+        assert orders.pending() == [0]
+        assert orders.fulfil(order_id)
+        assert not orders.fulfil(order_id)
+        assert orders.revenue() == 20
+        assert not catalog.reserve("sku-1", 100)
+        assert session.buy("missing", 1) == -1
+
+    def test_phases_run_against_a_deployed_application(self):
+        app = ApplicationTransformer(all_local_policy(dynamic=True)).transform(ORDERS)
+        app.deploy(Cluster(("front", "warehouse")), default_node="front")
+        catalog = app.new("Catalog")
+        orders = app.new("OrderStore")
+        seed_catalog(catalog, 10)
+
+        browse = run_order_phase(app, catalog, orders, phase="browse", node="front", iterations=8)
+        assert browse["browsed"] == 16
+        assert browse["placed"] >= 1
+
+        fulfil = run_order_phase(app, catalog, orders, phase="fulfil", node="warehouse")
+        assert fulfil["fulfilled"] == browse["placed"]
+        assert orders.revenue() > 0
+
+    def test_unknown_phase_is_rejected(self):
+        app = ApplicationTransformer(all_local_policy()).transform(ORDERS)
+        app.deploy(Cluster(("front",)), default_node="front")
+        catalog = app.new("Catalog")
+        orders = app.new("OrderStore")
+        with pytest.raises(ValueError):
+            run_order_phase(app, catalog, orders, phase="meditate", node="front")
