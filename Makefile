@@ -1,0 +1,12 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test bench-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_batching.py
+
+check: test bench-smoke

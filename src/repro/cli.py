@@ -22,6 +22,10 @@ run against their own code base before deploying it:
     Print a policy JSON skeleton placing the named classes round-robin on the
     named nodes, as a starting point for hand editing.
 
+``repro bench-batching [--transports soap,rmi] [--orders N] [--batch-size B]``
+    Run the bulk-order workload batched and unbatched on a simulated two-node
+    cluster and report the per-call simulated cost and speedup per transport.
+
 Run ``python -m repro --help`` for the full syntax.
 """
 
@@ -163,6 +167,49 @@ def command_corpus_study(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def command_bench_batching(args: argparse.Namespace, out) -> int:
+    from repro.runtime.cluster import Cluster, default_transport_registry
+    from repro.workloads.bulk_orders import run_bulk_order_scenario
+
+    transports = _split_csv(args.transports) or ["inproc", "rmi", "corba", "soap"]
+    known = default_transport_registry().names()
+    unknown = [name for name in transports if name not in known]
+    if unknown:
+        print(f"unknown transports: {', '.join(unknown)}", file=out)
+        return 1
+    if args.batch_size < 2:
+        print("--batch-size must be at least 2", file=out)
+        return 1
+    if args.orders < 1:
+        print("--orders must be at least 1", file=out)
+        return 1
+
+    print(
+        f"bulk-order workload: {args.orders} orders, batch window {args.batch_size}",
+        file=out,
+    )
+    print(
+        f"{'transport':9s} {'unbatched/call':>15s} {'batched/call':>14s} {'speedup':>9s}",
+        file=out,
+    )
+    for transport in transports:
+        unbatched = run_bulk_order_scenario(
+            Cluster(("client", "server")),
+            transport=transport, orders=args.orders, batch_size=1,
+        )
+        batched = run_bulk_order_scenario(
+            Cluster(("client", "server")),
+            transport=transport, orders=args.orders, batch_size=args.batch_size,
+        )
+        speedup = unbatched["per_call_seconds"] / batched["per_call_seconds"]
+        print(
+            f"{transport:9s} {unbatched['per_call_seconds']:13.6f} s "
+            f"{batched['per_call_seconds']:12.6f} s {speedup:7.1f}x",
+            file=out,
+        )
+    return 0
+
+
 def command_policy_template(args: argparse.Namespace, out) -> int:
     classes = _split_csv(args.classes)
     nodes = _split_csv(args.nodes)
@@ -216,6 +263,15 @@ def build_parser() -> argparse.ArgumentParser:
     template.add_argument("--transport", default="rmi")
     template.add_argument("--dynamic", action="store_true")
     template.set_defaults(handler=command_policy_template)
+
+    batching = subparsers.add_parser(
+        "bench-batching",
+        help="compare batched vs unbatched remote invocation per transport",
+    )
+    batching.add_argument("--transports", help="comma-separated transports (default: all)")
+    batching.add_argument("--orders", type=int, default=128)
+    batching.add_argument("--batch-size", type=int, default=32)
+    batching.set_defaults(handler=command_bench_batching)
 
     return parser
 

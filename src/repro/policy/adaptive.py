@@ -15,6 +15,18 @@ half of that loop:
 
 The manager implements a simple affinity heuristic; richer policies can be
 plugged in by subclassing and overriding :meth:`AdaptiveDistributionManager.suggest_for`.
+
+Batch-awareness
+---------------
+
+When callers use the batched invocation path
+(:class:`~repro.runtime.batching.BatchingProxy`), ``n`` remote calls cost
+roughly ``n / B`` message overheads instead of ``n`` — the per-call cost is
+amortised across the batch.  A manager constructed with ``batch_size=B > 1``
+therefore weighs the observed window by ``1 / B`` before comparing it with
+``min_calls``: traffic that is cheap because it is batched no longer
+justifies moving an object.  The default ``batch_size=1`` keeps decisions
+bit-identical to the unbatched heuristic.
 """
 
 from __future__ import annotations
@@ -63,6 +75,9 @@ class RedistributionSuggestion:
     target_node: str
     caller_share: float
     call_count: int
+    #: The window's call count weighted by batch amortisation; equals
+    #: ``call_count`` when the manager is not batch-aware.
+    amortised_calls: float = 0.0
 
     def describe(self) -> str:
         return (
@@ -94,13 +109,20 @@ class AdaptiveDistributionManager:
         *,
         threshold: float = 0.6,
         min_calls: int = 10,
+        batch_size: int = 1,
     ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise RedistributionError("threshold must be in (0, 1]")
+        if batch_size < 1:
+            raise RedistributionError("batch_size must be at least 1")
         self.application = application
         self.controller = controller
         self.threshold = threshold
         self.min_calls = min_calls
+        #: Batch window the callers are assumed to use; ``1`` means the
+        #: unbatched invocation path (decisions identical to the classic
+        #: heuristic), larger values amortise the observed call counts.
+        self.batch_size = batch_size
         self._monitors: dict[int, AccessMonitor] = {}
         self.history: list[AdaptationRecord] = []
 
@@ -139,13 +161,25 @@ class AdaptiveDistributionManager:
     # decisions
     # ------------------------------------------------------------------
 
+    def amortised_call_count(self, monitor: AccessMonitor) -> float:
+        """The monitor's window weighted by batch amortisation.
+
+        ``n`` batched calls cost about ``n / batch_size`` round-trip
+        overheads, so that is the quantity compared against ``min_calls``.
+        With ``batch_size == 1`` this is exactly ``monitor.total_calls``.
+        """
+        if self.batch_size <= 1:
+            return float(monitor.total_calls)
+        return monitor.total_calls / self.batch_size
+
     def suggest_for(self, handle: Any) -> Optional[RedistributionSuggestion]:
         """Apply the affinity heuristic to one monitored handle."""
         monitor = self._monitors.get(id(handle))
         meta = metaobject_of(handle)
         if monitor is None or meta is None:
             return None
-        if monitor.total_calls < self.min_calls:
+        amortised = self.amortised_call_count(monitor)
+        if amortised < self.min_calls:
             return None
         dominant = monitor.dominant_node()
         if dominant is None:
@@ -163,6 +197,7 @@ class AdaptiveDistributionManager:
             target_node=node,
             caller_share=share,
             call_count=monitor.total_calls,
+            amortised_calls=amortised,
         )
 
     def evaluate(self) -> list[RedistributionSuggestion]:

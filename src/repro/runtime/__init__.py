@@ -1,6 +1,7 @@
 """The distributed object layer: address spaces, references, migration."""
 
 from repro.runtime.address_space import AddressSpace
+from repro.runtime.batching import BatchResult, BatchingProxy, PendingCall
 from repro.runtime.faulttolerance import (
     NO_RETRY,
     FailureLog,
@@ -15,7 +16,12 @@ from repro.runtime.cluster import (
     lan_cluster,
     single_node_cluster,
 )
-from repro.runtime.invocation import InvocationRequest, InvocationResponse
+from repro.runtime.invocation import (
+    InvocationBatch,
+    InvocationBatchResponse,
+    InvocationRequest,
+    InvocationResponse,
+)
 from repro.runtime.migration import MigrationRecord, ObjectMigrator, capture_state, restore_state
 from repro.runtime.naming import NamingService
 from repro.runtime.redistribution import BoundaryChange, DistributionController
@@ -24,12 +30,16 @@ from repro.runtime.serialization import Marshaller
 
 __all__ = [
     "AddressSpace",
+    "BatchResult",
+    "BatchingProxy",
     "BoundaryChange",
     "Cluster",
     "DistributionController",
     "FailureLog",
     "FailureObservingInterceptor",
     "FaultTolerantInvoker",
+    "InvocationBatch",
+    "InvocationBatchResponse",
     "InvocationRequest",
     "InvocationResponse",
     "Marshaller",
@@ -38,6 +48,7 @@ __all__ = [
     "NamingService",
     "ObjectIdAllocator",
     "ObjectMigrator",
+    "PendingCall",
     "RemoteRef",
     "RetryPolicy",
     "guard_handle",

@@ -17,18 +17,33 @@ they host whatever objects the application exports into them.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     InvocationError,
     RemoteInvocationError,
+    TransportError,
     UnknownObjectError,
 )
 from repro.network.simnet import SimulatedNetwork
-from repro.runtime.invocation import InvocationRequest, InvocationResponse
+from repro.runtime.batching import BatchResult
+from repro.runtime.invocation import (
+    InvocationBatch,
+    InvocationBatchResponse,
+    InvocationRequest,
+    InvocationResponse,
+)
 from repro.runtime.remote_ref import ObjectIdAllocator, RemoteRef
 from repro.runtime.serialization import Marshaller
-from repro.transports.base import TransportRegistry, frame_message, unframe_message
+from repro.transports.base import (
+    TransportRegistry,
+    frame_batch_message,
+    frame_message,
+    parse_frame,
+)
+
+#: One call of a batch: (reference, member, positional args, keyword args).
+BatchCall = Tuple[RemoteRef, str, tuple, dict]
 
 
 class AddressSpace:
@@ -59,6 +74,10 @@ class AddressSpace:
         self.invocations_served = 0
         #: Number of remote invocations issued from this space.
         self.invocations_sent = 0
+        #: Number of batch messages issued from this space.
+        self.batches_sent = 0
+        #: Number of batch messages served by this space's dispatcher.
+        self.batches_served = 0
 
         network.register(node_id, self._handle_message)
 
@@ -163,7 +182,9 @@ class AddressSpace:
         self.invocations_sent += 1
         raw_response = self.network.send_request(self.node_id, reference.node_id, payload)
 
-        response_name, response_body = unframe_message(raw_response)
+        response_name, response_body, response_is_batch = parse_frame(raw_response)
+        if response_is_batch:
+            raise TransportError("batch response received for a single invocation")
         response_transport = self.transports.get(response_name)
         self.network.clock.advance(response_transport.processing_overhead)
         response = InvocationResponse.from_dict(
@@ -173,13 +194,127 @@ class AddressSpace:
             raise RemoteInvocationError(response.error_type, response.error_message or "")
         return self.marshaller.from_wire(response.result)
 
+    def invoke_remote_many(
+        self,
+        calls: Sequence[BatchCall],
+        transport: Optional[str] = None,
+    ) -> List[BatchResult]:
+        """Invoke N member calls with one framed network message (a batch).
+
+        Every call must target the same destination space; the batch travels
+        as a single wire message, the transport's fixed processing charge and
+        the network round trip are paid once, and the responses come back in
+        request order.  Application errors raised by individual calls are
+        isolated into their :class:`~repro.runtime.batching.BatchResult`
+        slots; a transport- or network-level failure raises and fails the
+        whole batch atomically.
+
+        When the batch targets this very space it short-circuits to direct
+        local invocations (with the same per-call error isolation), mirroring
+        :meth:`invoke_remote`.
+        """
+
+        normalized: list[tuple[RemoteRef, str, tuple, dict]] = []
+        for call in calls:
+            reference, member, args, kwargs = call
+            normalized.append((reference, member, tuple(args), dict(kwargs or {})))
+        if not normalized:
+            return []
+
+        destinations = {reference.node_id for reference, _, _, _ in normalized}
+        if len(destinations) > 1:
+            raise InvocationError(
+                f"a batch must target one address space, got {sorted(destinations)}"
+            )
+        destination = destinations.pop()
+
+        if destination == self.node_id:
+            return self._invoke_batch_locally(normalized)
+
+        transport_impl = self.transports.get(transport or self.default_transport)
+        batch = InvocationBatch()
+        for reference, member, args, kwargs in normalized:
+            wire_args, wire_kwargs = self.marshaller.marshal_arguments(args, kwargs)
+            batch.requests.append(
+                InvocationRequest(
+                    target_id=reference.object_id,
+                    interface_name=reference.interface_name,
+                    member=member,
+                    args=wire_args,
+                    kwargs=wire_kwargs,
+                )
+            )
+        body = transport_impl.encode_batch_request(batch.to_dicts())
+        self.network.clock.advance(transport_impl.batch_processing_overhead(len(batch)))
+        payload = frame_batch_message(transport_impl.name, body)
+
+        self.invocations_sent += len(normalized)
+        self.batches_sent += 1
+        raw_response = self.network.send_request(self.node_id, destination, payload)
+
+        response_name, response_body, response_is_batch = parse_frame(raw_response)
+        if not response_is_batch:
+            raise TransportError("single response received for a batched invocation")
+        response_transport = self.transports.get(response_name)
+        self.network.clock.advance(
+            response_transport.batch_processing_overhead(len(normalized))
+        )
+        batch_response = InvocationBatchResponse.from_dicts(
+            response_transport.decode_batch_response(response_body)
+        )
+        if len(batch_response) != len(normalized):
+            raise TransportError(
+                f"batch response carries {len(batch_response)} results "
+                f"for {len(normalized)} calls"
+            )
+
+        results: list[BatchResult] = []
+        for index, response in enumerate(batch_response):
+            if response.is_error:
+                results.append(
+                    BatchResult(
+                        index=index,
+                        error=RemoteInvocationError(
+                            response.error_type, response.error_message or ""
+                        ),
+                    )
+                )
+            else:
+                results.append(
+                    BatchResult(index=index, value=self.marshaller.from_wire(response.result))
+                )
+        return results
+
+    def _invoke_batch_locally(
+        self, calls: Sequence[tuple[RemoteRef, str, tuple, dict]]
+    ) -> List[BatchResult]:
+        results: list[BatchResult] = []
+        for index, (reference, member, args, kwargs) in enumerate(calls):
+            try:
+                target = self.lookup_local_object(reference.object_id)
+                value = getattr(target, member)(*args, **kwargs)
+            except Exception as error:  # noqa: BLE001 - per-call isolation
+                results.append(BatchResult(index=index, error=error))
+            else:
+                results.append(BatchResult(index=index, value=value))
+        return results
+
     # ------------------------------------------------------------------
     # Incoming invocations (the dispatcher side)
     # ------------------------------------------------------------------
 
     def _handle_message(self, source: str, payload: bytes) -> bytes:
-        transport_name, body = unframe_message(payload)
+        transport_name, body, is_batch = parse_frame(payload)
         transport = self.transports.get(transport_name)
+        if is_batch:
+            self.batches_served += 1
+            batch = InvocationBatch.from_dicts(transport.decode_batch_request(body))
+            responses = InvocationBatchResponse(
+                [self._dispatch(request) for request in batch]
+            )
+            return frame_batch_message(
+                transport_name, transport.encode_batch_response(responses.to_dicts())
+            )
         request = InvocationRequest.from_dict(transport.decode_request(body))
         response = self._dispatch(request)
         return frame_message(transport_name, transport.encode_response(response.to_dict()))

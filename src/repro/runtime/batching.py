@@ -1,0 +1,260 @@
+"""Client-side batching and pipelining of remote invocations.
+
+:meth:`~repro.runtime.address_space.AddressSpace.invoke_remote_many` ships N
+calls in one framed network message; this module supplies the ergonomic layer
+above it:
+
+* :class:`BatchResult` — the per-call outcome slot of a batch, isolating
+  application errors so one failing call does not poison its neighbours.
+* :class:`PendingCall` — the placeholder a buffered call returns immediately;
+  the real result (or error) materialises when the buffer flushes.
+* :class:`BatchingProxy` — wraps a generated proxy, a rebindable handle or a
+  raw :class:`~repro.runtime.remote_ref.RemoteRef` and turns attribute calls
+  into buffered, pipelined invocations with automatic flushing.
+
+The pipeline model is deliberately simple: calls are issued in order without
+waiting for individual responses, and one response message resolves the whole
+window.  A transport-level failure (drop, partition, unreachable node) fails
+the in-flight batch atomically — every pending call in the window observes
+the same network error, and no partial results are surfaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.errors import InvocationError
+from repro.runtime.remote_ref import RemoteRef, reference_of
+
+
+@dataclass
+class BatchResult:
+    """The outcome of one call inside a batch, in request order."""
+
+    index: int
+    value: Any = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The call's result; re-raises the call's error if it failed."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class PendingCall:
+    """A buffered invocation awaiting its batch's round trip."""
+
+    def __init__(self, owner: "BatchingProxy", member: str) -> None:
+        self._owner = owner
+        self.member = member
+        self._resolved = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    def _resolve(self, value: Any) -> None:
+        self._resolved = True
+        self._value = value
+
+    def _fail(self, error: BaseException) -> None:
+        self._resolved = True
+        self._error = error
+
+    def result(self) -> Any:
+        """The call's result, flushing the owning buffer if still pending."""
+        if not self._resolved:
+            self._owner.flush()
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self._resolved:
+            state = "error" if self._error is not None else "ok"
+        return f"<PendingCall {self.member!r} {state}>"
+
+
+@dataclass
+class _QueuedCall:
+    member: str
+    args: tuple
+    kwargs: dict
+    pending: PendingCall = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class BatchingProxy:
+    """Buffers calls to one remote object and ships them as batches.
+
+    Wrap any generated proxy, rebindable handle or raw reference::
+
+        batch = BatchingProxy(store, max_batch=32)
+        pending = [batch.submit(sku, 1) for sku in skus]   # no round trips yet
+        batch.flush()                                      # one message, N calls
+        ids = [p.result() for p in pending]
+
+    Calls auto-flush whenever the buffer reaches ``max_batch``, so a tight
+    loop of M calls costs ``ceil(M / max_batch)`` round trips.  Used as a
+    context manager, the remaining tail flushes on clean exit.
+
+    Buffered members are assumed to be independent: a later call must not
+    need the return value of an earlier unflushed one (it can, however,
+    observe its server-side effects, since batches execute in order).
+    """
+
+    def __init__(
+        self,
+        target: Any,
+        *,
+        space: Any = None,
+        max_batch: int = 32,
+        transport: Optional[str] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise InvocationError("max_batch must be at least 1")
+        if isinstance(target, RemoteRef):
+            reference = target
+        else:
+            reference = reference_of(target)
+        if reference is None:
+            raise InvocationError(
+                "BatchingProxy needs a remote reference: pass a proxy, a handle "
+                "bound to one, or a RemoteRef"
+            )
+        if space is None:
+            space = self._space_behind(target)
+        if space is None:
+            raise InvocationError(
+                "BatchingProxy could not determine the calling address space; "
+                "pass space=... explicitly"
+            )
+        self._reference = reference
+        #: The wrapped proxy/handle, kept so rebinds are picked up at flush
+        #: time; ``None`` when a raw reference was wrapped.
+        self._target = None if isinstance(target, RemoteRef) else target
+        self._space = space
+        self._transport = transport
+        self.max_batch = max_batch
+        self._queue: List[_QueuedCall] = []
+        #: Number of logical calls enqueued through this proxy.
+        self.calls_enqueued = 0
+        #: Number of batch messages flushed (auto or explicit).
+        self.batches_flushed = 0
+
+    @staticmethod
+    def _space_behind(target: Any) -> Any:
+        space = getattr(target, "_space", None)
+        if space is not None:
+            return space
+        meta = getattr(target, "__meta__", None)
+        if meta is not None:
+            return getattr(meta.target, "_space", None)
+        return None
+
+    def _refresh_reference(self) -> RemoteRef:
+        """Re-resolve the target's reference before shipping a batch.
+
+        A rebindable handle may have been migrated (e.g. by the adaptive
+        manager) since this proxy was built; shipping to the reference
+        captured at construction would hit the retired export.  Raw
+        references are immutable and used as-is.
+        """
+        if self._target is None:
+            return self._reference
+        reference = reference_of(self._target)
+        if reference is None:
+            # The handle may have been rebound to a local implementation;
+            # reuse (or mint) its export from the space it now lives in.
+            meta = getattr(self._target, "__meta__", None)
+            implementation = meta.target if meta is not None else None
+            if implementation is not None:
+                reference = self._space.reference_for(implementation)
+                if reference is None and getattr(meta, "node_id", None) == getattr(
+                    self._space, "node_id", None
+                ):
+                    reference = self._space.export(implementation)
+        if reference is not None:
+            self._reference = reference
+        return self._reference
+
+    # ------------------------------------------------------------------
+    # enqueueing
+    # ------------------------------------------------------------------
+
+    def call(self, member: str, *args: Any, **kwargs: Any) -> PendingCall:
+        """Queue one invocation; returns its placeholder immediately."""
+        pending = PendingCall(self, member)
+        self._queue.append(_QueuedCall(member, args, kwargs, pending))
+        self.calls_enqueued += 1
+        if len(self._queue) >= self.max_batch:
+            self.flush()
+        return pending
+
+    def __getattr__(self, member: str) -> Any:
+        if member.startswith("_"):
+            raise AttributeError(member)
+
+        def enqueue(*args: Any, **kwargs: Any) -> PendingCall:
+            return self.call(member, *args, **kwargs)
+
+        enqueue.__name__ = member
+        return enqueue
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+
+    def flush(self) -> List[BatchResult]:
+        """Ship every queued call as one batch and resolve its placeholders.
+
+        Returns the batch's :class:`BatchResult` list.  A transport-level
+        failure marks every in-flight placeholder with the network error and
+        re-raises it — the batch fails atomically.
+        """
+        if not self._queue:
+            return []
+        window, self._queue = self._queue, []
+        reference = self._refresh_reference()
+        calls = [(reference, item.member, item.args, item.kwargs) for item in window]
+        try:
+            results = self._space.invoke_remote_many(calls, transport=self._transport)
+        except Exception as error:
+            for item in window:
+                item.pending._fail(error)
+            raise
+        self.batches_flushed += 1
+        for item, result in zip(window, results):
+            if result.ok:
+                item.pending._resolve(result.value)
+            else:
+                item.pending._fail(result.error)
+        return results
+
+    # ------------------------------------------------------------------
+    # context manager
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "BatchingProxy":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BatchingProxy {self._reference} queued={len(self._queue)} "
+            f"max_batch={self.max_batch}>"
+        )

@@ -3,14 +3,18 @@
 A remote method call is represented by an :class:`InvocationRequest` (which
 object, which member, which — already marshalled — arguments) and an
 :class:`InvocationResponse` (a marshalled result or an error description).
-Transports only ever see the dictionary form of these messages, so every
-protocol carries exactly the same logical content.
+N calls travelling together form an :class:`InvocationBatch`, answered by an
+:class:`InvocationBatchResponse` that preserves request order and isolates
+per-call errors.  Transports only ever see the dictionary form of these
+messages, so every protocol carries exactly the same logical content.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, List, Optional
+
+from repro.errors import TransportError
 
 
 @dataclass
@@ -62,12 +66,20 @@ class InvocationResponse:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "InvocationResponse":
+        if not isinstance(payload, dict):
+            raise TransportError(
+                f"invocation response must be a dictionary, got {type(payload).__name__}"
+            )
         error = payload.get("error")
-        if error:
+        if error is not None:
+            if not isinstance(error, dict):
+                raise TransportError(
+                    f"invocation error payload must be a dictionary, got {type(error).__name__}"
+                )
             return cls(
                 result=None,
-                error_type=error.get("type", "Exception"),
-                error_message=error.get("message", ""),
+                error_type=str(error.get("type", "Exception")),
+                error_message=str(error.get("message", "")),
             )
         return cls(result=payload.get("result"))
 
@@ -78,3 +90,66 @@ class InvocationResponse:
     @classmethod
     def for_exception(cls, exc: BaseException) -> "InvocationResponse":
         return cls(result=None, error_type=type(exc).__name__, error_message=str(exc))
+
+
+@dataclass
+class InvocationBatch:
+    """An ordered group of invocation requests carried by one wire message.
+
+    A batch amortises per-message transport cost: the sending space frames
+    and ships one message for N calls, and the simulated network charges one
+    round trip instead of N.  All requests in a batch must target objects in
+    the same destination address space.
+    """
+
+    requests: List[InvocationRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def to_dicts(self) -> list[dict]:
+        return [request.to_dict() for request in self.requests]
+
+    @classmethod
+    def from_dicts(cls, payloads: list) -> "InvocationBatch":
+        if not isinstance(payloads, (list, tuple)):
+            raise TransportError(
+                f"invocation batch must be a list, got {type(payloads).__name__}"
+            )
+        return cls(requests=[InvocationRequest.from_dict(item) for item in payloads])
+
+
+@dataclass
+class InvocationBatchResponse:
+    """Per-call outcomes of a batch, in request order.
+
+    A transport-level failure fails the whole batch (the message never makes
+    it back), but application errors raised by individual calls are carried
+    here per slot, so one failing call does not poison its neighbours.
+    """
+
+    responses: List[InvocationResponse] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def __iter__(self):
+        return iter(self.responses)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for response in self.responses if response.is_error)
+
+    def to_dicts(self) -> list[dict]:
+        return [response.to_dict() for response in self.responses]
+
+    @classmethod
+    def from_dicts(cls, payloads: list) -> "InvocationBatchResponse":
+        if not isinstance(payloads, (list, tuple)):
+            raise TransportError(
+                f"invocation batch response must be a list, got {type(payloads).__name__}"
+            )
+        return cls(responses=[InvocationResponse.from_dict(item) for item in payloads])

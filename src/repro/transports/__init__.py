@@ -1,9 +1,12 @@
 """Interchangeable wire protocols behind the generated proxy classes."""
 
 from repro.transports.base import (
+    BATCH_FRAME_MARKER,
     Transport,
     TransportRegistry,
+    frame_batch_message,
     frame_message,
+    parse_frame,
     unframe_message,
 )
 from repro.transports.corba import CorbaTransport
@@ -12,12 +15,15 @@ from repro.transports.rmi import RmiTransport
 from repro.transports.soap import SoapTransport
 
 __all__ = [
+    "BATCH_FRAME_MARKER",
     "CorbaTransport",
     "InProcTransport",
     "RmiTransport",
     "SoapTransport",
     "Transport",
     "TransportRegistry",
+    "frame_batch_message",
     "frame_message",
+    "parse_frame",
     "unframe_message",
 ]

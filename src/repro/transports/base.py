@@ -54,12 +54,48 @@ class Transport(abc.ABC):
     def decode_response(self, payload: bytes) -> dict:
         """Parse a wire response back into a response dictionary."""
 
+    # -- batches -------------------------------------------------------------
+    #
+    # A batch carries N request (or response) dictionaries in ONE wire
+    # message.  Each protocol provides a native batch encoding (a distinct
+    # message type for the binary protocols, a distinct envelope element for
+    # SOAP, a wrapper object for JSON) so that batches remain interchangeable
+    # across transports exactly like single calls.  Transports that predate
+    # batching may leave these unimplemented; callers get a typed error.
+
+    def encode_batch_request(self, requests: list) -> bytes:
+        """Serialise a list of request dictionaries into one wire message."""
+        raise TransportError(f"transport {self.name!r} does not support batching")
+
+    def decode_batch_request(self, payload: bytes) -> list:
+        """Parse a wire batch back into a list of request dictionaries."""
+        raise TransportError(f"transport {self.name!r} does not support batching")
+
+    def encode_batch_response(self, responses: list) -> bytes:
+        """Serialise a list of response dictionaries into one wire message."""
+        raise TransportError(f"transport {self.name!r} does not support batching")
+
+    def decode_batch_response(self, payload: bytes) -> list:
+        """Parse a wire batch back into a list of response dictionaries."""
+        raise TransportError(f"transport {self.name!r} does not support batching")
+
     # -- cost model ----------------------------------------------------------
 
     #: Fixed per-call processing overhead charged to the simulated clock, in
     #: seconds (marshalling cost beyond raw byte size).  Values are relative:
     #: text protocols pay more than binary ones.
     processing_overhead: float = 0.0
+
+    def batch_processing_overhead(self, call_count: int) -> float:
+        """Simulated processing charge for one batched message of N calls.
+
+        The protocol machinery (envelope building, header packing, parser
+        setup) runs once per *message*, not once per call, so the default
+        model charges the fixed ``processing_overhead`` once per batch — this
+        is the amortisation that makes batching pay off.  Subclasses can
+        override to model protocols whose per-call marshalling dominates.
+        """
+        return self.processing_overhead if call_count > 0 else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -99,6 +135,13 @@ class TransportRegistry:
         return len(self._transports)
 
 
+#: Frame-prefix suffix marking a message body as a batch.  The receiving
+#: address space routes such frames to the transport's batch decoder instead
+#: of the single-call one (the wire body additionally self-describes via the
+#: protocol's own batch message type).
+BATCH_FRAME_MARKER = "!batch"
+
+
 def frame_message(transport_name: str, body: bytes) -> bytes:
     """Prefix a wire message with the transport that produced it.
 
@@ -112,6 +155,15 @@ def frame_message(transport_name: str, body: bytes) -> bytes:
     return transport_name.encode("ascii") + b"\n" + body
 
 
+def frame_batch_message(transport_name: str, body: bytes) -> bytes:
+    """Frame a batched wire message; the prefix carries the batch marker."""
+    if BATCH_FRAME_MARKER in transport_name:
+        raise TransportError(
+            f"transport names must not contain {BATCH_FRAME_MARKER!r}"
+        )
+    return frame_message(transport_name + BATCH_FRAME_MARKER, body)
+
+
 def unframe_message(payload: bytes) -> tuple[str, bytes]:
     """Split a framed message into (transport name, body)."""
     try:
@@ -119,3 +171,11 @@ def unframe_message(payload: bytes) -> tuple[str, bytes]:
     except ValueError as exc:
         raise TransportError("malformed framed message: missing transport prefix") from exc
     return name.decode("ascii"), body
+
+
+def parse_frame(payload: bytes) -> tuple[str, bytes, bool]:
+    """Split a framed message into (transport name, body, is_batch)."""
+    name, body = unframe_message(payload)
+    if name.endswith(BATCH_FRAME_MARKER):
+        return name[: -len(BATCH_FRAME_MARKER)], body, True
+    return name, body, False

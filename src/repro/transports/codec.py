@@ -196,3 +196,27 @@ def decode_message(payload: bytes, alignment: int = 1) -> dict:
     if not isinstance(value, dict):
         raise TransportError("binary message did not contain a dictionary")
     return value
+
+
+def encode_message_list(messages: list, alignment: int = 1) -> bytes:
+    """Encode a batch of request/response dictionaries as one tagged list.
+
+    The batch shares one writer (and therefore one alignment stream), so the
+    framing cost of the encoding is paid once for the whole batch rather than
+    once per message.
+    """
+    writer = BinaryWriter(alignment=alignment)
+    writer.write_value(list(messages))
+    return writer.getvalue()
+
+
+def decode_message_list(payload: bytes, alignment: int = 1) -> list[dict]:
+    """Decode a batch produced by :func:`encode_message_list`."""
+    reader = BinaryReader(payload, alignment=alignment)
+    value = reader.read_value()
+    if not isinstance(value, list):
+        raise TransportError("binary batch did not contain a list")
+    for item in value:
+        if not isinstance(item, dict):
+            raise TransportError("binary batch items must be dictionaries")
+    return value

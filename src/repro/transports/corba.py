@@ -14,12 +14,19 @@ import struct
 
 from repro.errors import TransportError
 from repro.transports.base import Transport
-from repro.transports.codec import decode_message, encode_message
+from repro.transports.codec import (
+    decode_message,
+    decode_message_list,
+    encode_message,
+    encode_message_list,
+)
 
 _MAGIC = b"GIOP"
 _VERSION = (1, 2)
 _MSG_REQUEST = 0
 _MSG_REPLY = 1
+_MSG_BATCH_REQUEST = 2
+_MSG_BATCH_REPLY = 3
 _HEADER = struct.Struct("!4sBBBBI")  # magic, major, minor, flags, type, body length
 _CDR_ALIGNMENT = 8
 
@@ -32,12 +39,28 @@ class CorbaTransport(Transport):
 
     def _encode(self, message: dict, message_type: int) -> bytes:
         body = encode_message(message, alignment=_CDR_ALIGNMENT)
-        header = _HEADER.pack(
-            _MAGIC, _VERSION[0], _VERSION[1], 0, message_type, len(body)
-        )
-        return header + body
+        return self._header_for(message_type, body) + body
 
     def _decode(self, payload: bytes, expected_type: int) -> dict:
+        return decode_message(self._body(payload, expected_type), alignment=_CDR_ALIGNMENT)
+
+    def _encode_batch(self, messages: list, message_type: int) -> bytes:
+        body = encode_message_list(messages, alignment=_CDR_ALIGNMENT)
+        return self._header_for(message_type, body) + body
+
+    def _decode_batch(self, payload: bytes, expected_type: int) -> list:
+        return decode_message_list(
+            self._body(payload, expected_type), alignment=_CDR_ALIGNMENT
+        )
+
+    @staticmethod
+    def _header_for(message_type: int, body: bytes) -> bytes:
+        return _HEADER.pack(
+            _MAGIC, _VERSION[0], _VERSION[1], 0, message_type, len(body)
+        )
+
+    @staticmethod
+    def _body(payload: bytes, expected_type: int) -> bytes:
         if len(payload) < _HEADER.size:
             raise TransportError("truncated GIOP message")
         magic, major, minor, _flags, message_type, length = _HEADER.unpack(
@@ -52,7 +75,7 @@ class CorbaTransport(Transport):
         body = payload[_HEADER.size :]
         if len(body) != length:
             raise TransportError("GIOP body length mismatch")
-        return decode_message(body, alignment=_CDR_ALIGNMENT)
+        return body
 
     # -- requests --------------------------------------------------------------
 
@@ -69,3 +92,17 @@ class CorbaTransport(Transport):
 
     def decode_response(self, payload: bytes) -> dict:
         return self._decode(payload, _MSG_REPLY)
+
+    # -- batches ----------------------------------------------------------------
+
+    def encode_batch_request(self, requests: list) -> bytes:
+        return self._encode_batch(requests, _MSG_BATCH_REQUEST)
+
+    def decode_batch_request(self, payload: bytes) -> list:
+        return self._decode_batch(payload, _MSG_BATCH_REQUEST)
+
+    def encode_batch_response(self, responses: list) -> bytes:
+        return self._encode_batch(responses, _MSG_BATCH_REPLY)
+
+    def decode_batch_response(self, payload: bytes) -> list:
+        return self._decode_batch(payload, _MSG_BATCH_REPLY)

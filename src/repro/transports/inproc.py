@@ -38,6 +38,17 @@ class InProcTransport(Transport):
             raise TransportError("in-process message did not contain an object")
         return message
 
+    @classmethod
+    def _load_batch(cls, payload: bytes, key: str) -> list:
+        message = cls._load(payload)
+        batch = message.get(key)
+        if not isinstance(batch, list):
+            raise TransportError(f"in-process batch has no {key!r} list")
+        for item in batch:
+            if not isinstance(item, dict):
+                raise TransportError("in-process batch items must be objects")
+        return batch
+
     def encode_request(self, request: dict) -> bytes:
         return self._dump(request)
 
@@ -49,3 +60,17 @@ class InProcTransport(Transport):
 
     def decode_response(self, payload: bytes) -> dict:
         return self._load(payload)
+
+    # -- batches -----------------------------------------------------------
+
+    def encode_batch_request(self, requests: list) -> bytes:
+        return self._dump({"batch": list(requests)})
+
+    def decode_batch_request(self, payload: bytes) -> list:
+        return self._load_batch(payload, "batch")
+
+    def encode_batch_response(self, responses: list) -> bytes:
+        return self._dump({"responses": list(responses)})
+
+    def decode_batch_response(self, payload: bytes) -> list:
+        return self._load_batch(payload, "responses")

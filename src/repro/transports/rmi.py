@@ -11,11 +11,18 @@ from __future__ import annotations
 
 from repro.errors import TransportError
 from repro.transports.base import Transport
-from repro.transports.codec import decode_message, encode_message
+from repro.transports.codec import (
+    decode_message,
+    decode_message_list,
+    encode_message,
+    encode_message_list,
+)
 
 _MAGIC = b"JR"
 _TYPE_CALL = 0x50
 _TYPE_RETURN = 0x51
+_TYPE_BATCH_CALL = 0x52
+_TYPE_BATCH_RETURN = 0x53
 
 
 class RmiTransport(Transport):
@@ -29,13 +36,24 @@ class RmiTransport(Transport):
         return _MAGIC + bytes([message_type]) + body
 
     def _decode(self, payload: bytes, expected_type: int) -> dict:
+        return decode_message(self._body(payload, expected_type), alignment=1)
+
+    def _encode_batch(self, messages: list, message_type: int) -> bytes:
+        body = encode_message_list(messages, alignment=1)
+        return _MAGIC + bytes([message_type]) + body
+
+    def _decode_batch(self, payload: bytes, expected_type: int) -> list:
+        return decode_message_list(self._body(payload, expected_type), alignment=1)
+
+    @staticmethod
+    def _body(payload: bytes, expected_type: int) -> bytes:
         if len(payload) < 3 or payload[:2] != _MAGIC:
             raise TransportError("not an RMI message (bad magic)")
         if payload[2] != expected_type:
             raise TransportError(
                 f"unexpected RMI message type 0x{payload[2]:02x}"
             )
-        return decode_message(payload[3:], alignment=1)
+        return payload[3:]
 
     # -- requests --------------------------------------------------------------
 
@@ -52,3 +70,17 @@ class RmiTransport(Transport):
 
     def decode_response(self, payload: bytes) -> dict:
         return self._decode(payload, _TYPE_RETURN)
+
+    # -- batches ----------------------------------------------------------------
+
+    def encode_batch_request(self, requests: list) -> bytes:
+        return self._encode_batch(requests, _TYPE_BATCH_CALL)
+
+    def decode_batch_request(self, payload: bytes) -> list:
+        return self._decode_batch(payload, _TYPE_BATCH_CALL)
+
+    def encode_batch_response(self, responses: list) -> bytes:
+        return self._encode_batch(responses, _TYPE_BATCH_RETURN)
+
+    def decode_batch_response(self, payload: bytes) -> list:
+        return self._decode_batch(payload, _TYPE_BATCH_RETURN)

@@ -28,12 +28,21 @@ _BODY = "Body"
 _INVOKE = "Invoke"
 _RESPONSE = "InvokeResponse"
 _FAULT = "Fault"
+_BATCH = "InvokeBatch"
+_BATCH_RESPONSE = "InvokeBatchResponse"
 
 #: Characters that cannot appear in an XML 1.0 document at all (even escaped),
 #: plus carriage return, which XML parsers normalise away and which therefore
 #: would not survive a round trip as literal text.
 _XML_ILLEGAL = re.compile(
     "[\x00-\x08\x0b\x0c\x0d\x0e-\x1f\x7f\ud800-\udfff￾￿]"
+)
+
+#: Characters an XML attribute value cannot carry literally: everything the
+#: text rule rejects plus tab and newline, which attribute-value
+#: normalisation (XML 1.0 §3.3.3) would silently turn into spaces.
+_XML_ATTR_ILLEGAL = re.compile(
+    "[\x00-\x1f\x7f\ud800-\udfff￾￿]"
 )
 
 
@@ -48,6 +57,24 @@ def _decode_text(text: str, encoded: bool) -> str:
     if encoded:
         return base64.b64decode(text.encode("ascii")).decode("utf-8", "surrogatepass")
     return text
+
+
+def _set_attr(element: ET.Element, name: str, value: str) -> None:
+    """Set an attribute, base64-wrapping values XML attributes cannot carry."""
+    if _XML_ATTR_ILLEGAL.search(value):
+        element.set(
+            name,
+            base64.b64encode(value.encode("utf-8", "surrogatepass")).decode("ascii"),
+        )
+        element.set(f"{name}-enc", "base64")
+    else:
+        element.set(name, value)
+
+
+def _get_attr(element: ET.Element, name: str, default: str = "") -> str:
+    return _decode_text(
+        element.get(name, default), element.get(f"{name}-enc") == "base64"
+    )
 
 
 def _value_to_element(value: Any, tag: str = "value") -> ET.Element:
@@ -79,10 +106,7 @@ def _value_to_element(value: Any, tag: str = "value") -> ET.Element:
             if not isinstance(key, str):
                 raise TransportError("SOAP struct keys must be strings")
             member = _value_to_element(item, "member")
-            name, encoded = _encode_text(key)
-            member.set("name", name)
-            if encoded:
-                member.set("name-enc", "base64")
+            _set_attr(member, "name", key)
             element.append(member)
     else:
         raise TransportError(
@@ -92,7 +116,7 @@ def _value_to_element(value: Any, tag: str = "value") -> ET.Element:
 
 
 def _member_name(element: ET.Element) -> str:
-    return _decode_text(element.get("name", ""), element.get("name-enc") == "base64")
+    return _get_attr(element, "name")
 
 
 def _element_to_value(element: ET.Element) -> Any:
@@ -124,42 +148,27 @@ class SoapTransport(Transport):
 
     # -- requests --------------------------------------------------------------
 
-    def encode_request(self, request: dict) -> bytes:
-        envelope = ET.Element(_ENVELOPE)
-        body = ET.SubElement(envelope, _BODY)
-        invoke = ET.SubElement(body, _INVOKE)
+    @staticmethod
+    def _fill_invoke_element(invoke: ET.Element, request: dict) -> None:
         for attribute in ("target", "interface", "member"):
-            text, encoded = _encode_text(str(request.get(attribute, "")))
-            invoke.set(attribute, text)
-            if encoded:
-                invoke.set(f"{attribute}-enc", "base64")
+            _set_attr(invoke, attribute, str(request.get(attribute, "")))
         arguments = ET.SubElement(invoke, "arguments")
         for argument in request.get("args", []):
             arguments.append(_value_to_element(argument, "argument"))
         keywords = ET.SubElement(invoke, "keywords")
         for key, value in request.get("kwargs", {}).items():
             keyword = _value_to_element(value, "keyword")
-            name, encoded = _encode_text(key)
-            keyword.set("name", name)
-            if encoded:
-                keyword.set("name-enc", "base64")
+            _set_attr(keyword, "name", key)
             keywords.append(keyword)
-        return ET.tostring(envelope, encoding="utf-8", xml_declaration=True)
 
-    def decode_request(self, payload: bytes) -> dict:
-        invoke = self._parse_body_child(payload, _INVOKE)
+    @staticmethod
+    def _invoke_element_to_dict(invoke: ET.Element) -> dict:
         arguments_element = invoke.find("arguments")
         keywords_element = invoke.find("keywords")
         return {
-            "target": _decode_text(
-                invoke.get("target", ""), invoke.get("target-enc") == "base64"
-            ),
-            "interface": _decode_text(
-                invoke.get("interface", ""), invoke.get("interface-enc") == "base64"
-            ),
-            "member": _decode_text(
-                invoke.get("member", ""), invoke.get("member-enc") == "base64"
-            ),
+            "target": _get_attr(invoke, "target"),
+            "interface": _get_attr(invoke, "interface"),
+            "member": _get_attr(invoke, "member"),
             "args": [
                 _element_to_value(child)
                 for child in (arguments_element if arguments_element is not None else [])
@@ -170,18 +179,47 @@ class SoapTransport(Transport):
             },
         }
 
+    def encode_request(self, request: dict) -> bytes:
+        envelope = ET.Element(_ENVELOPE)
+        body = ET.SubElement(envelope, _BODY)
+        invoke = ET.SubElement(body, _INVOKE)
+        self._fill_invoke_element(invoke, request)
+        return ET.tostring(envelope, encoding="utf-8", xml_declaration=True)
+
+    def decode_request(self, payload: bytes) -> dict:
+        invoke = self._parse_body_child(payload, _INVOKE)
+        return self._invoke_element_to_dict(invoke)
+
     # -- responses --------------------------------------------------------------
+
+    @staticmethod
+    def _fill_response_element(body: ET.Element, response: dict) -> None:
+        if "error" in response and response["error"] is not None:
+            fault = ET.SubElement(body, _FAULT)
+            _set_attr(fault, "faultcode", str(response["error"].get("type", "Server")))
+            _set_attr(fault, "faultstring", str(response["error"].get("message", "")))
+        else:
+            result = ET.SubElement(body, _RESPONSE)
+            result.append(_value_to_element(response.get("result"), "return"))
+
+    @staticmethod
+    def _response_element_to_dict(element: ET.Element) -> dict:
+        if element.tag == _FAULT:
+            return {
+                "error": {
+                    "type": _get_attr(element, "faultcode", "Server"),
+                    "message": _get_attr(element, "faultstring"),
+                }
+            }
+        if element.tag == _RESPONSE:
+            returned = element.find("return")
+            return {"result": _element_to_value(returned) if returned is not None else None}
+        raise TransportError(f"unexpected SOAP response element {element.tag!r}")
 
     def encode_response(self, response: dict) -> bytes:
         envelope = ET.Element(_ENVELOPE)
         body = ET.SubElement(envelope, _BODY)
-        if "error" in response and response["error"] is not None:
-            fault = ET.SubElement(body, _FAULT)
-            fault.set("faultcode", str(response["error"].get("type", "Server")))
-            fault.set("faultstring", str(response["error"].get("message", "")))
-        else:
-            result = ET.SubElement(body, _RESPONSE)
-            result.append(_value_to_element(response.get("result"), "return"))
+        self._fill_response_element(body, response)
         return ET.tostring(envelope, encoding="utf-8", xml_declaration=True)
 
     def decode_response(self, payload: bytes) -> dict:
@@ -196,8 +234,8 @@ class SoapTransport(Transport):
         if fault is not None:
             return {
                 "error": {
-                    "type": fault.get("faultcode", "Server"),
-                    "message": fault.get("faultstring", ""),
+                    "type": _get_attr(fault, "faultcode", "Server"),
+                    "message": _get_attr(fault, "faultstring"),
                 }
             }
         result = body.find(_RESPONSE)
@@ -205,6 +243,62 @@ class SoapTransport(Transport):
             raise TransportError("SOAP response has neither InvokeResponse nor Fault")
         returned = result.find("return")
         return {"result": _element_to_value(returned) if returned is not None else None}
+
+    # -- batches -----------------------------------------------------------------
+    #
+    # One envelope, one ``InvokeBatch`` (or ``InvokeBatchResponse``) element,
+    # N ``Invoke`` (or per-call ``InvokeResponse``/``Fault``) children.  The
+    # envelope and XML declaration are paid once for the whole batch.
+
+    def encode_batch_request(self, requests: list) -> bytes:
+        envelope = ET.Element(_ENVELOPE)
+        body = ET.SubElement(envelope, _BODY)
+        batch = ET.SubElement(body, _BATCH)
+        batch.set("count", str(len(requests)))
+        for request in requests:
+            invoke = ET.SubElement(batch, _INVOKE)
+            self._fill_invoke_element(invoke, request)
+        return ET.tostring(envelope, encoding="utf-8", xml_declaration=True)
+
+    def decode_batch_request(self, payload: bytes) -> list:
+        batch = self._parse_body_child(payload, _BATCH)
+        for child in batch:
+            if child.tag != _INVOKE:
+                raise TransportError(
+                    f"unexpected element {child.tag!r} in SOAP batch"
+                )
+        requests = [self._invoke_element_to_dict(child) for child in batch]
+        self._check_batch_count(batch, len(requests))
+        return requests
+
+    def encode_batch_response(self, responses: list) -> bytes:
+        envelope = ET.Element(_ENVELOPE)
+        body = ET.SubElement(envelope, _BODY)
+        batch = ET.SubElement(body, _BATCH_RESPONSE)
+        batch.set("count", str(len(responses)))
+        for response in responses:
+            self._fill_response_element(batch, response)
+        return ET.tostring(envelope, encoding="utf-8", xml_declaration=True)
+
+    def decode_batch_response(self, payload: bytes) -> list:
+        batch = self._parse_body_child(payload, _BATCH_RESPONSE)
+        responses = [self._response_element_to_dict(child) for child in batch]
+        self._check_batch_count(batch, len(responses))
+        return responses
+
+    @staticmethod
+    def _check_batch_count(batch: ET.Element, parsed: int) -> None:
+        declared = batch.get("count")
+        if declared is None:
+            return
+        try:
+            expected = int(declared)
+        except ValueError as exc:
+            raise TransportError(f"malformed SOAP batch count {declared!r}") from exc
+        if expected != parsed:
+            raise TransportError(
+                f"SOAP batch declares {expected} entries but carries {parsed}"
+            )
 
     # -- helpers -----------------------------------------------------------------
 

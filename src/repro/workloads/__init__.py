@@ -9,6 +9,7 @@ different distribution policies.
 from repro.workloads.figure1 import A, B, C, Figure1Result, run_figure1_scenario
 from repro.workloads.shared_cache import Cache, CacheClient, CacheStats, run_cache_workload
 from repro.workloads.pipeline import Buffer, Consumer, Producer, run_pipeline
+from repro.workloads.bulk_orders import OrderIntake, run_bulk_order_scenario
 from repro.workloads.orders import (
     Catalog,
     CustomerSession,
@@ -28,8 +29,10 @@ __all__ = [
     "Consumer",
     "CustomerSession",
     "Figure1Result",
+    "OrderIntake",
     "OrderStore",
     "Producer",
+    "run_bulk_order_scenario",
     "run_cache_workload",
     "run_figure1_scenario",
     "run_order_phase",

@@ -1,0 +1,113 @@
+"""Bulk order ingestion: a high-throughput, batching-friendly workload.
+
+A warehouse gateway streams large volumes of small, independent order
+submissions at a central intake service on another node.  Issued one call at
+a time, every submission pays a full round trip on the simulated network and
+per-message transport overhead; issued through the batched invocation path
+(:class:`~repro.runtime.batching.BatchingProxy`), those costs are amortised
+across the batch window.  The scenario is the workload behind
+``benchmarks/bench_batching.py`` and the ``repro bench-batching`` CLI
+command.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.runtime.batching import BatchingProxy
+
+
+class OrderIntake:
+    """Central order-intake service: accepts independent order submissions."""
+
+    def __init__(self):
+        self.accepted = []
+        self.rejected = 0
+
+    def submit(self, sku, quantity, unit_price):
+        if quantity <= 0:
+            self.rejected = self.rejected + 1
+            raise ValueError(f"quantity must be positive, got {quantity}")
+        accepted = self.accepted
+        order_id = len(accepted)
+        accepted.append(
+            {"id": order_id, "sku": sku, "quantity": quantity,
+             "total": quantity * unit_price}
+        )
+        self.accepted = accepted
+        return order_id
+
+    def accepted_count(self):
+        return len(self.accepted)
+
+    def rejected_count(self):
+        return self.rejected
+
+    def total_units(self):
+        return sum(order["quantity"] for order in self.accepted)
+
+    def revenue(self):
+        return sum(order["total"] for order in self.accepted)
+
+
+def run_bulk_order_scenario(
+    cluster,
+    *,
+    transport: str = "rmi",
+    orders: int = 256,
+    batch_size: int = 1,
+    client: str = "client",
+    server: str = "server",
+    intake: Optional[OrderIntake] = None,
+) -> dict:
+    """Push ``orders`` submissions from ``client`` to an intake on ``server``.
+
+    ``batch_size == 1`` issues one remote call per order (the classic path);
+    larger values pipeline the submissions through a
+    :class:`~repro.runtime.batching.BatchingProxy` window of that size.
+    Returns the scenario's simulated cost figures.
+    """
+
+    if orders < 1:
+        raise ValueError("orders must be at least 1")
+    client_space = cluster.space(client)
+    server_space = cluster.space(server)
+    if intake is None:
+        intake = OrderIntake()
+    reference = server_space.export(intake)
+
+    started = cluster.clock.now
+    messages_before = cluster.metrics.total_messages
+    bytes_before = cluster.metrics.total_bytes
+
+    if batch_size <= 1:
+        for index in range(orders):
+            client_space.invoke_remote(
+                reference,
+                "submit",
+                (f"sku-{index % 16}", 1 + index % 3, 10 + index % 7),
+                transport=transport,
+            )
+    else:
+        proxy = BatchingProxy(
+            reference, space=client_space, max_batch=batch_size, transport=transport
+        )
+        pending = [
+            proxy.submit(f"sku-{index % 16}", 1 + index % 3, 10 + index % 7)
+            for index in range(orders)
+        ]
+        proxy.flush()
+        for placeholder in pending:
+            placeholder.result()
+
+    elapsed = cluster.clock.now - started
+    return {
+        "transport": transport,
+        "orders": orders,
+        "batch_size": batch_size,
+        "accepted": intake.accepted_count(),
+        "simulated_seconds": elapsed,
+        "per_call_seconds": elapsed / orders,
+        "messages": cluster.metrics.total_messages - messages_before,
+        "bytes_on_wire": cluster.metrics.total_bytes - bytes_before,
+    }
