@@ -1,12 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test bench-smoke
+.PHONY: check test bench-smoke docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_batching.py
+	$(PYTHON) benchmarks/bench_pipelining.py
 
-check: test bench-smoke
+docs-check:
+	$(PYTHON) -m repro.tools.doccheck src/repro --level api --fail-under 100
+
+check: test bench-smoke docs-check

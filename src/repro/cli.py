@@ -26,6 +26,12 @@ run against their own code base before deploying it:
     Run the bulk-order workload batched and unbatched on a simulated two-node
     cluster and report the per-call simulated cost and speedup per transport.
 
+``repro bench-pipelining [--transports ...] [--orders N] [--batch-size B]
+[--window W] [--shards S]``
+    Run the sharded bulk-order workload with sequential batched dispatch and
+    with the pipelined scheduler (W batches in flight, completions out of
+    order) and report the per-call simulated cost and speedup per transport.
+
 Run ``python -m repro --help`` for the full syntax.
 """
 
@@ -210,6 +216,61 @@ def command_bench_batching(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def command_bench_pipelining(args: argparse.Namespace, out) -> int:
+    from repro.runtime.cluster import Cluster, default_transport_registry
+    from repro.workloads.pipelined_orders import run_sharded_order_scenario
+
+    transports = _split_csv(args.transports) or ["inproc", "rmi", "corba", "soap"]
+    known = default_transport_registry().names()
+    unknown = [name for name in transports if name not in known]
+    if unknown:
+        print(f"unknown transports: {', '.join(unknown)}", file=out)
+        return 1
+    if args.batch_size < 1:
+        print("--batch-size must be at least 1", file=out)
+        return 1
+    if args.window < 2:
+        print("--window must be at least 2 (1 is the sequential baseline)", file=out)
+        return 1
+    if args.orders < 1:
+        print("--orders must be at least 1", file=out)
+        return 1
+    if args.shards < 1:
+        print("--shards must be at least 1", file=out)
+        return 1
+
+    servers = tuple(f"server-{index}" for index in range(args.shards))
+    print(
+        f"sharded bulk orders: {args.orders} orders, {args.shards} shard(s), "
+        f"batch window {args.batch_size}, in-flight window {args.window}",
+        file=out,
+    )
+    print(
+        f"{'transport':9s} {'sequential/call':>16s} {'pipelined/call':>15s} "
+        f"{'speedup':>9s} {'out-of-order':>13s}",
+        file=out,
+    )
+    for transport in transports:
+        sequential = run_sharded_order_scenario(
+            Cluster(("client",) + servers),
+            transport=transport, orders=args.orders, batch_size=args.batch_size,
+            window=args.window, pipelined=False, servers=servers,
+        )
+        pipelined = run_sharded_order_scenario(
+            Cluster(("client",) + servers),
+            transport=transport, orders=args.orders, batch_size=args.batch_size,
+            window=args.window, pipelined=True, servers=servers,
+        )
+        speedup = sequential["per_call_seconds"] / pipelined["per_call_seconds"]
+        print(
+            f"{transport:9s} {sequential['per_call_seconds']:14.6f} s "
+            f"{pipelined['per_call_seconds']:13.6f} s {speedup:7.1f}x "
+            f"{pipelined['out_of_order_completions']:13d}",
+            file=out,
+        )
+    return 0
+
+
 def command_policy_template(args: argparse.Namespace, out) -> int:
     classes = _split_csv(args.classes)
     nodes = _split_csv(args.nodes)
@@ -272,6 +333,17 @@ def build_parser() -> argparse.ArgumentParser:
     batching.add_argument("--orders", type=int, default=128)
     batching.add_argument("--batch-size", type=int, default=32)
     batching.set_defaults(handler=command_bench_batching)
+
+    pipelining = subparsers.add_parser(
+        "bench-pipelining",
+        help="compare pipelined vs sequential batched dispatch per transport",
+    )
+    pipelining.add_argument("--transports", help="comma-separated transports (default: all)")
+    pipelining.add_argument("--orders", type=int, default=256)
+    pipelining.add_argument("--batch-size", type=int, default=32)
+    pipelining.add_argument("--window", type=int, default=8)
+    pipelining.add_argument("--shards", type=int, default=2)
+    pipelining.set_defaults(handler=command_bench_pipelining)
 
     return parser
 

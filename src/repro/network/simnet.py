@@ -7,6 +7,14 @@ models a synchronous request/response exchange with configurable per-link
 latency, bandwidth-proportional transmission time, jitter, message loss and
 partitions.  Simulated time is charged to a :class:`~repro.network.clock.SimClock`
 and traffic is accounted in :class:`~repro.network.metrics.NetworkMetrics`.
+
+:meth:`SimulatedNetwork.post` is the asynchronous sibling: it schedules the
+delivery and the response as events on the network's
+:class:`~repro.network.clock.EventQueue` and returns immediately, reporting
+the outcome through completion callbacks.  Several posted messages can be in
+flight at once, and their link delays overlap in simulated time — the
+foundation of the pipelined invocation scheduler
+(:mod:`repro.runtime.pipelining`).
 """
 
 from __future__ import annotations
@@ -20,12 +28,18 @@ from repro.errors import (
     NodeUnreachableError,
     PartitionError,
 )
-from repro.network.clock import SimClock
+from repro.network.clock import EventQueue, SimClock
 from repro.network.failures import FailureModel, NoFailures
 from repro.network.metrics import NetworkMetrics
 
 #: A node-side handler: receives the raw request payload, returns the response.
 MessageHandler = Callable[[str, bytes], bytes]
+
+#: Completion callback for an asynchronous exchange: receives the response.
+ResponseCallback = Callable[[bytes], None]
+
+#: Failure callback for an asynchronous exchange: receives the network error.
+ErrorCallback = Callable[[Exception], None]
 
 
 @dataclass(frozen=True)
@@ -67,6 +81,8 @@ class SimulatedNetwork:
     ) -> None:
         self.default_link = default_link
         self.clock = clock if clock is not None else SimClock()
+        #: Discrete-event queue carrying asynchronous (pipelined) exchanges.
+        self.events = EventQueue(self.clock)
         self.failures = failures if failures is not None else NoFailures()
         self.metrics = NetworkMetrics()
         self._handlers: Dict[str, MessageHandler] = {}
@@ -140,6 +156,98 @@ class SimulatedNetwork:
         self.clock.advance(response_delay)
         self.metrics.record(destination, source, len(response), response_delay)
         return response
+
+    def post(
+        self,
+        source: str,
+        destination: str,
+        payload: bytes,
+        on_response: ResponseCallback,
+        on_error: ErrorCallback,
+    ) -> None:
+        """Asynchronously deliver ``payload``; the outcome arrives via callback.
+
+        Unlike :meth:`send_request`, this returns immediately: the request's
+        one-way delay, the destination handler's execution and the response's
+        one-way delay are scheduled on :attr:`events` and play out when the
+        queue is pumped.  Messages posted before the queue is drained are in
+        flight *concurrently* — their link delays overlap in simulated time,
+        so N posted round trips cost roughly ``max`` rather than ``sum`` of
+        their delays.
+
+        Failure semantics mirror the synchronous path: unreachable or
+        partitioned destinations and dropped messages surface through
+        ``on_error`` as :class:`~repro.errors.NetworkError` subclasses (the
+        sender is modelled as detecting loss immediately — a negative-ack
+        model; retry backoff supplies any recovery delay).  Errors are
+        reported through the event queue too, so completion order stays
+        deterministic.
+        """
+
+        if source == destination:
+            # Same address space: no network is involved, but completion
+            # still travels through the event queue so that local and remote
+            # completions interleave deterministically.
+            def complete_locally() -> None:
+                try:
+                    handler = self._require_handler(destination)
+                    response = handler(source, payload)
+                except Exception as error:  # noqa: BLE001 - routed to callback
+                    on_error(error)
+                    return
+                on_response(response)
+
+            self.events.schedule(0.0, complete_locally)
+            return
+
+        try:
+            self._check_reachability(source, destination)
+        except Exception as error:  # noqa: BLE001 - routed to callback
+            # Bind to a fresh name: `error` itself is unbound when the
+            # except block exits, before the scheduled lambda runs.
+            failure = error
+            self.events.schedule(0.0, lambda: on_error(failure))
+            return
+        if self.failures.should_drop(source, destination):
+            self.metrics.record_drop(source, destination)
+            dropped = MessageDroppedError(
+                f"message from {source!r} to {destination!r} was dropped"
+            )
+            self.events.schedule(0.0, lambda: on_error(dropped))
+            return
+
+        link = self.link_config(source, destination)
+        request_delay = link.one_way_delay(len(payload), self._rng)
+        self.metrics.record(source, destination, len(payload), request_delay)
+
+        def deliver() -> None:
+            handler = self._handlers.get(destination)
+            if handler is None:
+                on_error(
+                    NodeUnreachableError(
+                        f"node {destination!r} is not registered on the network"
+                    )
+                )
+                return
+            try:
+                response = handler(source, payload)
+            except Exception as error:  # noqa: BLE001 - routed to callback
+                on_error(error)
+                return
+            if self.failures.should_drop(destination, source):
+                self.metrics.record_drop(destination, source)
+                on_error(
+                    MessageDroppedError(
+                        f"response from {destination!r} to {source!r} was dropped"
+                    )
+                )
+                return
+            reverse_link = self.link_config(destination, source)
+            response_delay = reverse_link.one_way_delay(len(response), self._rng)
+            self.metrics.record(destination, source, len(response), response_delay)
+            self.events.schedule(response_delay, lambda: on_response(response))
+
+        self.events.schedule(request_delay, deliver)
 
     # -- helpers -----------------------------------------------------------------------
 

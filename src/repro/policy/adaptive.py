@@ -27,6 +27,19 @@ therefore weighs the observed window by ``1 / B`` before comparing it with
 ``min_calls``: traffic that is cheap because it is batched no longer
 justifies moving an object.  The default ``batch_size=1`` keeps decisions
 bit-identical to the unbatched heuristic.
+
+Pipeline-awareness
+------------------
+
+The pipelined scheduler (:class:`~repro.runtime.pipelining.PipelineScheduler`)
+keeps up to ``W`` batches in flight concurrently, so their round-trip
+*latencies* overlap: a window of ``W`` batches costs roughly one round trip
+of wall-clock (simulated) time instead of ``W``.  A manager constructed with
+``pipeline_depth=W > 1`` folds that second amortisation into the same
+weighting — the observed window is divided by ``batch_size * pipeline_depth``
+before the ``min_calls`` comparison, because traffic whose latency is hidden
+by the pipeline is even weaker evidence that the callee should move.  The
+default ``pipeline_depth=1`` models the synchronous dispatch modes.
 """
 
 from __future__ import annotations
@@ -110,11 +123,14 @@ class AdaptiveDistributionManager:
         threshold: float = 0.6,
         min_calls: int = 10,
         batch_size: int = 1,
+        pipeline_depth: int = 1,
     ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise RedistributionError("threshold must be in (0, 1]")
         if batch_size < 1:
             raise RedistributionError("batch_size must be at least 1")
+        if pipeline_depth < 1:
+            raise RedistributionError("pipeline_depth must be at least 1")
         self.application = application
         self.controller = controller
         self.threshold = threshold
@@ -123,6 +139,10 @@ class AdaptiveDistributionManager:
         #: unbatched invocation path (decisions identical to the classic
         #: heuristic), larger values amortise the observed call counts.
         self.batch_size = batch_size
+        #: In-flight window depth of the callers' pipelined scheduler; ``1``
+        #: means synchronous dispatch, larger values amortise further because
+        #: concurrent batches overlap their round-trip latencies.
+        self.pipeline_depth = pipeline_depth
         self._monitors: dict[int, AccessMonitor] = {}
         self.history: list[AdaptationRecord] = []
 
@@ -162,15 +182,19 @@ class AdaptiveDistributionManager:
     # ------------------------------------------------------------------
 
     def amortised_call_count(self, monitor: AccessMonitor) -> float:
-        """The monitor's window weighted by batch amortisation.
+        """The monitor's window weighted by batch and pipeline amortisation.
 
         ``n`` batched calls cost about ``n / batch_size`` round-trip
-        overheads, so that is the quantity compared against ``min_calls``.
-        With ``batch_size == 1`` this is exactly ``monitor.total_calls``.
+        overheads, and a pipelined window overlaps ``pipeline_depth`` of
+        those round trips in simulated time, so the quantity compared
+        against ``min_calls`` is ``n / (batch_size * pipeline_depth)``.
+        With ``batch_size == pipeline_depth == 1`` this is exactly
+        ``monitor.total_calls``.
         """
-        if self.batch_size <= 1:
+        weight = self.batch_size * self.pipeline_depth
+        if weight <= 1:
             return float(monitor.total_calls)
-        return monitor.total_calls / self.batch_size
+        return monitor.total_calls / weight
 
     def suggest_for(self, handle: Any) -> Optional[RedistributionSuggestion]:
         """Apply the affinity heuristic to one monitored handle."""

@@ -23,6 +23,7 @@ from repro.runtime.invocation import (
     InvocationResponse,
 )
 from repro.runtime.migration import MigrationRecord, ObjectMigrator, capture_state, restore_state
+from repro.runtime.pipelining import InvocationFuture, PipelineScheduler
 from repro.runtime.naming import NamingService
 from repro.runtime.redistribution import BoundaryChange, DistributionController
 from repro.runtime.remote_ref import ObjectIdAllocator, RemoteRef, reference_of
@@ -40,6 +41,7 @@ __all__ = [
     "FaultTolerantInvoker",
     "InvocationBatch",
     "InvocationBatchResponse",
+    "InvocationFuture",
     "InvocationRequest",
     "InvocationResponse",
     "Marshaller",
@@ -49,6 +51,7 @@ __all__ = [
     "ObjectIdAllocator",
     "ObjectMigrator",
     "PendingCall",
+    "PipelineScheduler",
     "RemoteRef",
     "RetryPolicy",
     "guard_handle",

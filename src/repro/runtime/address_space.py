@@ -231,6 +231,78 @@ class AddressSpace:
         if destination == self.node_id:
             return self._invoke_batch_locally(normalized)
 
+        payload = self._encode_batch_payload(normalized, transport)
+        self.invocations_sent += len(normalized)
+        self.batches_sent += 1
+        raw_response = self.network.send_request(self.node_id, destination, payload)
+        return self._decode_batch_payload(raw_response, len(normalized))
+
+    def invoke_remote_many_async(
+        self,
+        calls: Sequence[BatchCall],
+        on_results: Any,
+        on_error: Any,
+        transport: Optional[str] = None,
+    ) -> None:
+        """Ship a batch asynchronously; the outcome arrives via callback.
+
+        The batch is encoded and posted on the network's event queue, then
+        control returns to the caller immediately — several batches (to the
+        same node or to different shards) can be in flight at once, and their
+        round-trip delays overlap in simulated time.  When the response event
+        fires, ``on_results`` receives the same ordered
+        :class:`~repro.runtime.batching.BatchResult` list the synchronous
+        :meth:`invoke_remote_many` would have returned; a transport- or
+        network-level failure of the whole message reaches ``on_error``
+        instead.
+
+        This is the completion-callback primitive under
+        :class:`~repro.runtime.pipelining.PipelineScheduler`; application
+        code normally uses the scheduler's future-based API rather than
+        calling this directly.
+        """
+
+        normalized: list[tuple[RemoteRef, str, tuple, dict]] = []
+        for call in calls:
+            reference, member, args, kwargs = call
+            normalized.append((reference, member, tuple(args), dict(kwargs or {})))
+        if not normalized:
+            self.network.events.schedule(0.0, lambda: on_results([]))
+            return
+
+        destinations = {reference.node_id for reference, _, _, _ in normalized}
+        if len(destinations) > 1:
+            raise InvocationError(
+                f"a batch must target one address space, got {sorted(destinations)}"
+            )
+        destination = destinations.pop()
+
+        if destination == self.node_id:
+            self.network.events.schedule(
+                0.0, lambda: on_results(self._invoke_batch_locally(normalized))
+            )
+            return
+
+        payload = self._encode_batch_payload(normalized, transport)
+        self.invocations_sent += len(normalized)
+        self.batches_sent += 1
+
+        def complete(raw_response: bytes) -> None:
+            try:
+                results = self._decode_batch_payload(raw_response, len(normalized))
+            except Exception as error:  # noqa: BLE001 - routed to callback
+                on_error(error)
+                return
+            on_results(results)
+
+        self.network.post(self.node_id, destination, payload, complete, on_error)
+
+    def _encode_batch_payload(
+        self,
+        normalized: Sequence[tuple[RemoteRef, str, tuple, dict]],
+        transport: Optional[str],
+    ) -> bytes:
+        """Marshal and frame N calls as one batch message, charging encode cost."""
         transport_impl = self.transports.get(transport or self.default_transport)
         batch = InvocationBatch()
         for reference, member, args, kwargs in normalized:
@@ -246,26 +318,26 @@ class AddressSpace:
             )
         body = transport_impl.encode_batch_request(batch.to_dicts())
         self.network.clock.advance(transport_impl.batch_processing_overhead(len(batch)))
-        payload = frame_batch_message(transport_impl.name, body)
+        return frame_batch_message(transport_impl.name, body)
 
-        self.invocations_sent += len(normalized)
-        self.batches_sent += 1
-        raw_response = self.network.send_request(self.node_id, destination, payload)
-
+    def _decode_batch_payload(
+        self, raw_response: bytes, expected: int
+    ) -> List[BatchResult]:
+        """Decode a framed batch response into per-call results, charging decode cost."""
         response_name, response_body, response_is_batch = parse_frame(raw_response)
         if not response_is_batch:
             raise TransportError("single response received for a batched invocation")
         response_transport = self.transports.get(response_name)
         self.network.clock.advance(
-            response_transport.batch_processing_overhead(len(normalized))
+            response_transport.batch_processing_overhead(expected)
         )
         batch_response = InvocationBatchResponse.from_dicts(
             response_transport.decode_batch_response(response_body)
         )
-        if len(batch_response) != len(normalized):
+        if len(batch_response) != expected:
             raise TransportError(
                 f"batch response carries {len(batch_response)} results "
-                f"for {len(normalized)} calls"
+                f"for {expected} calls"
             )
 
         results: list[BatchResult] = []

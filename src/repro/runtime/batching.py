@@ -6,17 +6,32 @@ above it:
 
 * :class:`BatchResult` — the per-call outcome slot of a batch, isolating
   application errors so one failing call does not poison its neighbours.
-* :class:`PendingCall` — the placeholder a buffered call returns immediately;
-  the real result (or error) materialises when the buffer flushes.
+* :class:`PendingCall` — the future a buffered call returns immediately; the
+  real result (or error) materialises when the buffer flushes.  It is an
+  :class:`~repro.runtime.pipelining.InvocationFuture`, so the whole future
+  API (``done``, ``exception()``, ``add_done_callback``) is available.
 * :class:`BatchingProxy` — wraps a generated proxy, a rebindable handle or a
   raw :class:`~repro.runtime.remote_ref.RemoteRef` and turns attribute calls
   into buffered, pipelined invocations with automatic flushing.
 
-The pipeline model is deliberately simple: calls are issued in order without
-waiting for individual responses, and one response message resolves the whole
+Usage::
+
+    batch = BatchingProxy(store_proxy, max_batch=32)
+    pending = [batch.submit(sku, 1, 10) for sku in skus]  # no round trips yet
+    batch.flush()                                  # one message per window
+    ids = [p.result() for p in pending]            # or p.result() auto-flushes
+
+The flush model is synchronous: calls are issued in order without waiting
+for individual responses, and one response message resolves the whole
 window.  A transport-level failure (drop, partition, unreachable node) fails
 the in-flight batch atomically — every pending call in the window observes
-the same network error, and no partial results are surfaced.
+the same network error, and no partial results are surfaced — unless the
+proxy carries a :class:`~repro.runtime.faulttolerance.FaultTolerantInvoker`
+(installed explicitly via ``retry_policy=...`` or discovered on a handle
+guarded by :func:`~repro.runtime.faulttolerance.guard_handle`), in which
+case flushes retry per that policy before surfacing the error.  For
+out-of-order completion across several in-flight batches, step up to
+:class:`~repro.runtime.pipelining.PipelineScheduler`.
 """
 
 from __future__ import annotations
@@ -25,6 +40,8 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
 from repro.errors import InvocationError
+from repro.runtime.faulttolerance import FaultTolerantInvoker, RetryPolicy
+from repro.runtime.pipelining import InvocationFuture
 from repro.runtime.remote_ref import RemoteRef, reference_of
 
 
@@ -47,41 +64,17 @@ class BatchResult:
         return self.value
 
 
-class PendingCall:
-    """A buffered invocation awaiting its batch's round trip."""
+class PendingCall(InvocationFuture):
+    """A buffered invocation awaiting its batch's round trip.
+
+    A :class:`~repro.runtime.pipelining.InvocationFuture` whose wait hook
+    flushes the owning :class:`BatchingProxy`: calling :meth:`result` on an
+    unresolved placeholder ships the buffered window synchronously and then
+    returns this call's value (or re-raises its error).
+    """
 
     def __init__(self, owner: "BatchingProxy", member: str) -> None:
-        self._owner = owner
-        self.member = member
-        self._resolved = False
-        self._value: Any = None
-        self._error: Optional[BaseException] = None
-
-    @property
-    def resolved(self) -> bool:
-        return self._resolved
-
-    def _resolve(self, value: Any) -> None:
-        self._resolved = True
-        self._value = value
-
-    def _fail(self, error: BaseException) -> None:
-        self._resolved = True
-        self._error = error
-
-    def result(self) -> Any:
-        """The call's result, flushing the owning buffer if still pending."""
-        if not self._resolved:
-            self._owner.flush()
-        if self._error is not None:
-            raise self._error
-        return self._value
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "pending"
-        if self._resolved:
-            state = "error" if self._error is not None else "ok"
-        return f"<PendingCall {self.member!r} {state}>"
+        super().__init__(member, on_wait=lambda _future: owner.flush())
 
 
 @dataclass
@@ -118,9 +111,13 @@ class BatchingProxy:
         space: Any = None,
         max_batch: int = 32,
         transport: Optional[str] = None,
+        invoker: Optional[FaultTolerantInvoker] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if max_batch < 1:
             raise InvocationError("max_batch must be at least 1")
+        if invoker is not None and retry_policy is not None:
+            raise InvocationError("pass either invoker or retry_policy, not both")
         if isinstance(target, RemoteRef):
             reference = target
         else:
@@ -143,6 +140,18 @@ class BatchingProxy:
         self._target = None if isinstance(target, RemoteRef) else target
         self._space = space
         self._transport = transport
+        if invoker is None and retry_policy is not None:
+            invoker = FaultTolerantInvoker(space, policy=retry_policy)
+        if invoker is None:
+            # A handle guarded by guard_handle carries its invoker on the
+            # metaobject; batching through such a handle keeps its fault
+            # tolerance instead of silently bypassing it.
+            meta = getattr(target, "__meta__", None)
+            candidate = getattr(meta, "remote_invoker", None) if meta is not None else None
+            if isinstance(candidate, FaultTolerantInvoker):
+                invoker = candidate
+        #: Fault-tolerant invoker routing flushes, ``None`` for the raw path.
+        self._invoker = invoker
         self.max_batch = max_batch
         self._queue: List[_QueuedCall] = []
         #: Number of logical calls enqueued through this proxy.
@@ -152,12 +161,17 @@ class BatchingProxy:
 
     @staticmethod
     def _space_behind(target: Any) -> Any:
-        space = getattr(target, "_space", None)
-        if space is not None:
-            return space
+        # A rebindable handle fabricates a delegate for ANY attribute name,
+        # so a bare getattr can hand back a callable instead of an address
+        # space; accept only candidates that quack like one.
         meta = getattr(target, "__meta__", None)
-        if meta is not None:
-            return getattr(meta.target, "_space", None)
+        candidates = [
+            getattr(target, "_space", None),
+            getattr(getattr(meta, "target", None), "_space", None),
+        ]
+        for candidate in candidates:
+            if candidate is not None and hasattr(candidate, "invoke_remote_many"):
+                return candidate
         return None
 
     def _refresh_reference(self) -> RemoteRef:
@@ -221,7 +235,10 @@ class BatchingProxy:
 
         Returns the batch's :class:`BatchResult` list.  A transport-level
         failure marks every in-flight placeholder with the network error and
-        re-raises it — the batch fails atomically.
+        re-raises it — the batch fails atomically.  When the proxy carries a
+        fault-tolerant invoker (explicit ``retry_policy=``/``invoker=``, or
+        discovered on a guarded handle), the flush retries per that policy
+        before the error is considered final.
         """
         if not self._queue:
             return []
@@ -229,7 +246,12 @@ class BatchingProxy:
         reference = self._refresh_reference()
         calls = [(reference, item.member, item.args, item.kwargs) for item in window]
         try:
-            results = self._space.invoke_remote_many(calls, transport=self._transport)
+            if self._invoker is not None:
+                results = self._invoker.invoke_many(
+                    calls, transport=self._transport, space=self._space
+                )
+            else:
+                results = self._space.invoke_remote_many(calls, transport=self._transport)
         except Exception as error:
             for item in window:
                 item.pending._fail(error)

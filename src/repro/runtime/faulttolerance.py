@@ -9,7 +9,8 @@ to a LAN; this module provides the mechanisms such applications need:
 * :class:`RetryPolicy` — bounded retries with (simulated-time) backoff for
   idempotent operations;
 * :class:`FaultTolerantInvoker` — wraps an address space's ``invoke_remote``
-  with a retry policy and failure accounting;
+  (and, via :meth:`~FaultTolerantInvoker.invoke_many`, its batched
+  ``invoke_remote_many``) with a retry policy and failure accounting;
 * :class:`guard_handle` — installs fault tolerance on a rebindable handle, so
   transient message loss is retried and permanent partition failures surface
   as :class:`~repro.errors.NetworkError` to the application;
@@ -164,6 +165,55 @@ class FaultTolerantInvoker:
                 # Charge the backoff to simulated time before the next attempt.
                 calling_space.network.clock.advance(self.policy.backoff_for_attempt(attempt))
 
+    def invoke_many(
+        self,
+        calls,
+        transport: Optional[str] = None,
+        space=None,
+    ):
+        """Invoke a batch of calls with retries according to the policy.
+
+        The batch path mirrors :meth:`invoke`: the whole batch is one wire
+        message, so a transport-level failure hits every call in it and the
+        whole batch is re-shipped on retry.  Like the single-call path this
+        gives *at-least-once* semantics — a lost **request** was never
+        executed, but a lost **response** means the server already ran the
+        batch and the retry runs it again; restrict retries to idempotent
+        operations.  Failures are recorded per call, so the log reflects how
+        many logical invocations each network incident touched.  Application
+        errors inside a successful batch stay isolated in their
+        :class:`~repro.runtime.batching.BatchResult` slots and are **not**
+        retried — they are deterministic outcomes, not network weather.
+
+        ``calls`` uses the ``(reference, member, args, kwargs)`` shape of
+        :meth:`~repro.runtime.address_space.AddressSpace.invoke_remote_many`.
+        For per-call retries with out-of-order completion, use
+        :class:`~repro.runtime.pipelining.PipelineScheduler`, which requeues
+        failed sub-batches asynchronously instead of blocking.
+        """
+
+        calling_space = space if space is not None else self.space
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return calling_space.invoke_remote_many(calls, transport=transport)
+            except NetworkError as error:
+                retry = self.policy.should_retry(error, attempt)
+                for _, member, _, _ in calls:
+                    self.log.record(
+                        FailureRecord(
+                            member=member,
+                            error_type=type(error).__name__,
+                            attempt=attempt,
+                            recovered=retry,
+                            simulated_time=calling_space.network.clock.now,
+                        )
+                    )
+                if not retry:
+                    raise
+                calling_space.network.clock.advance(self.policy.backoff_for_attempt(attempt))
+
 
 class _RetryingTarget:
     """A drop-in replacement target that routes calls through an invoker."""
@@ -198,11 +248,15 @@ def guard_handle(
     """Install retry-based fault tolerance on a rebindable remote handle.
 
     The handle must currently be bound to a remote proxy (fault tolerance is
-    meaningless for a purely local object).  Both invocation paths are
+    meaningless for a purely local object).  All invocation paths are
     covered: calls routed through the distributed object layer use the
-    metaobject's ``remote_invoker`` hook, and direct calls on the proxy are
-    replaced by a retrying target.  Returns the failure log used, so callers
-    can inspect what happened.
+    metaobject's ``remote_invoker`` hook, direct calls on the proxy are
+    replaced by a retrying target, and a
+    :class:`~repro.runtime.batching.BatchingProxy` wrapped around the guarded
+    handle discovers the installed invoker and routes its batch flushes
+    through :meth:`FaultTolerantInvoker.invoke_many`, so batches keep the
+    same retry policy.  Returns the failure log used, so callers can inspect
+    what happened.
     """
 
     meta: Optional[Metaobject] = metaobject_of(handle)

@@ -1,0 +1,442 @@
+"""Pipelined, future-based remote invocation with batch-aware fault tolerance.
+
+PR 1's batching subsystem ships N calls in one framed message but still waits
+for each batch's round trip before issuing the next one.  This module removes
+that wait: batches are *posted* on the simulated network's event queue
+(:meth:`~repro.network.simnet.SimulatedNetwork.post`) and complete **out of
+order** as their response events fire, so a window of in-flight batches pays
+roughly ``max`` rather than ``sum`` of its round-trip delays.
+
+Three pieces:
+
+* :class:`InvocationFuture` — the placeholder a submitted call returns
+  immediately.  It resolves (or fails) when its batch's response event fires;
+  ``result()`` pumps the event queue until then.  The batching layer's
+  :class:`~repro.runtime.batching.PendingCall` is a subclass, so every
+  buffered call in the system is a future.
+* :class:`PipelineScheduler` — buffers calls per destination node (sharding a
+  stream of submissions across the cluster), ships each node's buffer as an
+  asynchronous batch, bounds the number of concurrently in-flight batches by
+  ``window``, and resolves futures as responses arrive.
+* Batch-aware fault tolerance — a transport-level failure of one in-flight
+  batch is isolated to that batch: its calls are requeued and retried per the
+  scheduler's :class:`~repro.runtime.faulttolerance.RetryPolicy` (with
+  simulated-time backoff scheduled on the event queue) while every other
+  batch completes undisturbed.  Fatal failures (partitions, crashed nodes)
+  fail the affected futures immediately.
+
+Usage::
+
+    from repro.runtime.pipelining import PipelineScheduler
+
+    scheduler = PipelineScheduler(
+        cluster.space("client"), max_batch=32, window=4, transport="rmi",
+    )
+    futures = [
+        scheduler.submit(shard_refs[i % len(shard_refs)], "submit", f"sku-{i}", 1, 10)
+        for i in range(256)
+    ]
+    scheduler.drain()                       # pump until every future resolves
+    values = [f.result() for f in futures]  # per-call results, order preserved
+    scheduler.out_of_order_completions      # > 0 when shards answer at different speeds
+
+Used as a context manager, a clean exit flushes the buffers and drains the
+event queue, mirroring :class:`~repro.runtime.batching.BatchingProxy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import InvocationError
+from repro.runtime.faulttolerance import (
+    NO_RETRY,
+    FailureLog,
+    FailureRecord,
+    RetryPolicy,
+)
+from repro.runtime.remote_ref import RemoteRef, reference_of
+
+
+class InvocationFuture:
+    """The placeholder for one asynchronously submitted remote call.
+
+    A future starts *pending* and transitions exactly once to *resolved*
+    (carrying the call's return value) or *failed* (carrying the exception).
+    ``result()`` blocks in *simulated* time: it asks its owner — a
+    :class:`PipelineScheduler` or a :class:`~repro.runtime.batching.BatchingProxy`
+    — to make progress until the future is done, then returns the value or
+    re-raises the error.
+
+    Futures also carry the submission bookkeeping the scheduler and the
+    benchmarks read: ``index`` (global submission sequence number),
+    ``attempts`` (how many batches carried this call, > 1 after a retry) and
+    the ``submitted_at`` / ``completed_at`` simulated timestamps.
+    """
+
+    _PENDING = "pending"
+    _RESOLVED = "resolved"
+    _FAILED = "failed"
+
+    def __init__(
+        self,
+        member: str,
+        *,
+        index: int = -1,
+        on_wait: Optional[Callable[["InvocationFuture"], None]] = None,
+    ) -> None:
+        self.member = member
+        #: Global submission sequence number (``-1`` outside a scheduler).
+        self.index = index
+        #: Number of batches that carried this call so far (retries add one).
+        self.attempts = 0
+        #: Simulated timestamps, filled in by the owning scheduler/proxy.
+        self.submitted_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._state = self._PENDING
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._on_wait = on_wait
+        self._callbacks: List[Callable[["InvocationFuture"], None]] = []
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once the future has resolved or failed."""
+        return self._state is not self._PENDING
+
+    @property
+    def resolved(self) -> bool:
+        """Alias of :attr:`done` (the historical ``PendingCall`` spelling)."""
+        return self.done
+
+    @property
+    def ok(self) -> bool:
+        """True when the future resolved with a value (not an error)."""
+        return self._state is self._RESOLVED
+
+    def _resolve(self, value: Any) -> None:
+        self._state = self._RESOLVED
+        self._value = value
+        self._fire_callbacks()
+
+    def _fail(self, error: BaseException) -> None:
+        self._state = self._FAILED
+        self._error = error
+        self._fire_callbacks()
+
+    def _fire_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- results ---------------------------------------------------------------
+
+    def result(self) -> Any:
+        """The call's value; drives the owner until resolved, re-raises errors."""
+        if not self.done and self._on_wait is not None:
+            self._on_wait(self)
+        if not self.done:
+            raise InvocationError(
+                f"future for {self.member!r} is unresolved and has no owner to wait on"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self) -> Optional[BaseException]:
+        """The call's error (``None`` on success); waits like :meth:`result`.
+
+        Unlike :meth:`result`, the call's own failure is *returned*, not
+        raised — even when waiting surfaces it (a ``BatchingProxy`` flush
+        re-raises the batch's transport failure; if that failure resolved
+        this future, it is this call's outcome and comes back as the return
+        value).  Only errors that leave the future pending (a stalled
+        pipeline) propagate, and a future that cannot resolve at all raises
+        :class:`~repro.errors.InvocationError` exactly like :meth:`result`.
+        """
+        if not self.done and self._on_wait is not None:
+            try:
+                self._on_wait(self)
+            except BaseException:
+                if not self.done:
+                    raise
+        if not self.done:
+            raise InvocationError(
+                f"future for {self.member!r} is unresolved and has no owner to wait on"
+            )
+        return self._error
+
+    def add_done_callback(self, callback: Callable[["InvocationFuture"], None]) -> None:
+        """Run ``callback(future)`` on completion (immediately if already done)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = self._state if self.done else "pending"
+        return f"<{type(self).__name__} {self.member!r} #{self.index} {state}>"
+
+
+@dataclass
+class _ScheduledCall:
+    """One submitted call travelling through the scheduler's buffers."""
+
+    reference: RemoteRef
+    member: str
+    args: tuple
+    kwargs: dict
+    future: InvocationFuture = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class PipelineScheduler:
+    """Shards, batches and pipelines remote invocations over one address space.
+
+    Calls submitted through :meth:`submit` are buffered per destination node;
+    a node's buffer ships as one asynchronous batch when it reaches
+    ``max_batch`` (or on :meth:`flush`).  Up to ``window`` batches are kept in
+    flight concurrently — submission past the window pumps the event queue
+    until a slot frees, which bounds memory and models a TCP-like in-flight
+    window.  Responses resolve futures strictly in *arrival* order, which is
+    generally **not** submission order when shards answer at different speeds:
+    :attr:`completion_order` and :attr:`out_of_order_completions` expose the
+    reordering to tests and benchmarks.
+
+    Fault tolerance is batch-aware: when an in-flight batch fails at the
+    transport level, each of its calls is retried per ``retry_policy``
+    (requeued and re-shipped after the policy's simulated-time backoff) while
+    the other in-flight batches are untouched; calls whose attempts are
+    exhausted — and all calls on a fatal failure such as a partition — fail
+    with the network error.  Failures are recorded per call in
+    ``failure_log``.
+    """
+
+    def __init__(
+        self,
+        space: Any,
+        *,
+        max_batch: int = 32,
+        window: int = 4,
+        transport: Optional[str] = None,
+        retry_policy: RetryPolicy = NO_RETRY,
+        failure_log: Optional[FailureLog] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise InvocationError("max_batch must be at least 1")
+        if window < 1:
+            raise InvocationError("window must be at least 1")
+        self.space = space
+        self.max_batch = max_batch
+        self.window = window
+        self.transport = transport
+        self.retry_policy = retry_policy
+        self.failure_log = failure_log if failure_log is not None else FailureLog()
+        self._events = space.network.events
+        self._clock = space.network.clock
+        self._buffers: Dict[str, List[_ScheduledCall]] = {}
+        self._next_index = 0
+        self._in_flight = 0
+        self._outstanding = 0
+        #: Futures in the order their batches' response events fired.
+        self.completion_order: List[InvocationFuture] = []
+        #: Logical calls submitted through this scheduler.
+        self.calls_submitted = 0
+        #: Batch messages shipped (including retry re-ships).
+        self.batches_shipped = 0
+        #: Calls requeued after a transient transport failure.
+        self.calls_retried = 0
+        #: High-water mark of concurrently in-flight batches.
+        self.max_in_flight = 0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, target: Any, member: str, *args: Any, **kwargs: Any) -> InvocationFuture:
+        """Queue one invocation; returns its future immediately.
+
+        ``target`` may be a :class:`~repro.runtime.remote_ref.RemoteRef`, a
+        generated proxy, or a handle bound to one — anything
+        :func:`~repro.runtime.remote_ref.reference_of` can resolve.  The
+        call lands in the buffer of the reference's node; buffers for
+        different nodes ship independently, so one submission stream fans
+        out (shards) across the cluster.
+        """
+        if isinstance(target, RemoteRef):
+            reference = target
+        else:
+            reference = reference_of(target)
+        if reference is None:
+            raise InvocationError(
+                "PipelineScheduler needs a remote reference: pass a RemoteRef, "
+                "a proxy, or a handle bound to one"
+            )
+        future = InvocationFuture(member, index=self._next_index, on_wait=self._wait_for)
+        future.submitted_at = self._clock.now
+        self._next_index += 1
+        self.calls_submitted += 1
+        self._outstanding += 1
+        buffer = self._buffers.setdefault(reference.node_id, [])
+        buffer.append(_ScheduledCall(reference, member, tuple(args), dict(kwargs), future))
+        if len(buffer) >= self.max_batch:
+            self._ship(self._buffers.pop(reference.node_id))
+        return future
+
+    def flush(self) -> None:
+        """Ship every non-empty node buffer as an asynchronous batch."""
+        buffers, self._buffers = self._buffers, {}
+        for calls in buffers.values():
+            self._ship(calls)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Number of batches currently awaiting their response event."""
+        return self._in_flight
+
+    @property
+    def outstanding(self) -> int:
+        """Number of submitted futures not yet resolved or failed."""
+        return self._outstanding
+
+    @property
+    def out_of_order_completions(self) -> int:
+        """How many futures completed after one with a higher submission index."""
+        count = 0
+        highest = -1
+        for future in self.completion_order:
+            if future.index < highest:
+                count += 1
+            highest = max(highest, future.index)
+        return count
+
+    def drain(self) -> List[InvocationFuture]:
+        """Flush the buffers and pump events until every future is done.
+
+        Returns the full completion order (every future this scheduler has
+        completed, in arrival order).
+        """
+        self.flush()
+        while self._outstanding > 0:
+            if not self._events.run_next():
+                raise InvocationError(
+                    f"pipeline stalled: {self._outstanding} unresolved future(s) "
+                    "with an idle event queue"
+                )
+        return list(self.completion_order)
+
+    def _wait_for(self, future: InvocationFuture) -> None:
+        """Make progress until one specific future completes (its wait hook)."""
+        self.flush()
+        while not future.done:
+            if not self._events.run_next():
+                raise InvocationError(
+                    f"pipeline stalled waiting for {future.member!r} "
+                    "with an idle event queue"
+                )
+
+    # ------------------------------------------------------------------
+    # shipping and fault tolerance
+    # ------------------------------------------------------------------
+
+    def _ship(self, calls: List[_ScheduledCall]) -> None:
+        """Post one sub-batch, first waiting for an in-flight window slot."""
+        if not calls:
+            return
+        while self._in_flight >= self.window:
+            if not self._events.run_next():
+                # Nothing can complete: proceed rather than deadlock (only
+                # reachable if completion callbacks were lost to a bug).
+                break
+        for call in calls:
+            call.future.attempts += 1
+        self._in_flight += 1
+        self.batches_shipped += 1
+        self.max_in_flight = max(self.max_in_flight, self._in_flight)
+        try:
+            self.space.invoke_remote_many_async(
+                [(call.reference, call.member, call.args, call.kwargs) for call in calls],
+                on_results=lambda results, calls=calls: self._on_results(calls, results),
+                on_error=lambda error, calls=calls: self._on_error(calls, error),
+                transport=self.transport,
+            )
+        except Exception as error:  # noqa: BLE001 - release the slot, fail the futures
+            # A synchronous dispatch failure (unknown transport, marshalling
+            # error) must not leak the window slot or strand the futures:
+            # route it through the normal failure path, then surface it to
+            # the caller — it is a programming error, not network weather.
+            self._on_error(calls, error)
+            raise
+
+    def _complete(self, future: InvocationFuture) -> None:
+        future.completed_at = self._clock.now
+        self.completion_order.append(future)
+        self._outstanding -= 1
+
+    def _on_results(self, calls: List[_ScheduledCall], results: List[Any]) -> None:
+        """Resolve one batch's futures from its ordered per-call results."""
+        self._in_flight -= 1
+        for call, result in zip(calls, results):
+            if result.ok:
+                call.future._resolve(result.value)
+            else:
+                # Application errors inside a successful batch stay isolated
+                # per slot, exactly like the synchronous batch path.
+                call.future._fail(result.error)
+            self._complete(call.future)
+
+    def _on_error(self, calls: List[_ScheduledCall], error: Exception) -> None:
+        """Handle a transport-level failure of one in-flight batch.
+
+        Each call is judged individually against the retry policy (calls
+        that have been requeued before carry higher attempt counts), so a
+        re-grouped batch can simultaneously retry some calls and surface the
+        error on others.
+        """
+        self._in_flight -= 1
+        requeued: List[_ScheduledCall] = []
+        for call in calls:
+            retry = self.retry_policy.should_retry(error, call.future.attempts)
+            self.failure_log.record(
+                FailureRecord(
+                    member=call.member,
+                    error_type=type(error).__name__,
+                    attempt=call.future.attempts,
+                    recovered=retry,
+                    simulated_time=self._clock.now,
+                )
+            )
+            if retry:
+                requeued.append(call)
+            else:
+                call.future._fail(error)
+                self._complete(call.future)
+        if requeued:
+            self.calls_retried += len(requeued)
+            backoff = self.retry_policy.backoff_for_attempt(
+                max(call.future.attempts for call in requeued)
+            )
+            self._events.schedule(backoff, lambda: self._ship(requeued))
+
+    # ------------------------------------------------------------------
+    # context manager
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "PipelineScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.drain()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PipelineScheduler in_flight={self._in_flight}/{self.window} "
+            f"outstanding={self._outstanding} max_batch={self.max_batch}>"
+        )

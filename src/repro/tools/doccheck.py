@@ -1,0 +1,180 @@
+"""Docstring-coverage gate for the public API surface.
+
+A light-weight, dependency-free stand-in for ``interrogate`` (which the
+build environment does not ship): it walks a source tree with :mod:`ast`,
+counts the definitions that *should* carry a docstring, and fails when the
+covered fraction drops below a threshold.  Private definitions (names
+starting with ``_``, which includes dunders) are out of scope: the gate
+protects the documented public surface, not every helper.
+
+Two measurement levels:
+
+``--level api`` (the CI gate)
+    Modules and public classes — the layer README.md and
+    docs/ARCHITECTURE.md link into.  The repository keeps this at 100 %.
+
+``--level full`` (informational)
+    Additionally counts public functions and methods.  The workload classes
+    deliberately mirror the paper's *ordinary, middleware-unaware* input
+    programs, so their methods are undocumented by design and a hard gate at
+    this level would punish fidelity to the paper.
+
+Used by ``make docs-check`` and the CI workflow::
+
+    PYTHONPATH=src python -m repro.tools.doccheck src/repro --level api --fail-under 100
+
+Exit status is 0 when coverage meets the threshold, 1 otherwise; ``--list``
+prints every missing docstring location.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass
+class ModuleCoverage:
+    """Docstring counts for one Python source file."""
+
+    path: Path
+    total: int = 0
+    covered: int = 0
+    #: ``"<qualified name> (line N)"`` for every definition missing a docstring.
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def percent(self) -> float:
+        """Covered fraction as a percentage (an empty module counts as 100)."""
+        return 100.0 * self.covered / self.total if self.total else 100.0
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def measure_module(path: Path, include_functions: bool = True) -> ModuleCoverage:
+    """Measure docstring coverage of one file.
+
+    Counts the module itself and every public class; with
+    ``include_functions`` also every public function or method nested in
+    public classes (``async def`` is treated like ``def``).  A definition is
+    covered when :func:`ast.get_docstring` finds a docstring.
+    """
+
+    coverage = ModuleCoverage(path=path)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+    coverage.total += 1
+    if ast.get_docstring(tree) is not None:
+        coverage.covered += 1
+    else:
+        coverage.missing.append(f"{path.name} module docstring (line 1)")
+
+    def count(child: ast.AST, qualified: str) -> None:
+        coverage.total += 1
+        if ast.get_docstring(child) is not None:
+            coverage.covered += 1
+        else:
+            coverage.missing.append(f"{qualified} (line {child.lineno})")
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_public(child.name):
+                    # Private classes/functions stay out of scope along with
+                    # everything nested in them.
+                    continue
+                qualified = f"{prefix}{child.name}"
+                if isinstance(child, ast.ClassDef):
+                    count(child, qualified)
+                    visit(child, f"{qualified}.")
+                elif include_functions:
+                    count(child, qualified)
+
+    visit(tree, "")
+    return coverage
+
+
+def iter_source_files(roots: Iterable[Path]) -> List[Path]:
+    """Every ``*.py`` file under the given files/directories, sorted."""
+    files: List[Path] = []
+    for root in roots:
+        if root.is_file() and root.suffix == ".py":
+            files.append(root)
+        elif root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+    return files
+
+
+def measure_tree(
+    roots: Iterable[Path], include_functions: bool = True
+) -> List[ModuleCoverage]:
+    """Measure every source file under the given roots."""
+    return [
+        measure_module(path, include_functions=include_functions)
+        for path in iter_source_files(roots)
+    ]
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Command-line entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="doccheck", description="docstring-coverage gate for public APIs"
+    )
+    parser.add_argument("paths", nargs="+", help="source files or directories to measure")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=95.0,
+        help="minimum acceptable coverage percentage (default: 95)",
+    )
+    parser.add_argument(
+        "--level",
+        choices=("api", "full"),
+        default="full",
+        help="api: modules and public classes only; full: plus public functions/methods",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print every missing docstring location"
+    )
+    args = parser.parse_args(argv)
+
+    modules = measure_tree(
+        (Path(path) for path in args.paths),
+        include_functions=args.level == "full",
+    )
+    if not modules:
+        print("doccheck: no Python files found", file=out)
+        return 1
+    total = sum(module.total for module in modules)
+    covered = sum(module.covered for module in modules)
+    percent = 100.0 * covered / total if total else 100.0
+
+    if args.list:
+        for module in modules:
+            for entry in module.missing:
+                print(f"{module.path}: {entry}", file=out)
+    worst = min(modules, key=lambda module: module.percent)
+    print(
+        f"doccheck: {covered}/{total} public definitions documented "
+        f"({percent:.1f} %, threshold {args.fail_under:.1f} %)",
+        file=out,
+    )
+    print(
+        f"doccheck: lowest module {worst.path} at {worst.percent:.1f} %",
+        file=out,
+    )
+    if percent < args.fail_under:
+        print("doccheck: FAIL — add docstrings or lower --fail-under", file=out)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -6,6 +6,34 @@ dict).  This module provides a small tag-length-value codec with configurable
 alignment so the two protocols can share machinery while producing different
 byte streams (CORBA's CDR aligns primitive values; the RMI-like stream does
 not).
+
+Four helpers make up the public surface:
+
+* :func:`encode_message` / :func:`decode_message` — round-trip ONE
+  request/response dictionary.  ``alignment=1`` produces the RMI-like packed
+  stream; ``alignment=8`` produces the CDR-style aligned stream::
+
+      message = {"member": "submit", "args": [1, 2.5, "sku"]}
+      packed = encode_message(message)                    # RMI-like stream
+      aligned = encode_message(message, alignment=8)      # CDR-style padding
+      assert decode_message(packed) == message
+      assert decode_message(aligned, alignment=8) == message
+      assert len(aligned) >= len(packed)                  # padding costs bytes
+
+* :func:`encode_message_list` / :func:`decode_message_list` — round-trip a
+  BATCH of dictionaries as one tagged list sharing a single writer (and
+  therefore one alignment stream), which is what lets a batched wire message
+  pay the encoding's framing cost once::
+
+      batch = encode_message_list([request.to_dict() for request in requests])
+      dicts = decode_message_list(batch)
+
+  Decoders must use the producer's alignment — the streams are not
+  self-describing on that axis (the transport name in the frame carries it).
+
+:class:`BinaryWriter` / :class:`BinaryReader` are the lower-level pieces the
+helpers are built from; transports only need them for custom message shapes
+(e.g. the RMI/GIOP batch headers).
 """
 
 from __future__ import annotations

@@ -10,6 +10,7 @@ from repro.workloads.figure1 import A, B, C, Figure1Result, run_figure1_scenario
 from repro.workloads.shared_cache import Cache, CacheClient, CacheStats, run_cache_workload
 from repro.workloads.pipeline import Buffer, Consumer, Producer, run_pipeline
 from repro.workloads.bulk_orders import OrderIntake, run_bulk_order_scenario
+from repro.workloads.pipelined_orders import run_sharded_order_scenario
 from repro.workloads.orders import (
     Catalog,
     CustomerSession,
@@ -37,4 +38,5 @@ __all__ = [
     "run_figure1_scenario",
     "run_order_phase",
     "run_pipeline",
+    "run_sharded_order_scenario",
 ]

@@ -1,0 +1,132 @@
+"""Sharded bulk-order ingestion: the pipelined-dispatch workload.
+
+The bulk-order workload (:mod:`repro.workloads.bulk_orders`) showed that
+batching amortises per-message cost; this variant shows what batching alone
+cannot remove — the *wait* between batches.  A gateway client streams order
+submissions round-robin across N intake shards hosted on different cluster
+nodes.  Dispatched sequentially, every batch's round trip is paid in full
+before the next batch leaves.  Dispatched through the
+:class:`~repro.runtime.pipelining.PipelineScheduler`, a window of batches is
+in flight concurrently and completions arrive out of order as shards answer,
+so the stream pays roughly ``max`` instead of ``sum`` of the window's round
+trips.
+
+Both dispatch modes issue the *same* sub-batches in the same order, so the
+comparison in ``benchmarks/bench_pipelining.py`` and the ``repro
+bench-pipelining`` CLI subcommand isolates the effect of pipelining.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.runtime.batching import BatchingProxy
+from repro.runtime.faulttolerance import NO_RETRY, RetryPolicy
+from repro.runtime.pipelining import PipelineScheduler
+from repro.workloads.bulk_orders import OrderIntake
+
+
+def _order_args(index: int) -> tuple:
+    """Deterministic (sku, quantity, unit price) for submission ``index``."""
+    return (f"sku-{index % 16}", 1 + index % 3, 10 + index % 7)
+
+
+def run_sharded_order_scenario(
+    cluster,
+    *,
+    transport: str = "rmi",
+    orders: int = 256,
+    batch_size: int = 32,
+    window: int = 4,
+    pipelined: bool = True,
+    client: str = "client",
+    servers: Sequence[str] = ("server-0", "server-1"),
+    retry_policy: Optional[RetryPolicy] = None,
+) -> dict:
+    """Stream ``orders`` submissions round-robin across intake shards.
+
+    One :class:`~repro.workloads.bulk_orders.OrderIntake` is exported per
+    shard node and submissions are assigned round-robin (order ``i`` goes to
+    shard ``i % len(servers)``), grouped into sub-batches of ``batch_size``
+    per shard.
+
+    ``pipelined=True`` dispatches through a
+    :class:`~repro.runtime.pipelining.PipelineScheduler` with the given
+    in-flight ``window`` (and optional ``retry_policy``); ``pipelined=False``
+    issues exactly the same sub-batches synchronously, one round trip after
+    another — the sequential-batched baseline.
+
+    Returns the scenario's simulated cost figures, including the observed
+    out-of-order completion count (always 0 for the sequential mode).
+    """
+
+    if orders < 1:
+        raise ValueError("orders must be at least 1")
+    if not servers:
+        raise ValueError("the scenario needs at least one server shard")
+    client_space = cluster.space(client)
+    intakes = [OrderIntake() for _ in servers]
+    references = [
+        cluster.space(node).export(intake) for node, intake in zip(servers, intakes)
+    ]
+
+    started = cluster.clock.now
+    messages_before = cluster.metrics.total_messages
+    bytes_before = cluster.metrics.total_bytes
+
+    out_of_order = 0
+    retried = 0
+    max_in_flight = 1
+    if pipelined:
+        scheduler = PipelineScheduler(
+            client_space,
+            max_batch=batch_size,
+            window=window,
+            transport=transport,
+            retry_policy=retry_policy if retry_policy is not None else NO_RETRY,
+        )
+        futures = [
+            scheduler.submit(references[index % len(references)], "submit", *_order_args(index))
+            for index in range(orders)
+        ]
+        scheduler.drain()
+        values = [future.result() for future in futures]
+        out_of_order = scheduler.out_of_order_completions
+        retried = scheduler.calls_retried
+        max_in_flight = scheduler.max_in_flight
+    else:
+        # The same per-shard sub-batches, shipped one synchronous round trip
+        # at a time: one BatchingProxy per shard groups submissions into the
+        # identical windows the scheduler would form.
+        proxies = [
+            BatchingProxy(
+                reference, space=client_space, max_batch=batch_size, transport=transport
+            )
+            for reference in references
+        ]
+        placeholders = [
+            proxies[index % len(proxies)].submit(*_order_args(index))
+            for index in range(orders)
+        ]
+        for proxy in proxies:
+            proxy.flush()
+        values = [placeholder.result() for placeholder in placeholders]
+
+    elapsed = cluster.clock.now - started
+    return {
+        "transport": transport,
+        "orders": orders,
+        "batch_size": batch_size,
+        "window": window if pipelined else 1,
+        "shards": len(references),
+        "pipelined": pipelined,
+        "accepted": sum(intake.accepted_count() for intake in intakes),
+        "values": values,
+        "out_of_order_completions": out_of_order,
+        "calls_retried": retried,
+        "max_in_flight": max_in_flight,
+        "simulated_seconds": elapsed,
+        "per_call_seconds": elapsed / orders,
+        "messages": cluster.metrics.total_messages - messages_before,
+        "bytes_on_wire": cluster.metrics.total_bytes - bytes_before,
+    }

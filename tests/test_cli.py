@@ -158,5 +158,34 @@ class TestCorpusAndTemplateCommands:
     def test_parser_lists_all_subcommands(self):
         parser = build_parser()
         help_text = parser.format_help()
-        for command in ("analyze", "emit", "report", "corpus-study", "policy-template"):
+        for command in (
+            "analyze",
+            "emit",
+            "report",
+            "corpus-study",
+            "policy-template",
+            "bench-batching",
+            "bench-pipelining",
+        ):
             assert command in help_text
+
+
+class TestBenchPipeliningCommand:
+    def test_reports_speedup_per_transport(self):
+        code, output = run_cli(
+            "bench-pipelining", "--transports", "rmi", "--orders", "64",
+            "--batch-size", "16", "--window", "4", "--shards", "2",
+        )
+        assert code == 0
+        assert "rmi" in output
+        assert "x" in output  # a speedup column was printed
+
+    def test_rejects_unknown_transports(self):
+        code, output = run_cli("bench-pipelining", "--transports", "carrier-pigeon")
+        assert code == 1
+        assert "unknown transports" in output
+
+    def test_rejects_degenerate_window(self):
+        code, output = run_cli("bench-pipelining", "--window", "1")
+        assert code == 1
+        assert "--window" in output

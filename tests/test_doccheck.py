@@ -1,0 +1,108 @@
+"""Tests for the docstring-coverage gate (repro.tools.doccheck)."""
+
+from __future__ import annotations
+
+import io
+import textwrap
+from pathlib import Path
+
+from repro.tools.doccheck import main, measure_module, measure_tree
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+SAMPLE = textwrap.dedent(
+    '''
+    """Module docstring."""
+
+    class Documented:
+        """Has one."""
+
+        def covered(self):
+            """Covered method."""
+
+        def naked(self):
+            return 1
+
+        def _private(self):
+            return 2
+
+    class Bare:
+        pass
+
+    def helper():
+        """Covered function."""
+
+    def undocumented():
+        pass
+
+    def _internal():
+        pass
+    '''
+)
+
+
+def _sample_path(tmp_path) -> Path:
+    path = tmp_path / "sample_module.py"
+    path.write_text(SAMPLE, encoding="utf-8")
+    return path
+
+
+class TestMeasurement:
+    def test_full_level_counts_public_defs(self, tmp_path):
+        coverage = measure_module(_sample_path(tmp_path))
+        # module + Documented + covered + naked + Bare + helper + undocumented
+        assert coverage.total == 7
+        assert coverage.covered == 4
+        missing = "\n".join(coverage.missing)
+        assert "Documented.naked" in missing
+        assert "Bare" in missing
+        assert "undocumented" in missing
+        assert "_private" not in missing and "_internal" not in missing
+
+    def test_api_level_counts_modules_and_classes_only(self, tmp_path):
+        coverage = measure_module(_sample_path(tmp_path), include_functions=False)
+        # module + Documented + Bare
+        assert coverage.total == 3
+        assert coverage.covered == 2
+        assert coverage.percent == 100.0 * 2 / 3
+
+    def test_empty_module_counts_its_missing_docstring(self, tmp_path):
+        path = tmp_path / "empty.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        coverage = measure_module(path)
+        assert (coverage.total, coverage.covered) == (1, 0)
+
+    def test_measure_tree_walks_directories(self, tmp_path):
+        _sample_path(tmp_path)
+        (tmp_path / "second.py").write_text('"""Doc."""\n', encoding="utf-8")
+        modules = measure_tree([tmp_path])
+        assert len(modules) == 2
+
+
+class TestGate:
+    def _run(self, *argv):
+        buffer = io.StringIO()
+        code = main(list(argv), out=buffer)
+        return code, buffer.getvalue()
+
+    def test_repo_api_surface_is_fully_documented(self):
+        code, output = self._run(str(REPO_SRC), "--level", "api", "--fail-under", "100")
+        assert code == 0, output
+        assert "100.0 %" in output
+
+    def test_failing_threshold_exits_nonzero_and_lists_missing(self, tmp_path):
+        _sample_path(tmp_path)
+        code, output = self._run(str(tmp_path), "--fail-under", "99", "--list")
+        assert code == 1
+        assert "FAIL" in output
+        assert "undocumented" in output
+
+    def test_passing_threshold_exits_zero(self, tmp_path):
+        _sample_path(tmp_path)
+        code, _ = self._run(str(tmp_path), "--fail-under", "50")
+        assert code == 0
+
+    def test_no_files_found_is_an_error(self, tmp_path):
+        code, output = self._run(str(tmp_path / "nowhere"))
+        assert code == 1
+        assert "no Python files" in output
