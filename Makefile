@@ -1,16 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
+BENCH_DIR ?= bench-artifacts
 
-.PHONY: check test bench-smoke docs-check
+.PHONY: check test bench-smoke bench-check docs-check lint
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-smoke:
-	$(PYTHON) benchmarks/bench_batching.py
-	$(PYTHON) benchmarks/bench_pipelining.py
+	mkdir -p $(BENCH_DIR)
+	BENCH_OUT_DIR=$(BENCH_DIR) $(PYTHON) benchmarks/bench_batching.py
+	BENCH_OUT_DIR=$(BENCH_DIR) $(PYTHON) benchmarks/bench_pipelining.py
+	BENCH_OUT_DIR=$(BENCH_DIR) $(PYTHON) benchmarks/bench_replication.py
+
+bench-check: bench-smoke
+	$(PYTHON) benchmarks/check_regressions.py --dir $(BENCH_DIR)
 
 docs-check:
 	$(PYTHON) -m repro.tools.doccheck src/repro --level api --fail-under 100
 
-check: test bench-smoke docs-check
+lint:
+	ruff check .
+
+check: test bench-check docs-check

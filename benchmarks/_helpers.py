@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 from pathlib import Path
 
@@ -36,6 +38,27 @@ def deploy_figure1(node_for_c=None, dynamic=False, transport="rmi"):
     cluster = Cluster(("client", "server"))
     app.deploy(cluster, default_node="client")
     return app, cluster
+
+
+def write_bench_json(name: str, payload: dict, out_dir=None) -> Path:
+    """Write one benchmark's machine-readable result as ``BENCH_<name>.json``.
+
+    Every standalone smoke run (``python benchmarks/bench_<name>.py``) calls
+    this so CI can upload the results as artifacts and gate on them: the
+    regression checker (``benchmarks/check_regressions.py``) reads the same
+    files and fails the build when a tracked speedup ratio drops below its
+    floor.  The output directory is ``out_dir``, else ``$BENCH_OUT_DIR``,
+    else the current working directory.
+    """
+    directory = Path(out_dir or os.environ.get("BENCH_OUT_DIR") or ".")
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps({"bench": name, **payload}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {path}")
+    return path
 
 
 def record_simulation(benchmark, cluster, **extra):

@@ -14,7 +14,7 @@ Run standalone for a quick smoke check (used by CI)::
 
 from __future__ import annotations
 
-from _helpers import record_simulation
+from _helpers import record_simulation, write_bench_json
 
 from repro.runtime.cluster import Cluster
 from repro.workloads.bulk_orders import run_bulk_order_scenario
@@ -113,8 +113,10 @@ def main(orders: int = ORDERS) -> int:
     print(f"bulk-order batching: {orders} orders, batch window {BATCH_SIZE}")
     print(f"{'transport':9s} {'unbatched/call':>15s} {'batched/call':>14s} {'speedup':>9s}")
     failures = 0
+    rows = []
     for transport in TRANSPORTS:
         row = _compare(transport, orders)
+        rows.append(row)
         ok = row["speedup"] >= MIN_SPEEDUP
         failures += 0 if ok else 1
         print(
@@ -122,6 +124,23 @@ def main(orders: int = ORDERS) -> int:
             f"{row['batched_per_call']:12.6f} s {row['speedup']:7.1f}x"
             f"{'' if ok else '  FAIL (< 3x)'}"
         )
+    write_bench_json(
+        "batching",
+        {
+            "orders": orders,
+            "batch_size": BATCH_SIZE,
+            "min_speedup": MIN_SPEEDUP,
+            "speedups": {row["transport"]: round(row["speedup"], 3) for row in rows},
+            "per_call_seconds": {
+                row["transport"]: {
+                    "unbatched": round(row["unbatched_per_call"], 9),
+                    "batched": round(row["batched_per_call"], 9),
+                }
+                for row in rows
+            },
+            "ok": failures == 0,
+        },
+    )
     print("ok" if failures == 0 else f"{failures} transport(s) below {MIN_SPEEDUP}x")
     return 0 if failures == 0 else 1
 

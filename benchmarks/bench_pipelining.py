@@ -17,7 +17,7 @@ Run standalone for a quick smoke check (used by CI)::
 
 from __future__ import annotations
 
-from _helpers import record_simulation
+from _helpers import record_simulation, write_bench_json
 
 from repro.network.simnet import LinkConfig
 from repro.runtime.cluster import Cluster
@@ -144,8 +144,10 @@ def main(orders: int = ORDERS) -> int:
     )
     print(f"{'transport':9s} {'sequential/call':>16s} {'pipelined/call':>15s} {'speedup':>9s}")
     failures = 0
+    rows = []
     for transport in TRANSPORTS:
         row = _compare(transport, orders)
+        rows.append(row)
         ok = row["speedup"] >= MIN_SPEEDUP
         failures += 0 if ok else 1
         print(
@@ -160,6 +162,26 @@ def main(orders: int = ORDERS) -> int:
     )
     if slow["out_of_order_completions"] == 0:
         failures += 1
+    write_bench_json(
+        "pipelining",
+        {
+            "orders": orders,
+            "batch_size": BATCH_SIZE,
+            "window": WINDOW,
+            "shards": len(SERVERS),
+            "min_speedup": MIN_SPEEDUP,
+            "speedups": {row["transport"]: round(row["speedup"], 3) for row in rows},
+            "per_call_seconds": {
+                row["transport"]: {
+                    "sequential": round(row["sequential_per_call"], 9),
+                    "pipelined": round(row["pipelined_per_call"], 9),
+                }
+                for row in rows
+            },
+            "out_of_order_completions": slow["out_of_order_completions"],
+            "ok": failures == 0,
+        },
+    )
     print("ok" if failures == 0 else f"{failures} check(s) failed")
     return 0 if failures == 0 else 1
 

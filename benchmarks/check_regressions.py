@@ -1,0 +1,143 @@
+"""Benchmark-regression gate over the ``BENCH_*.json`` artifacts.
+
+The standalone benchmark smoke runs (``python benchmarks/bench_<name>.py``)
+each emit a machine-readable ``BENCH_<name>.json`` via
+:func:`_helpers.write_bench_json`.  This checker reads those files back and
+fails (exit 1) when a tracked ratio drops below its floor:
+
+* batching  — batched vs unbatched per-call speedup >= 3x on every transport;
+* pipelining — pipelined vs sequential-batched speedup >= 2x on every
+  transport, plus out-of-order completions observed on the slow-shard run;
+* replication — zero client-visible failures and no lost or duplicated
+  orders on the kill-a-shard run, with at least one failover exercised.
+
+A tracked file that is missing is itself a failure: the gate must not pass
+vacuously because a smoke run silently stopped emitting its artifact.
+
+Used by CI after the smoke runs and by ``make bench-check``::
+
+    PYTHONPATH=src python benchmarks/check_regressions.py --dir bench-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Floors for the tracked speedup ratios.
+BATCHING_FLOOR = 3.0
+PIPELINING_FLOOR = 2.0
+
+
+def _load(directory: Path, name: str, problems: list) -> dict | None:
+    path = directory / f"BENCH_{name}.json"
+    if not path.exists():
+        problems.append(f"{name}: missing artifact {path}")
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        problems.append(f"{name}: unreadable artifact {path}: {exc}")
+        return None
+
+
+def check_batching(data: dict, problems: list) -> None:
+    """Every transport's batching speedup must clear the 3x floor."""
+    speedups = data.get("speedups") or {}
+    if not speedups:
+        problems.append("batching: artifact carries no speedups")
+    for transport, speedup in sorted(speedups.items()):
+        if speedup < BATCHING_FLOOR:
+            problems.append(
+                f"batching: {transport} speedup {speedup:.2f}x "
+                f"below the {BATCHING_FLOOR}x floor"
+            )
+
+
+def check_pipelining(data: dict, problems: list) -> None:
+    """Every transport's pipelining speedup must clear the 2x floor."""
+    speedups = data.get("speedups") or {}
+    if not speedups:
+        problems.append("pipelining: artifact carries no speedups")
+    for transport, speedup in sorted(speedups.items()):
+        if speedup < PIPELINING_FLOOR:
+            problems.append(
+                f"pipelining: {transport} speedup {speedup:.2f}x "
+                f"below the {PIPELINING_FLOOR}x floor"
+            )
+    if data.get("out_of_order_completions", 0) <= 0:
+        problems.append("pipelining: no out-of-order completions on the slow-shard run")
+
+
+def check_replication(data: dict, problems: list) -> None:
+    """The kill-a-shard run must lose nothing and exercise a failover.
+
+    Every tracked key must be present and non-empty — a smoke-run edit that
+    renames or drops one must fail the gate, not skip its check vacuously.
+    """
+    missing = [
+        key
+        for key in ("orders", "client_visible_failures", "accepted", "failovers")
+        if not data.get(key)
+    ]
+    if missing:
+        problems.append(
+            f"replication: artifact is missing tracked key(s): {', '.join(missing)}"
+        )
+        return
+    orders = data["orders"]
+    for transport, lost in sorted(data["client_visible_failures"].items()):
+        if lost != 0:
+            problems.append(
+                f"replication: {transport} lost {lost} calls despite a live backup"
+            )
+    for transport, accepted in sorted(data["accepted"].items()):
+        if accepted != orders:
+            problems.append(
+                f"replication: {transport} accepted {accepted}/{orders} orders "
+                "(lost or duplicated writes across the failover)"
+            )
+    for transport, failovers in sorted(data["failovers"].items()):
+        if failovers < 1:
+            problems.append(f"replication: {transport} never failed over")
+
+
+CHECKS = {
+    "batching": check_batching,
+    "pipelining": check_pipelining,
+    "replication": check_replication,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point; returns 0 when every tracked ratio clears its floor."""
+    parser = argparse.ArgumentParser(
+        description="fail when a tracked benchmark ratio drops below its floor"
+    )
+    parser.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding the BENCH_*.json artifacts (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+    directory = Path(args.dir)
+
+    problems: list = []
+    for name, check in CHECKS.items():
+        data = _load(directory, name, problems)
+        if data is not None:
+            check(data, problems)
+
+    if problems:
+        print(f"{len(problems)} benchmark regression(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"benchmark floors hold across {len(CHECKS)} tracked artifact(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,14 @@ run against their own code base before deploying it:
     with the pipelined scheduler (W batches in flight, completions out of
     order) and report the per-call simulated cost and speedup per transport.
 
+``repro bench-replication [--transports ...] [--orders N] [--batch-size B]
+[--window W] [--shards S] [--sync eager|interval] [--no-kill]``
+    Run the kill-a-shard workload: every intake shard gets a backup replica
+    on a neighbouring node, a heartbeat detector watches the shards, and one
+    shard is crashed mid-stream.  Reports client-visible failures (0 with a
+    backup), failovers, write amplification and the recovered-call latency
+    against steady state, per transport.
+
 Run ``python -m repro --help`` for the full syntax.
 """
 
@@ -271,6 +279,61 @@ def command_bench_pipelining(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def command_bench_replication(args: argparse.Namespace, out) -> int:
+    from repro.runtime.cluster import Cluster, default_transport_registry
+    from repro.workloads.replicated_orders import run_replicated_order_scenario
+
+    transports = _split_csv(args.transports) or ["inproc", "rmi", "corba", "soap"]
+    known = default_transport_registry().names()
+    unknown = [name for name in transports if name not in known]
+    if unknown:
+        print(f"unknown transports: {', '.join(unknown)}", file=out)
+        return 1
+    if args.batch_size < 1:
+        print("--batch-size must be at least 1", file=out)
+        return 1
+    if args.window < 1:
+        print("--window must be at least 1", file=out)
+        return 1
+    if args.orders < 1:
+        print("--orders must be at least 1", file=out)
+        return 1
+    if args.shards < 2:
+        print("--shards must be at least 2 (backups live on a neighbouring shard)", file=out)
+        return 1
+    if args.sync not in ("eager", "interval"):
+        print("--sync must be 'eager' or 'interval'", file=out)
+        return 1
+
+    shards = tuple(f"shard-{index}" for index in range(args.shards))
+    kill = None if args.no_kill else shards[0]
+    print(
+        f"kill-a-shard: {args.orders} orders, {args.shards} shards, batch window "
+        f"{args.batch_size}, in-flight window {args.window}, sync={args.sync}"
+        + ("" if kill is None else f", killing {kill!r} halfway"),
+        file=out,
+    )
+    print(
+        f"{'transport':9s} {'accepted':>9s} {'lost':>5s} {'failovers':>10s} "
+        f"{'steady/call':>12s} {'recovered/call':>15s}",
+        file=out,
+    )
+    for transport in transports:
+        outcome = run_replicated_order_scenario(
+            Cluster(("client",) + shards),
+            transport=transport, orders=args.orders, batch_size=args.batch_size,
+            window=args.window, shards=shards, sync=args.sync, kill=kill,
+        )
+        print(
+            f"{transport:9s} {outcome['accepted']:9d} "
+            f"{outcome['client_visible_failures']:5d} {outcome['failovers']:10d} "
+            f"{outcome['steady_latency_mean']:10.6f} s "
+            f"{outcome['recovered_latency_mean']:13.6f} s",
+            file=out,
+        )
+    return 0
+
+
 def command_policy_template(args: argparse.Namespace, out) -> int:
     classes = _split_csv(args.classes)
     nodes = _split_csv(args.nodes)
@@ -344,6 +407,21 @@ def build_parser() -> argparse.ArgumentParser:
     pipelining.add_argument("--window", type=int, default=8)
     pipelining.add_argument("--shards", type=int, default=2)
     pipelining.set_defaults(handler=command_bench_pipelining)
+
+    replication = subparsers.add_parser(
+        "bench-replication",
+        help="kill a replicated shard mid-stream and report failover recovery",
+    )
+    replication.add_argument("--transports", help="comma-separated transports (default: all)")
+    replication.add_argument("--orders", type=int, default=256)
+    replication.add_argument("--batch-size", type=int, default=16)
+    replication.add_argument("--window", type=int, default=4)
+    replication.add_argument("--shards", type=int, default=2)
+    replication.add_argument("--sync", default="eager", help="backup sync mode: eager|interval")
+    replication.add_argument(
+        "--no-kill", action="store_true", help="steady state only (no shard crash)"
+    )
+    replication.set_defaults(handler=command_bench_replication)
 
     return parser
 

@@ -96,6 +96,10 @@ class NamingError(RuntimeLayerError):
     """A name could not be bound or resolved in the naming service."""
 
 
+class ReplicationError(RuntimeLayerError):
+    """A replica group could not be created, synchronized or failed over."""
+
+
 # ---------------------------------------------------------------------------
 # Simulated network (repro.network) and transports (repro.transports)
 # ---------------------------------------------------------------------------

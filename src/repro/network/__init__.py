@@ -2,6 +2,7 @@
 
 from repro.network.clock import SimClock, Stopwatch, Timeline
 from repro.network.failures import FailureModel, NoFailures
+from repro.network.heartbeat import HeartbeatDetector, NodeHealth
 from repro.network.metrics import LinkMetrics, NetworkMetrics
 from repro.network.simnet import (
     LAN_LINK,
@@ -13,12 +14,14 @@ from repro.network.simnet import (
 
 __all__ = [
     "FailureModel",
+    "HeartbeatDetector",
     "LAN_LINK",
     "LOOPBACK_LINK",
     "LinkConfig",
     "LinkMetrics",
     "NetworkMetrics",
     "NoFailures",
+    "NodeHealth",
     "SimClock",
     "SimulatedNetwork",
     "Stopwatch",

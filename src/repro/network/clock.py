@@ -120,6 +120,26 @@ class EventQueue:
         callback()
         return True
 
+    def run_until(self, timestamp: float, max_events: int = 1_000_000) -> int:
+        """Fire every event scheduled at or before ``timestamp``; returns the count.
+
+        The clock is left at ``timestamp`` (or later, if a callback advanced
+        it further) so a caller waiting a bounded amount of simulated time —
+        a fault-tolerant invoker waiting out a failover, a test stepping a
+        heartbeat detector — observes exactly the events of that interval.
+        Unlike :meth:`run_until_idle`, self-rescheduling periodic events (a
+        heartbeat loop) do not keep this method alive past the deadline.
+        """
+        fired = 0
+        while fired < max_events:
+            next_time = self.next_fire_time()
+            if next_time is None or next_time > timestamp:
+                break
+            self.run_next()
+            fired += 1
+        self.clock.advance_to(timestamp)
+        return fired
+
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
         """Fire events until the queue drains; returns the number fired.
 

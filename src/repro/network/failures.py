@@ -55,9 +55,22 @@ class FailureModel:
                 self._partitioned_pairs.add((b, a))
 
     def heal(self, node_a: Optional[str] = None, node_b: Optional[str] = None) -> None:
-        """Heal a specific partition pair, or every partition when called bare."""
+        """Heal partitions: every one (bare), one node's (single), or one pair.
+
+        Called with no arguments, every partition disappears.  Called with a
+        single node, every partition pair that node participates in is healed
+        (the node rejoins the network, whichever side it was on) — the shape
+        a failover-then-recovery sequence needs.  Called with two nodes, only
+        that pair is healed, in both directions.
+        """
         if node_a is None and node_b is None:
             self._partitioned_pairs.clear()
+            return
+        if node_a is None or node_b is None:
+            node = node_a if node_a is not None else node_b
+            self._partitioned_pairs = {
+                pair for pair in self._partitioned_pairs if node not in pair
+            }
             return
         self._partitioned_pairs.discard((node_a, node_b))
         self._partitioned_pairs.discard((node_b, node_a))

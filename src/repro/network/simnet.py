@@ -229,6 +229,16 @@ class SimulatedNetwork:
                     )
                 )
                 return
+            if self.failures.is_node_down(destination):
+                # The destination crashed while this message was in flight:
+                # it must not execute on a dead node (reachability was only
+                # checked at post time).
+                on_error(
+                    NodeUnreachableError(
+                        f"node {destination!r} went down before delivery"
+                    )
+                )
+                return
             try:
                 response = handler(source, payload)
             except Exception as error:  # noqa: BLE001 - routed to callback

@@ -40,6 +40,20 @@ weighting — the observed window is divided by ``batch_size * pipeline_depth``
 before the ``min_calls`` comparison, because traffic whose latency is hidden
 by the pipeline is even weaker evidence that the callee should move.  The
 default ``pipeline_depth=1`` models the synchronous dispatch modes.
+
+Replication-awareness
+---------------------
+
+Replication pulls in the *opposite* direction: when the callee is the
+primary of a replica group kept in sync eagerly
+(:class:`~repro.runtime.replication.ReplicaManager`), every mutating call the
+object serves is amplified into ``R - 1`` additional replication messages
+(one per backup), so each observed call represents *more* network cost than
+its unreplicated equivalent.  A manager constructed with
+``replication_factor=R > 1`` multiplies the observed window by ``R``, which
+lowers the effective bar for moving a hot replicated object towards its
+dominant caller.  The default ``replication_factor=1`` models unreplicated
+objects.
 """
 
 from __future__ import annotations
@@ -124,6 +138,7 @@ class AdaptiveDistributionManager:
         min_calls: int = 10,
         batch_size: int = 1,
         pipeline_depth: int = 1,
+        replication_factor: int = 1,
     ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise RedistributionError("threshold must be in (0, 1]")
@@ -131,6 +146,8 @@ class AdaptiveDistributionManager:
             raise RedistributionError("batch_size must be at least 1")
         if pipeline_depth < 1:
             raise RedistributionError("pipeline_depth must be at least 1")
+        if replication_factor < 1:
+            raise RedistributionError("replication_factor must be at least 1")
         self.application = application
         self.controller = controller
         self.threshold = threshold
@@ -143,6 +160,10 @@ class AdaptiveDistributionManager:
         #: means synchronous dispatch, larger values amortise further because
         #: concurrent batches overlap their round-trip latencies.
         self.pipeline_depth = pipeline_depth
+        #: Replica count of the monitored objects (primary + backups); ``1``
+        #: means unreplicated, larger values weigh every observed write by
+        #: its eager-replication amplification.
+        self.replication_factor = replication_factor
         self._monitors: dict[int, AccessMonitor] = {}
         self.history: list[AdaptationRecord] = []
 
@@ -182,19 +203,21 @@ class AdaptiveDistributionManager:
     # ------------------------------------------------------------------
 
     def amortised_call_count(self, monitor: AccessMonitor) -> float:
-        """The monitor's window weighted by batch and pipeline amortisation.
+        """The monitor's window weighted by batching, pipelining and replication.
 
         ``n`` batched calls cost about ``n / batch_size`` round-trip
-        overheads, and a pipelined window overlaps ``pipeline_depth`` of
-        those round trips in simulated time, so the quantity compared
-        against ``min_calls`` is ``n / (batch_size * pipeline_depth)``.
-        With ``batch_size == pipeline_depth == 1`` this is exactly
-        ``monitor.total_calls``.
+        overheads, a pipelined window overlaps ``pipeline_depth`` of those
+        round trips in simulated time, and eager replication amplifies each
+        served write into ``replication_factor`` messages — so the quantity
+        compared against ``min_calls`` is
+        ``n * replication_factor / (batch_size * pipeline_depth)``.  With
+        all three factors at 1 this is exactly ``monitor.total_calls``.
         """
         weight = self.batch_size * self.pipeline_depth
-        if weight <= 1:
+        amplification = self.replication_factor
+        if weight <= 1 and amplification <= 1:
             return float(monitor.total_calls)
-        return monitor.total_calls / weight
+        return monitor.total_calls * amplification / weight
 
     def suggest_for(self, handle: Any) -> Optional[RedistributionSuggestion]:
         """Apply the affinity heuristic to one monitored handle."""

@@ -27,6 +27,15 @@ from repro.runtime.pipelining import InvocationFuture, PipelineScheduler
 from repro.runtime.naming import NamingService
 from repro.runtime.redistribution import BoundaryChange, DistributionController
 from repro.runtime.remote_ref import ObjectIdAllocator, RemoteRef, reference_of
+from repro.runtime.replication import (
+    FailoverRecord,
+    ReplicaGroup,
+    ReplicaManager,
+    ReplicaRecord,
+    ReplicatedObject,
+    apply_state,
+    snapshot_state,
+)
 from repro.runtime.serialization import Marshaller
 
 __all__ = [
@@ -53,9 +62,16 @@ __all__ = [
     "PendingCall",
     "PipelineScheduler",
     "RemoteRef",
+    "ReplicaGroup",
+    "ReplicaManager",
+    "ReplicaRecord",
+    "ReplicatedObject",
+    "FailoverRecord",
     "RetryPolicy",
     "guard_handle",
+    "apply_state",
     "capture_state",
+    "snapshot_state",
     "default_transport_registry",
     "lan_cluster",
     "reference_of",

@@ -39,7 +39,10 @@ from repro.transports.base import (
     TransportRegistry,
     frame_batch_message,
     frame_message,
+    frame_pong,
+    is_ping,
     parse_frame,
+    parse_heartbeat,
 )
 
 #: One call of a batch: (reference, member, positional args, keyword args).
@@ -78,6 +81,8 @@ class AddressSpace:
         self.batches_sent = 0
         #: Number of batch messages served by this space's dispatcher.
         self.batches_served = 0
+        #: Number of heartbeat probes answered by this space.
+        self.pings_answered = 0
 
         network.register(node_id, self._handle_message)
 
@@ -376,6 +381,12 @@ class AddressSpace:
     # ------------------------------------------------------------------
 
     def _handle_message(self, source: str, payload: bytes) -> bytes:
+        if is_ping(payload):
+            # Liveness probes are answered before any transport decoding —
+            # a node that can run its handler is alive, whatever protocols
+            # it speaks.  They do not count as served invocations.
+            self.pings_answered += 1
+            return frame_pong(parse_heartbeat(payload))
         transport_name, body, is_batch = parse_frame(payload)
         transport = self.transports.get(transport_name)
         if is_batch:

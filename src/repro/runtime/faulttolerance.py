@@ -113,17 +113,53 @@ class FailureLog:
 
 
 class FaultTolerantInvoker:
-    """Wraps remote invocation with retries, backoff and failure accounting."""
+    """Wraps remote invocation with retries, backoff and failure accounting.
+
+    When constructed with a ``replica_manager``
+    (:class:`~repro.runtime.replication.ReplicaManager`), fatal failures stop
+    being fatal for replicated targets: the invoker waits out the failure
+    detector (pumping the event queue for up to ``failover_wait`` simulated
+    seconds per hop) and retries against the promoted replica instead of
+    surfacing :class:`~repro.errors.PartitionError` /
+    :class:`~repro.errors.NodeUnreachableError` to the application.
+    ``max_failover_hops`` bounds how many successive promotions one logical
+    call will chase.
+    """
 
     def __init__(
         self,
         space,
         policy: RetryPolicy = RetryPolicy(),
         log: Optional[FailureLog] = None,
+        *,
+        replica_manager=None,
+        failover_wait: float = 0.1,
+        max_failover_hops: int = 4,
     ) -> None:
         self.space = space
         self.policy = policy
         self.log = log if log is not None else FailureLog()
+        self.replica_manager = replica_manager
+        self.failover_wait = failover_wait
+        self.max_failover_hops = max_failover_hops
+
+    def _failover_target(self, reference, hops: int):
+        """The promoted replica to retry against, or ``None`` when there is none.
+
+        Resolves an already-published redirect immediately; otherwise, when
+        the reference belongs to a replica group that still has a promotable
+        backup, drives the event queue (heartbeats, promotions) until the
+        redirect appears or ``failover_wait`` simulated seconds pass.
+        """
+        manager = self.replica_manager
+        if manager is None or hops >= self.max_failover_hops:
+            return None
+        resolved = manager.current_ref(reference)
+        if resolved != reference:
+            return resolved
+        if not manager.has_failover_target(reference):
+            return None
+        return manager.await_failover(reference, self.failover_wait)
 
     def invoke(
         self,
@@ -143,6 +179,7 @@ class FaultTolerantInvoker:
 
         calling_space = space if space is not None else self.space
         attempt = 0
+        hops = 0
         while True:
             attempt += 1
             try:
@@ -151,6 +188,11 @@ class FaultTolerantInvoker:
                 )
             except NetworkError as error:
                 retry = self.policy.should_retry(error, attempt)
+                target = None
+                if isinstance(error, FATAL_FAILURES):
+                    target = self._failover_target(reference, hops)
+                    if target is not None:
+                        retry = True
                 self.log.record(
                     FailureRecord(
                         member=member,
@@ -162,6 +204,13 @@ class FaultTolerantInvoker:
                 )
                 if not retry:
                     raise
+                if target is not None:
+                    # Chase the promotion with a fresh attempt budget: the
+                    # promoted replica is a different destination.
+                    reference = target
+                    hops += 1
+                    attempt = 0
+                    continue
                 # Charge the backoff to simulated time before the next attempt.
                 calling_space.network.clock.advance(self.policy.backoff_for_attempt(attempt))
 
@@ -193,13 +242,20 @@ class FaultTolerantInvoker:
         """
 
         calling_space = space if space is not None else self.space
+        calls = list(calls)
         attempt = 0
+        hops = 0
         while True:
             attempt += 1
             try:
                 return calling_space.invoke_remote_many(calls, transport=transport)
             except NetworkError as error:
                 retry = self.policy.should_retry(error, attempt)
+                redirected = None
+                if isinstance(error, FATAL_FAILURES):
+                    redirected = self._redirect_calls(calls, hops)
+                    if redirected is not None:
+                        retry = True
                 for _, member, _, _ in calls:
                     self.log.record(
                         FailureRecord(
@@ -212,7 +268,74 @@ class FaultTolerantInvoker:
                     )
                 if not retry:
                     raise
+                if redirected is not None:
+                    calls = redirected
+                    hops += 1
+                    attempt = 0
+                    destinations = {ref.node_id for ref, _, _, _ in calls}
+                    if len(destinations) > 1:
+                        # Different groups promoted to different nodes: hand
+                        # the batch to the split path, which gives every
+                        # destination its own retry loop and never returns
+                        # control to THIS loop (an outer retry after one
+                        # destination already executed would duplicate its
+                        # writes).
+                        return self._invoke_many_split(calling_space, calls, transport)
+                    continue
                 calling_space.network.clock.advance(self.policy.backoff_for_attempt(attempt))
+
+    def _invoke_many_split(self, calling_space, calls, transport):
+        """Ship a redirect-split batch: one independent sub-batch per node.
+
+        Each destination recurses into :meth:`invoke_many`, so every
+        sub-batch carries its *own* retry/failover budget and a terminal
+        failure on one destination propagates without re-shipping a
+        sub-batch another destination already executed (no duplicated
+        writes).  Results are merged back into submission order.
+        """
+        from repro.runtime.batching import BatchResult
+
+        results: list = [None] * len(calls)
+        by_node: dict = {}
+        for index, call in enumerate(calls):
+            by_node.setdefault(call[0].node_id, []).append((index, call))
+        for grouped in by_node.values():
+            sub_results = self.invoke_many(
+                [call for _, call in grouped],
+                transport=transport,
+                space=calling_space,
+            )
+            for (index, _), result in zip(grouped, sub_results):
+                results[index] = BatchResult(
+                    index=index, value=result.value, error=result.error
+                )
+        return results
+
+    def _redirect_calls(self, calls, hops: int):
+        """Rebuild a failed batch against promoted replicas, or return ``None``.
+
+        Every distinct reference in the batch must resolve to a failover
+        target (waiting out the detector where needed); a batch with even
+        one unreplicated target cannot fully recover, so the fatal error
+        stands for all of it.
+        """
+        if self.replica_manager is None or hops >= self.max_failover_hops:
+            return None
+        targets: dict = {}
+        for reference, _, _, _ in calls:
+            if reference in targets:
+                continue
+            # _failover_target only ever yields a *different* reference (a
+            # published or awaited redirect) or None, so a non-None result
+            # always moves the batch.
+            target = self._failover_target(reference, hops)
+            if target is None:
+                return None
+            targets[reference] = target
+        return [
+            (targets[reference], member, args, kwargs)
+            for reference, member, args, kwargs in calls
+        ]
 
 
 class _RetryingTarget:

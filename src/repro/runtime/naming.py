@@ -9,17 +9,28 @@ references by hand.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import NamingError
 from repro.runtime.remote_ref import RemoteRef
 
+#: A rebind listener: ``(name, old reference or None, new reference)``.
+RebindListener = Callable[[str, Optional[RemoteRef], RemoteRef], None]
+
 
 class NamingService:
-    """Flat name → reference registry shared by a cluster."""
+    """Flat name → reference registry shared by a cluster.
+
+    Because one naming service is shared by every address space, a
+    :meth:`rebind` — an object migrated, a replica promoted by failover — is
+    immediately visible to lookups from *all* nodes.  Rebind listeners let
+    caches (proxy pools, replica managers) invalidate eagerly instead of
+    discovering the move on their next lookup.
+    """
 
     def __init__(self) -> None:
         self._bindings: Dict[str, RemoteRef] = {}
+        self._rebind_listeners: List[RebindListener] = []
 
     def bind(self, name: str, reference: RemoteRef) -> None:
         """Bind ``name`` to ``reference``; rebinding an existing name fails."""
@@ -29,7 +40,15 @@ class NamingService:
 
     def rebind(self, name: str, reference: RemoteRef) -> None:
         """Bind ``name`` to ``reference``, replacing any previous binding."""
+        previous = self._bindings.get(name)
         self._bindings[name] = reference
+        if previous != reference:
+            for listener in self._rebind_listeners:
+                listener(name, previous, reference)
+
+    def on_rebind(self, listener: RebindListener) -> None:
+        """Call ``listener(name, old, new)`` whenever a binding changes."""
+        self._rebind_listeners.append(listener)
 
     def lookup(self, name: str) -> RemoteRef:
         try:

@@ -51,6 +51,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import InvocationError
 from repro.runtime.faulttolerance import (
+    FATAL_FAILURES,
     NO_RETRY,
     FailureLog,
     FailureRecord,
@@ -212,6 +213,16 @@ class PipelineScheduler:
     exhausted — and all calls on a fatal failure such as a partition — fail
     with the network error.  Failures are recorded per call in
     ``failure_log``.
+
+    Failover-awareness: constructed with a ``replica_manager``
+    (:class:`~repro.runtime.replication.ReplicaManager`), a fatal failure of
+    a batch whose targets are replicated is no longer final — the calls are
+    requeued with the manager's suggested backoff (one heartbeat interval)
+    and every reference is re-resolved through the published failover
+    redirects at ship time, so once the detector promotes a backup the
+    retried traffic lands on the new primary.  ``max_failover_attempts``
+    bounds how many re-ships a call may spend riding out detection plus
+    promotion before the fatal error is surfaced after all.
     """
 
     def __init__(
@@ -223,6 +234,8 @@ class PipelineScheduler:
         transport: Optional[str] = None,
         retry_policy: RetryPolicy = NO_RETRY,
         failure_log: Optional[FailureLog] = None,
+        replica_manager=None,
+        max_failover_attempts: int = 8,
     ) -> None:
         if max_batch < 1:
             raise InvocationError("max_batch must be at least 1")
@@ -234,6 +247,8 @@ class PipelineScheduler:
         self.transport = transport
         self.retry_policy = retry_policy
         self.failure_log = failure_log if failure_log is not None else FailureLog()
+        self.replica_manager = replica_manager
+        self.max_failover_attempts = max_failover_attempts
         self._events = space.network.events
         self._clock = space.network.clock
         self._buffers: Dict[str, List[_ScheduledCall]] = {}
@@ -248,6 +263,9 @@ class PipelineScheduler:
         self.batches_shipped = 0
         #: Calls requeued after a transient transport failure.
         self.calls_retried = 0
+        #: Call-requeues taken to ride out a failover (fatal error, replicated
+        #: target): the re-ship resolves redirects and lands on the promotion.
+        self.calls_redirected = 0
         #: High-water mark of concurrently in-flight batches.
         self.max_in_flight = 0
 
@@ -274,6 +292,8 @@ class PipelineScheduler:
                 "PipelineScheduler needs a remote reference: pass a RemoteRef, "
                 "a proxy, or a handle bound to one"
             )
+        if self.replica_manager is not None:
+            reference = self.replica_manager.current_ref(reference)
         future = InvocationFuture(member, index=self._next_index, on_wait=self._wait_for)
         future.submitted_at = self._clock.now
         self._next_index += 1
@@ -346,9 +366,31 @@ class PipelineScheduler:
     # ------------------------------------------------------------------
 
     def _ship(self, calls: List[_ScheduledCall]) -> None:
-        """Post one sub-batch, first waiting for an in-flight window slot."""
+        """Post a sub-batch, re-routing through failover redirects first.
+
+        With a replica manager installed, every call's reference is
+        re-resolved at ship time — a batch requeued while its target's node
+        was dying lands on the promoted replica.  Redirects can split one
+        sub-batch across nodes (different groups promoted to different
+        hosts); each destination then ships as its own batch.
+        """
         if not calls:
             return
+        if self.replica_manager is not None:
+            buckets: Dict[str, List[_ScheduledCall]] = {}
+            for call in calls:
+                resolved = self.replica_manager.current_ref(call.reference)
+                if resolved is not call.reference:
+                    call.reference = resolved
+                buckets.setdefault(call.reference.node_id, []).append(call)
+            if len(buckets) > 1:
+                for bucket in buckets.values():
+                    self._ship_bucket(bucket)
+                return
+        self._ship_bucket(calls)
+
+    def _ship_bucket(self, calls: List[_ScheduledCall]) -> None:
+        """Post one single-destination sub-batch, waiting for a window slot."""
         while self._in_flight >= self.window:
             if not self._events.run_next():
                 # Nothing can complete: proceed rather than deadlock (only
@@ -397,12 +439,26 @@ class PipelineScheduler:
         Each call is judged individually against the retry policy (calls
         that have been requeued before carry higher attempt counts), so a
         re-grouped batch can simultaneously retry some calls and surface the
-        error on others.
+        error on others.  Fatal failures of replicated targets take the
+        failover path instead: the call is requeued (bounded by
+        ``max_failover_attempts``) with the replica manager's suggested
+        backoff, riding out failure detection until the re-resolved
+        reference points at the promoted replica.
         """
         self._in_flight -= 1
         requeued: List[_ScheduledCall] = []
+        failing_over = False
         for call in calls:
             retry = self.retry_policy.should_retry(error, call.future.attempts)
+            failover = False
+            if (
+                not retry
+                and self.replica_manager is not None
+                and isinstance(error, FATAL_FAILURES)
+                and call.future.attempts <= self.max_failover_attempts
+                and self.replica_manager.has_failover_target(call.reference)
+            ):
+                retry = failover = failing_over = True
             self.failure_log.record(
                 FailureRecord(
                     member=call.member,
@@ -414,14 +470,20 @@ class PipelineScheduler:
             )
             if retry:
                 requeued.append(call)
+                # The two recovery paths stay separately countable.
+                if failover:
+                    self.calls_redirected += 1
+                else:
+                    self.calls_retried += 1
             else:
                 call.future._fail(error)
                 self._complete(call.future)
         if requeued:
-            self.calls_retried += len(requeued)
             backoff = self.retry_policy.backoff_for_attempt(
                 max(call.future.attempts for call in requeued)
             )
+            if failing_over:
+                backoff = max(backoff, self.replica_manager.suggested_backoff())
             self._events.schedule(backoff, lambda: self._ship(requeued))
 
     # ------------------------------------------------------------------

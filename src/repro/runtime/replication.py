@@ -1,0 +1,694 @@
+"""Replicated objects with automatic failover across cluster nodes.
+
+A crashed node used to take its objects down with it: the failure model can
+kill a node (:meth:`~repro.network.failures.FailureModel.crash_node`) and the
+migration layer can move state (:func:`~repro.runtime.migration.capture_state`),
+but nothing re-homed objects when their host died.  This module closes that
+gap with primary/backup replication:
+
+* :class:`ReplicaManager` keeps a *replica group* per replicated object: one
+  primary (the copy application traffic hits) plus backup copies hosted on
+  distinct nodes.  Backups are seeded and kept in sync **over the simulated
+  network** — replication traffic pays real message costs — either eagerly
+  (every mutating call is forwarded to each backup as it happens) or on a
+  configurable interval of simulated time (state snapshots shipped from the
+  event queue).
+* A :class:`~repro.network.heartbeat.HeartbeatDetector` (registered via
+  ``detector=``) declares nodes down; the manager reacts by *failing over*
+  every group whose primary lived there: the freshest backup is promoted in
+  place, the group's well-known name is rebound in the
+  :class:`~repro.runtime.naming.NamingService`, and a redirect from the old
+  :class:`~repro.runtime.remote_ref.RemoteRef` to the new one is published so
+  in-flight traffic can re-route.
+* The invocation layers consume those redirects:
+  :class:`~repro.runtime.faulttolerance.FaultTolerantInvoker` (built with
+  ``replica_manager=``) waits out the detection window and retries against
+  the promoted replica instead of surfacing
+  :class:`~repro.errors.PartitionError`/:class:`~repro.errors.NodeUnreachableError`
+  as fatal, and :class:`~repro.runtime.pipelining.PipelineScheduler` requeues
+  the failed sub-batch and re-resolves every reference at ship time.
+
+Consistency model: *eager* mode gives per-object sequential consistency for
+deterministic operations — the primary executes a call, then forwards the
+same call to each live backup before the response leaves, so a promoted
+backup has observed every acknowledged write.  *interval* mode trades that
+durability for write cost: a crash loses at most one interval's writes on the
+backup.  Operations must be deterministic (same call, same state change) for
+operation-shipping to keep replicas equal; mark non-mutating members
+``readonly`` so reads are not forwarded at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.errors import NetworkError, ReplicationError
+from repro.runtime.migration import capture_state, restore_state
+from repro.runtime.remote_ref import RemoteRef
+
+#: The two replica-synchronization modes.
+SYNC_MODES = ("eager", "interval")
+
+
+def snapshot_state(obj: Any, application: Any = None) -> dict:
+    """Capture ``obj``'s replicable state as a plain dict of wire values.
+
+    Transformed objects (when ``application`` is supplied and knows their
+    class) are read through their generated accessors via
+    :func:`~repro.runtime.migration.capture_state`; ordinary objects
+    contribute their public instance attributes.
+    """
+    class_name = getattr(type(obj), "_repro_class_name", None)
+    if (
+        application is not None
+        and class_name is not None
+        and class_name in application.registry.class_names()
+    ):
+        return capture_state(application, class_name, obj)
+    return {
+        name: value for name, value in vars(obj).items() if not name.startswith("_")
+    }
+
+
+def apply_state(obj: Any, state: dict, application: Any = None) -> int:
+    """Write a :func:`snapshot_state` dict into ``obj``; returns fields written."""
+    class_name = getattr(type(obj), "_repro_class_name", None)
+    if (
+        application is not None
+        and class_name is not None
+        and class_name in application.registry.class_names()
+    ):
+        return restore_state(application, class_name, obj, state)
+    written = 0
+    for name, value in state.items():
+        setattr(obj, name, value)
+        written += 1
+    return written
+
+
+class ReplicaEndpoint:
+    """The backup-side service object hosted on each backup node.
+
+    It wraps the backup copy and exposes the two replication operations the
+    primary invokes remotely: :meth:`apply_op` replays one mutating call
+    (eager mode) and :meth:`apply_state` overwrites the copy's state with a
+    shipped snapshot (interval mode, initial seeding, and recovery re-sync).
+    Because these arrive as ordinary remote invocations, replication traffic
+    is charged, metered and failure-injected exactly like application
+    traffic.
+    """
+
+    def __init__(self, impl: Any, application: Any = None) -> None:
+        self._impl = impl
+        self._application = application
+        #: Mutating operations replayed onto this copy.
+        self.ops_applied = 0
+        #: State snapshots applied to this copy.
+        self.snapshots_applied = 0
+
+    def apply_op(self, member: str, args: list, kwargs: dict) -> Any:
+        """Replay one operation on the backup copy; returns its result."""
+        result = getattr(self._impl, member)(*args, **kwargs)
+        self.ops_applied += 1
+        return result
+
+    def apply_state(self, state: dict) -> int:
+        """Overwrite the copy's state with a snapshot; returns fields written."""
+        written = apply_state(self._impl, state, self._application)
+        self.snapshots_applied += 1
+        return written
+
+    def implementation(self) -> Any:
+        """The backup copy itself (used locally during promotion)."""
+        return self._impl
+
+
+@dataclass
+class ReplicaRecord:
+    """One backup copy of a replica group."""
+
+    node_id: str
+    #: Reference of the node's :class:`ReplicaEndpoint`; ``None`` while the
+    #: node is enrolled but not (re-)seeded — e.g. a crashed ex-primary.
+    endpoint_ref: Optional[RemoteRef]
+    #: The backup implementation object (held for local promotion).
+    impl: Optional[Any]
+    #: False once replication traffic to this copy failed or its node died.
+    healthy: bool = True
+
+
+@dataclass
+class FailoverRecord:
+    """What one completed failover did."""
+
+    group_name: str
+    from_node: str
+    to_node: str
+    old_reference: RemoteRef
+    new_reference: RemoteRef
+    epoch: int
+    simulated_time: float
+
+
+@dataclass
+class ReplicaGroup:
+    """One replicated object: its primary, backups and replication counters."""
+
+    name: str
+    class_name: str
+    primary_node: str
+    primary_ref: RemoteRef
+    primary_impl: Any
+    sync: str
+    readonly: FrozenSet[str]
+    backups: Dict[str, ReplicaRecord] = field(default_factory=dict)
+    #: Incremented on every failover; lets observers order promotions.
+    epoch: int = 0
+    #: True when interval mode has unsynchronized writes.
+    dirty: bool = False
+    #: Mutating operations forwarded to backups (eager mode).
+    writes_propagated: int = 0
+    #: State snapshots shipped to backups (interval mode, seeding, re-sync).
+    snapshots_shipped: int = 0
+    #: Zero-argument constructor used to build (re-)seeded backup copies.
+    factory: Optional[Callable[[], Any]] = None
+
+    def healthy_backups(self) -> List[ReplicaRecord]:
+        """The backup records currently believed usable for promotion."""
+        return [
+            record
+            for record in self.backups.values()
+            if record.healthy and record.endpoint_ref is not None
+        ]
+
+
+class ReplicatedObject:
+    """The primary-side wrapper exported in place of the implementation.
+
+    Application calls dispatch through it transparently: the member runs on
+    the primary implementation first, and — when the group synchronizes
+    eagerly and the member is not declared ``readonly`` — the same call is
+    then forwarded to every live backup before the result is returned, so an
+    acknowledged write is never lost by a failover.  In interval mode the
+    group is merely marked dirty and the event-queue sync loop ships a state
+    snapshot later.
+    """
+
+    def __init__(self, manager: "ReplicaManager", group: ReplicaGroup) -> None:
+        self._manager = manager
+        self._group = group
+
+    def __getattr__(self, member: str) -> Callable:
+        if member.startswith("_"):
+            raise AttributeError(member)
+
+        def call(*args: Any, **kwargs: Any) -> Any:
+            result = getattr(self._group.primary_impl, member)(*args, **kwargs)
+            if member not in self._group.readonly:
+                self._manager._after_write(self._group, member, args, kwargs)
+            return result
+
+        call.__name__ = member
+        return call
+
+
+class ReplicaManager:
+    """Creates, synchronizes and fails over primary/backup replica groups.
+
+    The manager is the control plane of the replication subsystem: it places
+    backup copies on distinct nodes, keeps them in sync (eagerly or on a
+    simulated-time interval), listens to a heartbeat detector, and promotes
+    backups when primaries die — rebinding names and publishing
+    :class:`~repro.runtime.remote_ref.RemoteRef` redirects that the
+    fault-tolerance and pipelining layers use to re-route in-flight traffic.
+
+    Parameters
+    ----------
+    cluster:
+        The :class:`~repro.runtime.cluster.Cluster` hosting the replicas.
+    application:
+        Optional transformed application, enabling accessor-based state
+        capture for transformed classes.
+    detector:
+        Optional :class:`~repro.network.heartbeat.HeartbeatDetector`; when
+        given, the manager subscribes to its failure/recovery declarations.
+    sync:
+        Default synchronization mode for new groups: ``"eager"`` forwards
+        every mutating call as it happens; ``"interval"`` ships state
+        snapshots every ``sync_interval`` simulated seconds.
+    sync_interval:
+        Period of the interval-mode sync loop, in simulated seconds.
+    transport:
+        Transport used for replication traffic (``None`` = space default).
+    """
+
+    def __init__(
+        self,
+        cluster,
+        *,
+        application: Any = None,
+        detector: Any = None,
+        sync: str = "eager",
+        sync_interval: float = 0.05,
+        transport: Optional[str] = None,
+    ) -> None:
+        if sync not in SYNC_MODES:
+            raise ReplicationError(f"unknown sync mode {sync!r} (use one of {SYNC_MODES})")
+        if sync_interval <= 0:
+            raise ReplicationError("sync_interval must be positive")
+        self.cluster = cluster
+        self.application = application
+        self.detector = detector
+        self.sync = sync
+        self.sync_interval = sync_interval
+        self.transport = transport
+        self.running = True
+        self._groups: Dict[str, ReplicaGroup] = {}
+        self._by_primary_ref: Dict[RemoteRef, ReplicaGroup] = {}
+        self._redirects: Dict[RemoteRef, RemoteRef] = {}
+        #: Every completed failover, in promotion order.
+        self.failovers: List[FailoverRecord] = []
+        if detector is not None:
+            detector.on_failure(self.handle_node_down)
+            detector.on_recovery(self.handle_node_recovered)
+
+    # ------------------------------------------------------------------
+    # group creation
+    # ------------------------------------------------------------------
+
+    def replicate(
+        self,
+        impl: Any,
+        *,
+        name: str,
+        primary_node: str,
+        backup_nodes: Sequence[str],
+        readonly: Sequence[str] = (),
+        sync: Optional[str] = None,
+        factory: Optional[Callable[[], Any]] = None,
+    ) -> ReplicaGroup:
+        """Create a replica group for ``impl`` and return it.
+
+        The implementation is exported from ``primary_node`` behind a
+        :class:`ReplicatedObject` wrapper and bound to ``name`` in the
+        cluster's naming service.  One backup copy (built by ``factory``,
+        default: the implementation's class with no arguments) is seeded on
+        each of ``backup_nodes`` by shipping a state snapshot over the
+        network.  ``readonly`` names members that never mutate state and are
+        therefore not forwarded to backups.
+        """
+        if name in self._groups:
+            raise ReplicationError(f"replica group {name!r} already exists")
+        mode = sync if sync is not None else self.sync
+        if mode not in SYNC_MODES:
+            raise ReplicationError(f"unknown sync mode {mode!r} (use one of {SYNC_MODES})")
+        backup_nodes = list(backup_nodes)
+        if not backup_nodes:
+            raise ReplicationError(f"replica group {name!r} needs at least one backup node")
+        if primary_node in backup_nodes:
+            raise ReplicationError("backups must live on nodes distinct from the primary")
+        if len(set(backup_nodes)) != len(backup_nodes):
+            raise ReplicationError("backup nodes must be distinct")
+
+        primary_space = self.cluster.space(primary_node)
+        interface_name = getattr(
+            type(impl), "_repro_interface_name", type(impl).__name__
+        )
+        group = ReplicaGroup(
+            name=name,
+            class_name=type(impl).__name__,
+            primary_node=primary_node,
+            primary_ref=None,  # type: ignore[arg-type] - set right below
+            primary_impl=impl,
+            sync=mode,
+            readonly=frozenset(readonly),
+        )
+        wrapper = ReplicatedObject(self, group)
+        group.primary_ref = primary_space.export(wrapper, interface_name=interface_name)
+        group.factory = factory if factory is not None else self._default_factory(impl)
+
+        state = snapshot_state(impl, self.application)
+        for node_id in backup_nodes:
+            record = self._seed_backup(group, node_id, group.factory, state)
+            group.backups[node_id] = record
+
+        self._groups[name] = group
+        self._by_primary_ref[group.primary_ref] = group
+        self.cluster.naming.rebind(name, group.primary_ref)
+        if mode == "interval":
+            self._schedule_sync(group)
+        return group
+
+    def _default_factory(self, impl: Any) -> Callable[[], Any]:
+        """A zero-argument constructor for backup copies of ``impl``."""
+        class_name = getattr(type(impl), "_repro_class_name", None)
+        if (
+            self.application is not None
+            and class_name is not None
+            and class_name in self.application.registry.class_names()
+        ):
+            return self.application.artifacts(class_name).local_cls
+        return type(impl)
+
+    def _seed_backup(
+        self,
+        group: ReplicaGroup,
+        node_id: str,
+        make_copy: Callable[[], Any],
+        state: dict,
+    ) -> ReplicaRecord:
+        """Create, export and state-sync one backup copy on ``node_id``."""
+        copy = make_copy()
+        endpoint = ReplicaEndpoint(copy, self.application)
+        endpoint_ref = self.cluster.space(node_id).export(
+            endpoint, interface_name=f"{group.class_name}.replica"
+        )
+        record = ReplicaRecord(node_id=node_id, endpoint_ref=endpoint_ref, impl=copy)
+        try:
+            self._primary_space(group).invoke_remote(
+                endpoint_ref, "apply_state", (dict(state),), transport=self.transport
+            )
+            group.snapshots_shipped += 1
+        except NetworkError:
+            record.healthy = False
+        return record
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def group(self, name: str) -> ReplicaGroup:
+        """The replica group bound to ``name``."""
+        try:
+            return self._groups[name]
+        except KeyError as exc:
+            raise ReplicationError(f"no replica group named {name!r}") from exc
+
+    def groups(self) -> List[ReplicaGroup]:
+        """Every replica group this manager maintains."""
+        return list(self._groups.values())
+
+    def current_ref(self, reference: RemoteRef) -> RemoteRef:
+        """Resolve ``reference`` through the published failover redirects.
+
+        Returns the reference of the most recently promoted primary when the
+        given one has been superseded (following chains across repeated
+        failovers), or the reference unchanged when no redirect applies.
+        """
+        seen = set()
+        while reference in self._redirects and reference not in seen:
+            seen.add(reference)
+            reference = self._redirects[reference]
+        return reference
+
+    def group_for_ref(self, reference: RemoteRef) -> Optional[ReplicaGroup]:
+        """The replica group whose (current) primary is ``reference``, if any."""
+        return self._by_primary_ref.get(self.current_ref(reference))
+
+    def has_failover_target(self, reference: RemoteRef) -> bool:
+        """Whether traffic to ``reference`` can survive its node's death.
+
+        True when a redirect is already published for it, or when it is the
+        primary of a group that still has a promotable backup — the signal
+        the retry layers use to keep trying instead of surfacing a fatal
+        network error.
+        """
+        if self.current_ref(reference) != reference:
+            return True
+        group = self._by_primary_ref.get(reference)
+        return group is not None and bool(self._promotable(group))
+
+    def suggested_backoff(self) -> float:
+        """Simulated seconds a retrier should wait between failover probes."""
+        if self.detector is not None:
+            return self.detector.interval
+        return self.sync_interval
+
+    def await_failover(self, reference: RemoteRef, max_wait: float) -> Optional[RemoteRef]:
+        """Pump the event queue until ``reference`` is redirected, or give up.
+
+        Drives the network's event queue (heartbeat rounds included) for at
+        most ``max_wait`` simulated seconds.  Returns the promoted reference
+        as soon as a redirect for ``reference`` is published, or ``None``
+        when the deadline passes first.  Synchronous callers use this to
+        ride out the detection window; the pipelined scheduler instead
+        requeues with backoff, because it is already running inside the
+        event loop.
+        """
+        events = self.cluster.network.events
+        deadline = self.cluster.network.clock.now + max_wait
+        while True:
+            resolved = self.current_ref(reference)
+            if resolved != reference:
+                return resolved
+            next_time = events.next_fire_time()
+            if next_time is None or next_time > deadline:
+                return None
+            events.run_next()
+
+    # ------------------------------------------------------------------
+    # write synchronization
+    # ------------------------------------------------------------------
+
+    def _after_write(self, group: ReplicaGroup, member: str, args: tuple, kwargs: dict) -> None:
+        """React to one mutating call on the primary (from the wrapper)."""
+        if group.sync == "eager":
+            self._propagate_op(group, member, args, kwargs)
+        else:
+            group.dirty = True
+
+    def _propagate_op(self, group: ReplicaGroup, member: str, args: tuple, kwargs: dict) -> None:
+        """Forward one mutating call to every live backup (eager mode)."""
+        space = self._primary_space(group)
+        for record in group.healthy_backups():
+            try:
+                space.invoke_remote(
+                    record.endpoint_ref,
+                    "apply_op",
+                    (member, list(args), dict(kwargs)),
+                    transport=self.transport,
+                )
+                group.writes_propagated += 1
+            except NetworkError:
+                # The forward was lost; the copy is stale and no longer a
+                # promotion candidate until a snapshot re-seeds it.
+                record.healthy = False
+                self._schedule_reseed(group, record.node_id)
+
+    def sync_now(self, group: ReplicaGroup) -> int:
+        """Ship a state snapshot to every live backup; returns copies synced."""
+        state = snapshot_state(group.primary_impl, self.application)
+        space = self._primary_space(group)
+        synced = 0
+        for record in group.healthy_backups():
+            try:
+                space.invoke_remote(
+                    record.endpoint_ref,
+                    "apply_state",
+                    (dict(state),),
+                    transport=self.transport,
+                )
+                group.snapshots_shipped += 1
+                synced += 1
+            except NetworkError:
+                record.healthy = False
+                self._schedule_reseed(group, record.node_id)
+        group.dirty = False
+        return synced
+
+    def _schedule_sync(self, group: ReplicaGroup) -> None:
+        """Run the interval-mode sync loop for ``group`` on the event queue."""
+
+        def tick() -> None:
+            if not self.running or self._groups.get(group.name) is not group:
+                return
+            if group.dirty and not self._node_down(group.primary_node):
+                self.sync_now(group)
+            self.cluster.network.events.schedule(self.sync_interval, tick)
+
+        self.cluster.network.events.schedule(self.sync_interval, tick)
+
+    # ------------------------------------------------------------------
+    # failover
+    # ------------------------------------------------------------------
+
+    def handle_node_down(self, node_id: str, at_time: float = 0.0) -> None:
+        """React to a node being declared dead (heartbeat listener).
+
+        Backups hosted there become unusable; every group whose primary
+        lived there is failed over to its freshest backup (groups with no
+        promotable backup are left as they are — traffic keeps failing until
+        the node recovers).
+        """
+        for group in self._groups.values():
+            record = group.backups.get(node_id)
+            if record is not None:
+                record.healthy = False
+        for group in list(self._groups.values()):
+            if group.primary_node == node_id and self._promotable(group):
+                self.failover(group)
+
+    def handle_node_recovered(self, node_id: str, at_time: float = 0.0) -> None:
+        """React to a declared-dead node answering again (heartbeat listener).
+
+        The node's copies are stale (it missed writes while unreachable), so
+        every group with a replica slot there is re-seeded with a fresh
+        snapshot of the current primary and re-enlisted as a healthy backup —
+        which restores redundancy after a failover and makes fail-*back*
+        possible on the next crash.
+        """
+        for group in self._groups.values():
+            if group.primary_node == node_id:
+                # The primary itself is back (it never failed over, e.g. its
+                # backups were down too): restore the redundancy it lost.
+                for other, record in list(group.backups.items()):
+                    if not record.healthy and not self._node_down(other):
+                        self._reenlist(group, other)
+                continue
+            record = group.backups.get(node_id)
+            if record is None or record.healthy:
+                continue
+            if self._node_down(group.primary_node):
+                # Cannot seed from a dead primary; the primary's own recovery
+                # (branch above) re-enlists this slot when it returns.
+                continue
+            self._reenlist(group, node_id)
+            refreshed = group.backups.get(node_id)
+            if refreshed is not None and not refreshed.healthy:
+                self._schedule_reseed(group, node_id)
+
+    def _reenlist(self, group: ReplicaGroup, node_id: str) -> None:
+        """Re-seed ``node_id`` as a healthy backup of ``group``."""
+        stale = group.backups.get(node_id)
+        if stale is not None and stale.endpoint_ref is not None:
+            # Retire the stale endpoint so crash/recover cycles do not leak
+            # exports (or leave an out-of-date copy answering invocations).
+            self.cluster.space(node_id).unexport(stale.endpoint_ref)
+        make_copy = group.factory or self._default_factory(group.primary_impl)
+        state = snapshot_state(group.primary_impl, self.application)
+        group.backups[node_id] = self._seed_backup(group, node_id, make_copy, state)
+
+    def _schedule_reseed(
+        self, group: ReplicaGroup, node_id: str, attempt: int = 1, max_attempts: int = 8
+    ) -> None:
+        """Restore a backup demoted by lost replication traffic.
+
+        A *transient* loss (a dropped forward) demotes the copy even though
+        its host node is alive — without this loop the group would silently
+        run unprotected forever.  A snapshot re-seed is retried with linear
+        backoff while the host stays up; a host that is actually down is
+        left to the detector's recovery path (:meth:`handle_node_recovered`).
+        """
+
+        def tick() -> None:
+            if not self.running or self._groups.get(group.name) is not group:
+                return
+            record = group.backups.get(node_id)
+            if record is None or record.healthy or group.primary_node == node_id:
+                return
+            if self._node_down(node_id) or self._node_down(group.primary_node):
+                # Either side is down right now: keep the retry alive (the
+                # detector's recovery declarations also re-enlist, but they
+                # can race a seeding failure — see handle_node_recovered).
+                if attempt < max_attempts:
+                    self._schedule_reseed(group, node_id, attempt + 1, max_attempts)
+                return
+            self._reenlist(group, node_id)
+            refreshed = group.backups.get(node_id)
+            if (
+                refreshed is not None
+                and not refreshed.healthy
+                and attempt < max_attempts
+            ):
+                self._schedule_reseed(group, node_id, attempt + 1, max_attempts)
+
+        self.cluster.network.events.schedule(self.suggested_backoff() * attempt, tick)
+
+    def failover(self, group: ReplicaGroup) -> FailoverRecord:
+        """Promote the freshest backup of ``group`` to primary.
+
+        The backup copy becomes the new primary implementation behind a new
+        :class:`ReplicatedObject` export on its node, the group's name is
+        rebound in the naming service, and a redirect ``old ref → new ref``
+        is published for the retry layers.  The dead ex-primary's node stays
+        enrolled as an (unhealthy) backup slot so a later recovery re-seeds
+        it.  Raises :class:`~repro.errors.ReplicationError` when no healthy
+        backup exists.
+        """
+        candidates = self._promotable(group)
+        if not candidates:
+            raise ReplicationError(
+                f"replica group {group.name!r} has no promotable backup"
+            )
+        promoted = candidates[0]
+        old_node, old_ref = group.primary_node, group.primary_ref
+        new_space = self.cluster.space(promoted.node_id)
+
+        # The endpoint retires; its copy becomes the primary implementation.
+        new_space.unexport(promoted.endpoint_ref)
+        group.primary_impl = promoted.impl
+        group.primary_node = promoted.node_id
+        group.epoch += 1
+        wrapper = ReplicatedObject(self, group)
+        group.primary_ref = new_space.export(
+            wrapper, interface_name=old_ref.interface_name
+        )
+        del group.backups[promoted.node_id]
+        # Retire the superseded export: should the dead node come back, its
+        # stale wrapper must not keep answering writes at the old reference.
+        if old_node in self.cluster:
+            self.cluster.space(old_node).unexport(old_ref)
+        # Keep the dead node enrolled so recovery can re-enlist it.
+        group.backups[old_node] = ReplicaRecord(
+            node_id=old_node, endpoint_ref=None, impl=None, healthy=False
+        )
+
+        self._redirects[old_ref] = group.primary_ref
+        self._by_primary_ref.pop(old_ref, None)
+        self._by_primary_ref[group.primary_ref] = group
+        self.cluster.naming.rebind(group.name, group.primary_ref)
+
+        record = FailoverRecord(
+            group_name=group.name,
+            from_node=old_node,
+            to_node=group.primary_node,
+            old_reference=old_ref,
+            new_reference=group.primary_ref,
+            epoch=group.epoch,
+            simulated_time=self.cluster.network.clock.now,
+        )
+        self.failovers.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop the interval sync loops (pending ticks become no-ops)."""
+        self.running = False
+
+    def _primary_space(self, group: ReplicaGroup):
+        return self.cluster.space(group.primary_node)
+
+    def _promotable(self, group: ReplicaGroup) -> List[ReplicaRecord]:
+        """Backups :meth:`failover` would actually promote: healthy AND up.
+
+        The single source of truth for "can this group fail over" — the
+        heartbeat listener must apply exactly this filter before calling
+        :meth:`failover`, or a group whose every backup host is also dead
+        would raise out of the listener and crash the event pump.
+        """
+        return [
+            record
+            for record in group.healthy_backups()
+            if not self._node_down(record.node_id)
+        ]
+
+    def _node_down(self, node_id: str) -> bool:
+        return self.cluster.network.failures.is_node_down(node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ReplicaManager groups={sorted(self._groups)} "
+            f"failovers={len(self.failovers)}>"
+        )

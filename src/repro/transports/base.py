@@ -164,6 +164,40 @@ def frame_batch_message(transport_name: str, body: bytes) -> bytes:
     return frame_message(transport_name + BATCH_FRAME_MARKER, body)
 
 
+#: Frame prefixes for heartbeat probes.  Pings travel on the same simulated
+#: links as invocations (and pay the same delivery rules) but bypass the
+#: transport codecs entirely: a node answers a ping before any decoding, so
+#: liveness probing works regardless of which protocols the node speaks.
+PING_FRAME_PREFIX = b"!ping\n"
+PONG_FRAME_PREFIX = b"!pong\n"
+
+
+def frame_ping(sequence: int) -> bytes:
+    """Frame one heartbeat probe carrying a monotonically increasing sequence."""
+    return PING_FRAME_PREFIX + str(sequence).encode("ascii")
+
+
+def frame_pong(sequence: int) -> bytes:
+    """Frame the answer to a heartbeat probe, echoing its sequence."""
+    return PONG_FRAME_PREFIX + str(sequence).encode("ascii")
+
+
+def is_ping(payload: bytes) -> bool:
+    """True when ``payload`` is a framed heartbeat probe."""
+    return payload.startswith(PING_FRAME_PREFIX)
+
+
+def parse_heartbeat(payload: bytes) -> int:
+    """Extract the sequence number from a framed ping or pong."""
+    for prefix in (PING_FRAME_PREFIX, PONG_FRAME_PREFIX):
+        if payload.startswith(prefix):
+            try:
+                return int(payload[len(prefix):])
+            except ValueError as exc:
+                raise TransportError("malformed heartbeat frame: bad sequence") from exc
+    raise TransportError("not a heartbeat frame")
+
+
 def unframe_message(payload: bytes) -> tuple[str, bytes]:
     """Split a framed message into (transport name, body)."""
     try:

@@ -86,6 +86,39 @@ class TestAmortisedBoundary:
             AdaptiveDistributionManager(app, controller, batch_size=0)
 
 
+class TestReplicationAmplification:
+    """replication_factor=R weighs observed windows UP: each served write
+    costs R messages under eager replication, so replicated traffic justifies
+    a move sooner, not later."""
+
+    def test_amplification_triggers_a_move_the_seed_would_skip(self):
+        app, _, _, plain_manager = _setup()
+        y = app.new("Y", 1)
+        plain_manager.attach(y)
+        _hammer_from_back(app, y, 6)  # 6 < min_calls=10 → stay
+        assert plain_manager.evaluate() == []
+
+        app2, _, _, replicated_manager = _setup(replication_factor=2)
+        y2 = app2.new("Y", 1)
+        replicated_manager.attach(y2)
+        _hammer_from_back(app2, y2, 6)  # 6 * 2 = 12 >= 10 → move
+        assert len(replicated_manager.evaluate()) == 1
+
+    def test_amplification_composes_with_batch_amortisation(self):
+        """batch 4 and 3 replicas: n * 3 / 4 crosses min_calls=10 at n=14."""
+        for calls, expect_move in ((13, False), (14, True)):
+            app, _, _, manager = _setup(batch_size=4, replication_factor=3)
+            y = app.new("Y", 1)
+            manager.attach(y)
+            _hammer_from_back(app, y, calls)
+            assert bool(manager.evaluate()) is expect_move, calls
+
+    def test_invalid_replication_factor_rejected(self):
+        app, _, controller, _ = _setup()
+        with pytest.raises(RedistributionError):
+            AdaptiveDistributionManager(app, controller, replication_factor=0)
+
+
 class TestSeedEquivalence:
     """batch_size=1 (the default) must reproduce the seed heuristic exactly."""
 

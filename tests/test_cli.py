@@ -166,6 +166,7 @@ class TestCorpusAndTemplateCommands:
             "policy-template",
             "bench-batching",
             "bench-pipelining",
+            "bench-replication",
         ):
             assert command in help_text
 
@@ -189,3 +190,41 @@ class TestBenchPipeliningCommand:
         code, output = run_cli("bench-pipelining", "--window", "1")
         assert code == 1
         assert "--window" in output
+
+
+class TestBenchReplicationCommand:
+    def test_kill_run_reports_zero_losses(self):
+        code, output = run_cli(
+            "bench-replication", "--transports", "rmi", "--orders", "64",
+            "--batch-size", "16", "--window", "4",
+        )
+        assert code == 0
+        assert "killing 'shard-0'" in output
+        lines = [line for line in output.splitlines() if line.startswith("rmi")]
+        assert len(lines) == 1
+        columns = lines[0].split()
+        assert columns[1] == "64"  # every order accepted
+        assert columns[2] == "0"  # zero client-visible failures
+        assert columns[3] == "1"  # exactly one failover
+
+    def test_no_kill_steady_state(self):
+        code, output = run_cli(
+            "bench-replication", "--transports", "rmi", "--orders", "32", "--no-kill",
+        )
+        assert code == 0
+        assert "killing" not in output
+
+    def test_rejects_unknown_transports(self):
+        code, output = run_cli("bench-replication", "--transports", "carrier-pigeon")
+        assert code == 1
+        assert "unknown transports" in output
+
+    def test_rejects_single_shard(self):
+        code, output = run_cli("bench-replication", "--shards", "1")
+        assert code == 1
+        assert "--shards" in output
+
+    def test_rejects_unknown_sync_mode(self):
+        code, output = run_cli("bench-replication", "--sync", "psychic")
+        assert code == 1
+        assert "--sync" in output

@@ -1,0 +1,139 @@
+"""Edge cases of the failure model and naming service exercised by failover.
+
+Failover leans on corners the original tests never reached: healing every
+partition a single node participates in (a node rejoining after a split),
+nodes that crash, recover and crash again (fail-back), and rebinding a
+well-known name while other nodes are actively looking it up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NamingError, NodeUnreachableError, PartitionError
+from repro.network.failures import FailureModel
+from repro.network.simnet import SimulatedNetwork
+from repro.runtime.cluster import Cluster
+from repro.workloads.bulk_orders import OrderIntake
+
+
+def _network(failures: FailureModel) -> SimulatedNetwork:
+    network = SimulatedNetwork(failures=failures)
+    for node in ("a", "b", "c"):
+        network.register(node, lambda source, payload: b"ok:" + payload)
+    return network
+
+
+class TestHealSingleNode:
+    def test_heals_every_partition_the_node_participates_in(self):
+        failures = FailureModel()
+        failures.partition(["a"], ["b", "c"])
+        failures.partition(["b"], ["c"])
+        failures.heal("a")
+        assert not failures.is_partitioned("a", "b")
+        assert not failures.is_partitioned("c", "a")
+        # Partitions not involving the healed node are untouched.
+        assert failures.is_partitioned("b", "c")
+
+    def test_single_node_heal_restores_traffic_both_directions(self):
+        failures = FailureModel()
+        network = _network(failures)
+        failures.partition(["a"], ["b"])
+        with pytest.raises(PartitionError):
+            network.send_request("a", "b", b"x")
+        failures.heal("b")
+        assert network.send_request("a", "b", b"x") == b"ok:x"
+        assert network.send_request("b", "a", b"x") == b"ok:x"
+
+    def test_heal_of_uninvolved_node_changes_nothing(self):
+        failures = FailureModel()
+        failures.partition(["a"], ["b"])
+        failures.heal("c")
+        assert failures.is_partitioned("a", "b")
+
+    def test_bare_heal_still_clears_everything(self):
+        failures = FailureModel()
+        failures.partition(["a"], ["b", "c"])
+        failures.heal()
+        assert not failures.is_partitioned("a", "b")
+        assert not failures.is_partitioned("a", "c")
+
+
+class TestCrashRecoverCycles:
+    def test_crash_recover_crash_cycle_tracks_liveness(self):
+        failures = FailureModel()
+        for _ in range(3):
+            failures.crash_node("a")
+            assert failures.is_node_down("a")
+            failures.recover_node("a")
+            assert not failures.is_node_down("a")
+
+    def test_traffic_follows_each_cycle(self):
+        failures = FailureModel()
+        network = _network(failures)
+        for _ in range(2):
+            failures.crash_node("b")
+            with pytest.raises(NodeUnreachableError):
+                network.send_request("a", "b", b"x")
+            failures.recover_node("b")
+            assert network.send_request("a", "b", b"x") == b"ok:x"
+
+    def test_crash_is_idempotent_and_recovery_of_healthy_node_is_a_noop(self):
+        failures = FailureModel()
+        failures.crash_node("a")
+        failures.crash_node("a")
+        assert failures.is_node_down("a")
+        failures.recover_node("a")
+        failures.recover_node("a")
+        assert not failures.is_node_down("a")
+
+    def test_reset_clears_crashes_and_partitions(self):
+        failures = FailureModel()
+        failures.crash_node("a")
+        failures.partition(["b"], ["c"])
+        failures.reset()
+        assert not failures.is_node_down("a")
+        assert not failures.is_partitioned("b", "c")
+
+
+class TestRebindVisibility:
+    def test_rebind_is_visible_from_every_node(self):
+        cluster = Cluster(("a", "b", "c"))
+        first = cluster.space("a").export(OrderIntake())
+        cluster.naming.bind("orders", first)
+        second = cluster.space("b").export(OrderIntake())
+        cluster.naming.rebind("orders", second)
+        # One shared service: a lookup from any space sees the new binding
+        # immediately, and invoking through it reaches the new host.
+        for node in ("a", "b", "c"):
+            resolved = cluster.naming.lookup("orders")
+            assert resolved == second
+            assert cluster.space(node).invoke_remote(resolved, "accepted_count") == 0
+
+    def test_rebind_fires_listeners_with_old_and_new(self):
+        cluster = Cluster(("a", "b"))
+        events = []
+        cluster.naming.on_rebind(lambda name, old, new: events.append((name, old, new)))
+        first = cluster.space("a").export(OrderIntake())
+        cluster.naming.rebind("orders", first)
+        second = cluster.space("b").export(OrderIntake())
+        cluster.naming.rebind("orders", second)
+        assert events == [("orders", None, first), ("orders", first, second)]
+
+    def test_rebind_to_same_reference_is_silent(self):
+        cluster = Cluster(("a",))
+        events = []
+        cluster.naming.on_rebind(lambda *args: events.append(args))
+        reference = cluster.space("a").export(OrderIntake())
+        cluster.naming.rebind("orders", reference)
+        cluster.naming.rebind("orders", reference)
+        assert len(events) == 1
+
+    def test_bind_still_rejects_duplicates_and_unbind_missing(self):
+        cluster = Cluster(("a",))
+        reference = cluster.space("a").export(OrderIntake())
+        cluster.naming.bind("orders", reference)
+        with pytest.raises(NamingError):
+            cluster.naming.bind("orders", reference)
+        with pytest.raises(NamingError):
+            cluster.naming.unbind("nothing")
