@@ -2,10 +2,13 @@ PYTHON ?= python
 export PYTHONPATH := src
 BENCH_DIR ?= bench-artifacts
 
-.PHONY: check test bench-smoke bench-check docs-check lint
+.PHONY: check test quickstart-smoke bench-smoke bench-check docs-check lint
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+quickstart-smoke:
+	$(PYTHON) examples/quickstart.py
 
 bench-smoke:
 	mkdir -p $(BENCH_DIR)
@@ -22,4 +25,4 @@ docs-check:
 lint:
 	ruff check .
 
-check: test bench-check docs-check
+check: test quickstart-smoke bench-check docs-check

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from _helpers import record_simulation  # noqa: F401 - path setup
 
-import sample_app
 from repro.baselines.javaparty import JavaPartyRuntime, remote_class
 from repro.baselines.proactive import ProActiveRuntime
 from repro.core.transformer import ApplicationTransformer

@@ -20,7 +20,7 @@ def main() -> None:
     print(f"corpus size                     : {study.corpus_size} classes and interfaces")
     print(f"non-transformable               : {study.non_transformable} "
           f"({study.percent_non_transformable:.1f} %)")
-    print(f"paper claim                     : about 40 %")
+    print("paper claim                     : about 40 %")
     print()
 
     print("per-package breakdown (percent non-transformable):")

@@ -10,7 +10,7 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import ApplicationTransformer, Cluster
+from repro import ApplicationTransformer, Cluster, ServicePolicy, Session
 from repro.policy import all_local_policy, place_classes_on
 
 
@@ -92,6 +92,21 @@ def main() -> None:
     # 3. What the transformation generated for AddressBook.
     artifact_names = sorted(remote_app.emit_sources("AddressBook"))
     print("generated artifacts     :", ", ".join(artifact_names))
+
+    # 4. The service façade: batching, pipelining, retries and replication
+    #    are one declarative policy away — no hand-wired proxy stacks.
+    policy = ServicePolicy(transport="rmi").with_batching(16)
+    with Session(cluster, node="workstation") as session:
+        book = session.service("bulk-book", policy, impl=AddressBook("bulk"),
+                               node="server")
+        futures = [
+            book.future.add(f"user-{index}", f"user-{index}@example.org")
+            for index in range(64)
+        ]
+        book.flush()                        # 64 adds, 4 batch messages
+        sizes = [future.result() for future in futures]
+        print("façade service          :", f"{book.size()} entries,",
+              f"last add returned {sizes[-1]}")
 
 
 if __name__ == "__main__":

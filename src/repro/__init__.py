@@ -30,6 +30,7 @@ See ``examples/`` for complete scenarios and ``DESIGN.md`` for the mapping
 from the paper's sections to the modules of this package.
 """
 
+from repro.api import Service, ServicePolicy, Session
 from repro.core.analyzer import (
     AnalysisResult,
     NonTransformableReason,
@@ -84,6 +85,9 @@ __all__ = [
     "RemoteInvocationError",
     "RemoteRef",
     "ReproError",
+    "Service",
+    "ServicePolicy",
+    "Session",
     "SimulatedNetwork",
     "TracingInterceptor",
     "TransformabilityAnalyzer",

@@ -1,0 +1,35 @@
+"""The unified service façade: one entry point to the distribution stack.
+
+PR 1–3 grew powerful machinery — batched invocation, the pipelined
+scheduler, fault tolerance, replication with automatic failover — but left
+its composition to the caller: every workload hand-wired ``BatchingProxy``,
+``PipelineScheduler``, ``FaultTolerantInvoker`` and ``ReplicaManager`` in
+the right order.  This package removes that configuration burden.  A
+:class:`~repro.api.session.Session` is opened on a cluster, a declarative
+:class:`~repro.api.policy.ServicePolicy` names the behaviours wanted, and
+:meth:`~repro.api.session.Session.service` hands back a
+:class:`~repro.api.service.Service` with the whole stack assembled behind
+plain method calls::
+
+    from repro.api import ServicePolicy, Session
+
+    policy = (ServicePolicy(transport="rmi")
+              .with_batching(32)
+              .with_pipelining(8)
+              .with_replication(2))
+    with Session(cluster, node="client") as session:
+        orders = session.service("orders", policy, impl=OrderIntake(),
+                                 node="shard-0")
+        futures = [orders.future.submit(f"sku-{i}", 1, 10) for i in range(256)]
+        session.drain()
+        ids = [f.result() for f in futures]
+
+See ``docs/MIGRATION.md`` for the mapping from the old hand-wired stacks to
+policy fields.
+"""
+
+from repro.api.policy import ServicePolicy
+from repro.api.service import FutureView, Service
+from repro.api.session import Session
+
+__all__ = ["FutureView", "Service", "ServicePolicy", "Session"]

@@ -1,0 +1,180 @@
+"""Declarative service policies for the :mod:`repro.api` façade.
+
+A :class:`ServicePolicy` names *what* a service should get — a batch window,
+a pipeline depth, a retry policy, a replication factor, a transport — and the
+façade (:class:`~repro.api.session.Session` /
+:class:`~repro.api.service.Service`) derives *how*: which runtime components
+to build and in which composition order.  The policy is an immutable value
+object; the fluent ``with_*`` builder methods return modified copies, so a
+base policy can be specialised per service::
+
+    base = ServicePolicy(transport="rmi").with_batching(32)
+    fast = base.with_pipelining(8)                       # + in-flight window
+    safe = fast.with_replication(2).with_retry(max_attempts=3)
+
+Field-by-field, a policy replaces the hand-wired stack of PR 1-3:
+
+============================  ==================================================
+policy field                  replaces
+============================  ==================================================
+``transport``                 the ``transport=`` threaded through every layer
+``batch_window``              ``BatchingProxy(max_batch=...)``
+``pipeline_depth``            ``PipelineScheduler(window=...)``
+``retry``                     ``FaultTolerantInvoker(policy=...)`` wiring
+``replication_factor``        ``ReplicaManager`` + ``backup_nodes`` counting
+``sync`` / ``readonly``       ``ReplicaManager(sync=...)`` / ``replicate(readonly=...)``
+``heartbeat_interval`` etc.   ``HeartbeatDetector(interval=..., miss_threshold=...)``
+``max_failover_attempts``     ``PipelineScheduler(max_failover_attempts=...)``
+============================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import PolicyError
+from repro.runtime.faulttolerance import RetryPolicy
+from repro.runtime.replication import SYNC_MODES
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Everything a service needs to know about its distribution machinery.
+
+    Every knob has a neutral default, so ``ServicePolicy()`` describes a
+    plain synchronous, unreplicated service; turning a knob up composes the
+    corresponding subsystem in behind the same façade.
+    """
+
+    #: Transport for every message this service sends (``None`` = the calling
+    #: address space's default).
+    transport: Optional[str] = None
+    #: Calls buffered per batch message; ``1`` disables batching.
+    batch_window: int = 1
+    #: Concurrently in-flight batches; ``1`` keeps dispatch synchronous,
+    #: larger values stream batches through a shared pipeline scheduler.
+    pipeline_depth: int = 1
+    #: Retry policy for transient transport failures (``None`` = no retries).
+    retry: Optional[RetryPolicy] = None
+    #: Total copies of the service object (primary + backups); ``1`` means
+    #: unreplicated, ``R`` keeps ``R - 1`` backups on distinct nodes.
+    replication_factor: int = 1
+    #: Replica synchronization mode (``"eager"`` or ``"interval"``).
+    sync: str = "eager"
+    #: Members that never mutate state (not forwarded to backups).
+    readonly: Tuple[str, ...] = ()
+    #: Simulated seconds between heartbeat probe rounds.
+    heartbeat_interval: float = 0.002
+    #: Consecutive missed probes before a node is declared down.
+    miss_threshold: int = 2
+    #: Re-ships a call may spend riding out failure detection + promotion.
+    max_failover_attempts: int = 12
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 1:
+            raise PolicyError("batch_window must be at least 1")
+        if self.pipeline_depth < 1:
+            raise PolicyError("pipeline_depth must be at least 1")
+        if self.replication_factor < 1:
+            raise PolicyError("replication_factor must be at least 1")
+        if self.sync not in SYNC_MODES:
+            raise PolicyError(f"unknown sync mode {self.sync!r} (use one of {SYNC_MODES})")
+        if self.heartbeat_interval <= 0:
+            raise PolicyError("heartbeat_interval must be positive")
+        if self.miss_threshold < 1:
+            raise PolicyError("miss_threshold must be at least 1")
+        if self.max_failover_attempts < 1:
+            raise PolicyError("max_failover_attempts must be at least 1")
+        if not isinstance(self.readonly, tuple):
+            object.__setattr__(self, "readonly", tuple(self.readonly))
+
+    # ------------------------------------------------------------------
+    # fluent builder
+    # ------------------------------------------------------------------
+
+    def with_transport(self, transport: Optional[str]) -> "ServicePolicy":
+        """A copy of this policy speaking ``transport``."""
+        return replace(self, transport=transport)
+
+    def with_batching(self, window: int) -> "ServicePolicy":
+        """A copy buffering ``window`` calls per batch message."""
+        return replace(self, batch_window=window)
+
+    def with_pipelining(self, depth: int) -> "ServicePolicy":
+        """A copy keeping ``depth`` batches in flight concurrently."""
+        return replace(self, pipeline_depth=depth)
+
+    def with_retry(
+        self, policy: Optional[RetryPolicy] = None, *, max_attempts: Optional[int] = None
+    ) -> "ServicePolicy":
+        """A copy retrying transient failures.
+
+        Pass a full :class:`~repro.runtime.faulttolerance.RetryPolicy`, or
+        just ``max_attempts`` for the default backoff shape.
+        """
+        if policy is not None and max_attempts is not None:
+            raise PolicyError("pass either a RetryPolicy or max_attempts, not both")
+        if policy is None:
+            if max_attempts is not None and max_attempts < 1:
+                raise PolicyError("max_attempts must be at least 1")
+            policy = (
+                RetryPolicy(max_attempts=max_attempts)
+                if max_attempts is not None
+                else RetryPolicy()
+            )
+        return replace(self, retry=policy)
+
+    def with_replication(
+        self,
+        factor: int = 2,
+        *,
+        sync: Optional[str] = None,
+        readonly: Optional[Sequence[str]] = None,
+    ) -> "ServicePolicy":
+        """A copy keeping ``factor`` copies (primary + ``factor - 1`` backups)."""
+        return replace(
+            self,
+            replication_factor=factor,
+            sync=sync if sync is not None else self.sync,
+            readonly=tuple(readonly) if readonly is not None else self.readonly,
+        )
+
+    # ------------------------------------------------------------------
+    # derived views the façade consumes
+    # ------------------------------------------------------------------
+
+    @property
+    def batched(self) -> bool:
+        """Whether calls are buffered into batch messages."""
+        return self.batch_window > 1
+
+    @property
+    def pipelined(self) -> bool:
+        """Whether batches stream through an asynchronous in-flight window."""
+        return self.pipeline_depth > 1
+
+    @property
+    def replicated(self) -> bool:
+        """Whether the service object keeps backup copies."""
+        return self.replication_factor > 1
+
+    @property
+    def backup_count(self) -> int:
+        """Backup copies implied by ``replication_factor``."""
+        return self.replication_factor - 1
+
+    def scheduler_key(self) -> tuple:
+        """Hashable identity of the pipeline scheduler this policy needs.
+
+        Services whose policies agree on every scheduler-relevant knob share
+        one session-level scheduler, so one submission stream shards and
+        pipelines across all of them.
+        """
+        return (
+            self.transport,
+            self.batch_window,
+            self.pipeline_depth,
+            self.retry,
+            self.max_failover_attempts,
+        )

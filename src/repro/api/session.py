@@ -1,0 +1,368 @@
+"""Sessions: the single entry point of the :mod:`repro.api` façade.
+
+A :class:`Session` represents one client's view of a cluster.  It owns —
+and, crucially, *tears down* — every piece of shared machinery the services
+created through it need:
+
+* one pipeline scheduler per distinct policy shape (so submission streams
+  shard and pipeline across all services that agree on their knobs),
+* at most one :class:`~repro.network.heartbeat.HeartbeatDetector` and one
+  :class:`~repro.runtime.replication.ReplicaManager` (created lazily when the
+  first replicated service appears),
+* fault-tolerant invokers for the synchronous pipes, and
+* a naming-service rebind listener that keeps every service's reference
+  fresh across failovers and migrations.
+
+:meth:`Session.close` unregisters the rebind listener, detaches the replica
+manager from the detector, stops the heartbeat probes and unwatches their
+nodes — so opening and closing many sessions in one process leaks neither
+callbacks nor event-queue activity.  Sessions are context managers::
+
+    with Session(cluster, node="client") as session:
+        orders = session.service("orders", policy, impl=OrderIntake(),
+                                 node="server")
+        orders.submit("sku-1", 2, 10)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api.dispatch import BatchPipe, DirectPipe, StreamPipe, _SessionScheduler
+from repro.api.policy import ServicePolicy
+from repro.api.service import Service
+from repro.errors import PolicyError
+from repro.network.heartbeat import HeartbeatDetector
+from repro.runtime.faulttolerance import NO_RETRY, FaultTolerantInvoker
+from repro.runtime.remote_ref import RemoteRef
+from repro.runtime.replication import ReplicaManager
+
+
+class Session:
+    """One client's façade over a cluster: create and consume named services.
+
+    Parameters
+    ----------
+    cluster:
+        The :class:`~repro.runtime.cluster.Cluster` to operate against.
+    node:
+        The cluster node this session's calls are issued from (defaults to
+        the cluster's first node).
+    """
+
+    def __init__(self, cluster: Any, *, node: Optional[str] = None) -> None:
+        self.cluster = cluster
+        self.node_id = node if node is not None else cluster.default_node_id
+        #: The address space this session issues calls from.
+        self.space = cluster.space(self.node_id)
+        self._services: Dict[str, Service] = {}
+        self._schedulers: Dict[tuple, _SessionScheduler] = {}
+        self._invokers: Dict[tuple, Optional[FaultTolerantInvoker]] = {}
+        self._detector: Optional[HeartbeatDetector] = None
+        self._manager: Optional[ReplicaManager] = None
+        self._closed = False
+        cluster.naming.on_rebind(self._on_rebind)
+
+    # ------------------------------------------------------------------
+    # service creation / lookup
+    # ------------------------------------------------------------------
+
+    def service(
+        self,
+        name: str,
+        policy: Optional[ServicePolicy] = None,
+        *,
+        impl: Any = None,
+        node: Optional[str] = None,
+        backup_nodes: Optional[Sequence[str]] = None,
+    ) -> Service:
+        """Obtain the :class:`~repro.api.service.Service` bound to ``name``.
+
+        Without ``impl``, the name is looked up in the cluster's naming
+        service (some other party deployed it).  With ``impl``, this session
+        deploys it first: the object is exported from ``node`` (default: the
+        first node that is not this session's own) and bound to ``name`` —
+        or, when the policy's ``replication_factor`` exceeds 1, registered as
+        a replica group with ``replication_factor - 1`` backups on
+        ``backup_nodes`` (default: ring placement over the remaining nodes)
+        with heartbeat-driven failover armed.
+
+        Either way the returned service dispatches per ``policy``: plain
+        calls, ``.future`` calls, batching, pipelining, retries and failover
+        are all assembled internally, in the right order.
+
+        One detector/manager pair serves the whole session, so the
+        *replication-infrastructure* knobs (``transport`` for replication
+        traffic, ``heartbeat_interval``, ``miss_threshold``, the default
+        ``sync``) are taken from the **first** replicated service's policy;
+        later replicated services contribute their per-group settings
+        (``sync`` override, ``readonly``, placement) but cannot re-tune the
+        shared detector.  Open separate sessions for genuinely different
+        failure-detection regimes.
+        """
+        self._ensure_open()
+        if policy is None:
+            policy = ServicePolicy()
+        if name in self._services:
+            raise PolicyError(
+                f"session already has a service named {name!r}; "
+                "hold on to the object it returned"
+            )
+        group = None
+        if impl is None:
+            if policy.replicated:
+                raise PolicyError(
+                    "replication_factor only applies when this session deploys "
+                    "the implementation (pass impl=...); attaching to an "
+                    "existing name gives no failover machinery — drop the "
+                    "replication knob, or deploy the service replicated"
+                )
+            reference = self.cluster.naming.lookup(name)
+        elif name in self.cluster.naming:
+            # Deploying over an existing binding would silently steal the
+            # name from whoever published it (and rewire their live services
+            # through the rebind listeners).  Failover/migration rebinds are
+            # legitimate; a second *deploy* of the same name is not.
+            raise PolicyError(
+                f"name {name!r} is already bound in this cluster's naming "
+                "service; choose another name, or attach to the existing "
+                "deployment by omitting impl"
+            )
+        elif policy.replicated:
+            primary = node if node is not None else self._pick_host()
+            backups = self._backup_nodes(policy, primary, backup_nodes)
+            manager = self._ensure_replication(policy)
+            for watched in (primary, *backups):
+                if watched != self.node_id:
+                    self._detector.watch(watched)
+            group = manager.replicate(
+                impl,
+                name=name,
+                primary_node=primary,
+                backup_nodes=backups,
+                readonly=policy.readonly,
+                sync=policy.sync,
+            )
+            reference = group.primary_ref
+        else:
+            host = node if node is not None else self._pick_host()
+            reference = self.cluster.space(host).export(impl)
+            self.cluster.naming.rebind(name, reference)
+        service = Service(self, name, policy, reference, group=group)
+        self._services[name] = service
+        return service
+
+    def services(self) -> List[Service]:
+        """Every service created through this session, in creation order."""
+        return list(self._services.values())
+
+    # ------------------------------------------------------------------
+    # shared machinery (internal, used by the pipes)
+    # ------------------------------------------------------------------
+
+    @property
+    def replica_manager(self) -> Optional[ReplicaManager]:
+        """The session's replica manager (``None`` until something replicates)."""
+        return self._manager
+
+    @property
+    def detector(self) -> Optional[HeartbeatDetector]:
+        """The session's heartbeat detector (``None`` until something replicates)."""
+        return self._detector
+
+    def _build_pipe(self, service: Service):
+        """Choose and build the dispatch pipe a service's policy calls for."""
+        policy = service.policy
+        if policy.pipelined:
+            return StreamPipe(service, self._scheduler_for(policy))
+        if policy.batched:
+            return BatchPipe(service)
+        return DirectPipe(service)
+
+    def _scheduler_for(self, policy: ServicePolicy) -> _SessionScheduler:
+        """The shared scheduler for one policy shape (created on first use)."""
+        key = policy.scheduler_key()
+        scheduler = self._schedulers.get(key)
+        if scheduler is None:
+            scheduler = _SessionScheduler(
+                self.space,
+                max_batch=policy.batch_window,
+                window=policy.pipeline_depth,
+                transport=policy.transport,
+                retry_policy=policy.retry if policy.retry is not None else NO_RETRY,
+                replica_manager=self._manager,
+                max_failover_attempts=policy.max_failover_attempts,
+            )
+            self._schedulers[key] = scheduler
+        return scheduler
+
+    def _current_invoker(self, policy: ServicePolicy) -> Optional[FaultTolerantInvoker]:
+        """The fault-tolerant invoker for synchronous pipes, or ``None``.
+
+        Built when the policy retries or the session replicates; cached per
+        policy shape and rebuilt if the replica manager appears later.
+        """
+        if policy.retry is None and self._manager is None:
+            return None
+        key = (policy.retry, policy.transport, policy.max_failover_attempts)
+        invoker = self._invokers.get(key)
+        if invoker is None or invoker.replica_manager is not self._manager:
+            invoker = FaultTolerantInvoker(
+                self.space,
+                policy=policy.retry if policy.retry is not None else NO_RETRY,
+                replica_manager=self._manager,
+                max_failover_hops=policy.max_failover_attempts,
+            )
+            self._invokers[key] = invoker
+        return invoker
+
+    def _ensure_replication(self, policy: ServicePolicy) -> ReplicaManager:
+        """Create the shared detector + manager on first replicated service.
+
+        Subsequent replicated services reuse the pair as-is — the first
+        policy's detector/transport settings win (see :meth:`service`).
+        """
+        if self._manager is not None:
+            return self._manager
+        self._detector = HeartbeatDetector(
+            self.cluster.network,
+            self.node_id,
+            interval=policy.heartbeat_interval,
+            miss_threshold=policy.miss_threshold,
+        )
+        self._manager = ReplicaManager(
+            self.cluster,
+            detector=self._detector,
+            sync=policy.sync,
+            transport=policy.transport,
+        )
+        self._detector.start()
+        # Schedulers built before replication appeared must see the manager,
+        # or their fatal-failure path would never take the failover branch.
+        for scheduler in self._schedulers.values():
+            scheduler.replica_manager = self._manager
+        return self._manager
+
+    def _pick_host(self) -> str:
+        """The default node to deploy on: the first that is not this session's."""
+        for node_id in self.cluster.node_ids():
+            if node_id != self.node_id:
+                return node_id
+        return self.node_id
+
+    def _backup_nodes(
+        self,
+        policy: ServicePolicy,
+        primary: str,
+        explicit: Optional[Sequence[str]],
+    ) -> List[str]:
+        """Backup placement: explicit nodes, or a ring over the remaining ones."""
+        if explicit is not None:
+            backups = list(explicit)
+            if len(backups) != policy.backup_count:
+                raise PolicyError(
+                    f"policy wants {policy.backup_count} backup(s), "
+                    f"got {len(backups)} backup node(s)"
+                )
+            return backups
+        # Ring placement: walk the node list starting just after the primary,
+        # so replicated services deployed on successive nodes spread their
+        # backups instead of piling them onto the first candidate.
+        nodes = [n for n in self.cluster.node_ids() if n != self.node_id]
+        if primary in nodes:
+            start = nodes.index(primary) + 1
+            ring = nodes[start:] + nodes[:start]
+        else:
+            ring = nodes
+        candidates = [n for n in ring if n != primary]
+        if len(candidates) < policy.backup_count:
+            raise PolicyError(
+                f"cluster has {len(candidates)} candidate backup node(s), "
+                f"policy wants {policy.backup_count}; pass backup_nodes=..."
+            )
+        return candidates[: policy.backup_count]
+
+    def _on_rebind(self, name: str, old: Optional[RemoteRef], new: RemoteRef) -> None:
+        """Naming listener: keep the matching service's reference fresh."""
+        service = self._services.get(name)
+        if service is not None:
+            service._reference = new
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise PolicyError("this session is closed")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Ship every buffered window across all of this session's services."""
+        for service in self._services.values():
+            service.flush()
+
+    def drain(self) -> None:
+        """Flush, then pump events until nothing of this session is in flight."""
+        self.flush()
+        for scheduler in self._schedulers.values():
+            if scheduler.outstanding > 0:
+                scheduler.drain()
+
+    def close(self, *, drain: bool = True) -> None:
+        """Tear the session down; idempotent.
+
+        Drains in-flight work (unless ``drain=False``), stops the heartbeat
+        probes and unwatches their nodes, detaches the replica manager's
+        detector listeners, stops its sync loops, and unregisters the naming
+        rebind listener — repeated sessions in one process must not leak
+        callbacks into the cluster's long-lived naming service, detector
+        rounds onto its event queue, or listener lists anywhere else.
+        """
+        if self._closed:
+            return
+        try:
+            if drain:
+                self.drain()
+        finally:
+            # Teardown must run even when the drain raises (a dead target, a
+            # stalled pipeline): otherwise the very callbacks this method
+            # exists to remove would leak, and _closed would stay False.
+            # The drain's error still propagates afterwards.
+            for service in self._services.values():
+                # Retire every pipe: a closed session's buffered windows must
+                # fail rather than ship when a held future's result() is
+                # demanded later.
+                service._pipe.stop()
+            for scheduler in self._schedulers.values():
+                # Retire the schedulers so a backoff re-ship still sitting on
+                # the cluster's shared event queue cannot fire a dead
+                # session's batch into a later session's run.
+                scheduler.stop()
+            if self._detector is not None:
+                self._detector.stop()
+                for node_id in list(self._detector.watched_nodes()):
+                    self._detector.unwatch(node_id)
+            if self._manager is not None:
+                self._manager.stop()
+                self._manager.detach()
+            self.cluster.naming.off_rebind(self._on_rebind)
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Draining after an application error could mask it with a pipeline
+        # stall; tear down without draining in that case.
+        self.close(drain=exc_type is None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Session node={self.node_id!r} services={sorted(self._services)} "
+            f"{'closed' if self._closed else 'open'}>"
+        )

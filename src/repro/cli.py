@@ -25,6 +25,8 @@ run against their own code base before deploying it:
 ``repro bench-batching [--transports soap,rmi] [--orders N] [--batch-size B]``
     Run the bulk-order workload batched and unbatched on a simulated two-node
     cluster and report the per-call simulated cost and speedup per transport.
+    All three ``bench-*`` workloads drive the :mod:`repro.api` façade: one
+    ``Session``, declarative ``ServicePolicy`` knobs, no hand-wired stacks.
 
 ``repro bench-pipelining [--transports ...] [--orders N] [--batch-size B]
 [--window W] [--shards S]``

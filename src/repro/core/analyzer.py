@@ -32,7 +32,7 @@ from __future__ import annotations
 import enum
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from typing import Iterable, Optional
 
 from repro.core.classmodel import ClassModel, ClassUniverse
 from repro.errors import NotTransformableError

@@ -25,12 +25,12 @@ from repro.core.interfaces import (
     InterfaceModel,
     MethodSignature,
     class_factory_name,
-    class_interface_name,
     class_local_name,
     class_proxy_name,
     extract_class_interface,
     extract_instance_interface,
     getter_name,
+    instance_batch_proxy_name,
     instance_interface_name,
     instance_local_name,
     instance_proxy_name,
@@ -228,6 +228,77 @@ def emit_proxy(
     return "\n".join(lines).rstrip() + "\n"
 
 
+def emit_batch_proxy(
+    model: ClassModel,
+    interface: InterfaceModel,
+    transport: str,
+) -> str:
+    """Emit ``A_O_BatchProxy_<T>``: the batching-aware proxy for one transport.
+
+    Where the plain proxy performs one round trip per method call, this
+    variant buffers calls into batch windows and returns futures — the
+    generated analogue of wrapping a proxy in a ``BatchingProxy``, made
+    native so no manual wrapping is needed.  The buffering machinery itself
+    lives in :class:`~repro.runtime.batching.BatchingDispatchMixin`; the
+    emitted class contains only the interface-shaped enqueue methods.
+    """
+    # Kept in sync with the live generator: the mixin's control-plane names
+    # must not be shadowed by interface methods (see BATCH_PROXY_RESERVED).
+    from repro.runtime.batching import BATCH_PROXY_RESERVED
+
+    name = instance_batch_proxy_name(model.name, transport)
+    lines = [
+        f"class {name}(BatchingDispatchMixin, {interface.name}):",
+        _INDENT
+        + f'"""These methods buffer {transport.upper()} calls into batches; '
+        'each returns a future."""',
+        "",
+        # The mixin reads the transport off the class, exactly like the live
+        # generated artifact — without it, batches would silently ship over
+        # the space's default transport.
+        _INDENT + f"_repro_transport = {transport!r}",
+        _INDENT + '_repro_role = "batch-proxy"',
+        "",
+        _INDENT + "def __init__(self, ref=None, space=None, max_batch=32):",
+        _INDENT * 2 + "self._ref = ref",
+        _INDENT * 2 + "self._space = space",
+        _INDENT * 2 + "self._max_batch = max_batch",
+        _INDENT * 2 + "self._batcher = None",
+        _INDENT * 2 + "self._engine = None",
+        "",
+        _INDENT + "def bind(self, ref, space):",
+        _INDENT * 2 + "# ship anything still buffered for the previous binding",
+        _INDENT * 2 + "self._discard_batcher()",
+        _INDENT * 2 + "self._ref = ref",
+        _INDENT * 2 + "self._space = space",
+        _INDENT * 2 + "return self",
+        "",
+        _INDENT + "def remote_reference(self):",
+        _INDENT * 2 + "return self._ref",
+        "",
+    ]
+    for signature in interface.methods:
+        if signature.name in BATCH_PROXY_RESERVED:
+            lines.append(
+                _INDENT + f"# {signature.name}: name reserved by the batching "
+                "control plane; call _enqueue"
+            )
+            lines.append(
+                _INDENT + f"#   ({signature.name!r}, (...)) to reach the remote member."
+            )
+            lines.append("")
+            continue
+        arguments = ", ".join(signature.parameter_names)
+        lines.append(_INDENT + f"def {signature.name}({_format_parameters(signature)}):")
+        lines.append(
+            _INDENT * 2
+            + f"return self._enqueue({signature.name!r}, "
+            + f"({arguments}{',' if arguments else ''}))"
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
 # ---------------------------------------------------------------------------
 # Factories
 # ---------------------------------------------------------------------------
@@ -391,6 +462,9 @@ def emit_class_artifacts(
         sources[class_proxy_name(model.name, transport)] = emit_proxy(
             model, class_interface, transport, kind="class"
         )
+        sources[instance_batch_proxy_name(model.name, transport)] = emit_batch_proxy(
+            model, instance_interface, transport
+        )
     return sources
 
 
@@ -404,6 +478,7 @@ def emit_module(
     sources = emit_class_artifacts(model, transformed_names, universe, transports)
     header = (
         '"""Artifacts generated by the RAFDA transformation for class '
-        f'{model.name}."""\n\nimport abc\n\n\n'
+        f'{model.name}."""\n\nimport abc\n\n'
+        "from repro.runtime.batching import BatchingDispatchMixin\n\n\n"
     )
     return header + "\n\n".join(sources[name] for name in sources)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field as dataclass_field
-from typing import Any, Callable, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.classmodel import ClassModel
 from repro.core.interfaces import (
@@ -34,6 +34,7 @@ from repro.core.interfaces import (
     class_local_name,
     class_proxy_name,
     getter_name,
+    instance_batch_proxy_name,
     instance_local_name,
     instance_proxy_name,
     object_factory_name,
@@ -86,6 +87,9 @@ class ClassArtifacts:
     redirector_cls: type = None
     instance_proxies: dict[str, type] = dataclass_field(default_factory=dict)
     class_proxies: dict[str, type] = dataclass_field(default_factory=dict)
+    #: Batching/pipelining-aware proxies, one per transport: methods buffer
+    #: calls and return futures instead of performing one round trip each.
+    batch_proxies: dict[str, type] = dataclass_field(default_factory=dict)
     object_factory: type = None
     class_factory: type = None
     #: Rewritten source text per member, kept for inspection and codegen.
@@ -102,6 +106,16 @@ class ClassArtifacts:
         except KeyError as exc:
             raise GenerationError(
                 f"no {kind} proxy generated for class {self.class_name!r} "
+                f"and transport {transport!r}"
+            ) from exc
+
+    def batch_proxy_for(self, transport: str) -> type:
+        """The generated batching-aware proxy class for one transport."""
+        try:
+            return self.batch_proxies[transport]
+        except KeyError as exc:
+            raise GenerationError(
+                f"no batch proxy generated for class {self.class_name!r} "
                 f"and transport {transport!r}"
             ) from exc
 
@@ -386,6 +400,91 @@ def generate_proxy_class(
         namespace[signature.name] = _compile_function(source, ctx.namespace, signature.name)
 
     cls = type(interface_cls)(name, (interface_cls,), namespace)
+    return ctx.register(name, cls)
+
+
+def generate_batch_proxy_class(
+    model: ClassModel,
+    interface: InterfaceModel,
+    interface_cls: type,
+    transport_name: str,
+    ctx: GenerationContext,
+) -> type:
+    """Create ``A_O_BatchProxy_<T>``: the batching/pipelining-aware proxy.
+
+    Unlike ``A_O_Proxy_<T>``, whose every method performs one synchronous
+    round trip, the batch proxy's methods *buffer* their calls (via
+    :class:`~repro.runtime.batching.BatchingDispatchMixin`) and return
+    :class:`~repro.runtime.pipelining.InvocationFuture` placeholders — the
+    buffered window ships as one batch message when it fills, on ``flush()``,
+    or when a future's ``result()`` is demanded.  ``attach(engine)`` plugs in
+    a pipeline scheduler so the same proxy streams its calls through an
+    asynchronous in-flight window instead.  No manual ``BatchingProxy``
+    wrapping is needed: batching is native to the generated artifact.
+    """
+
+    # Imported here, not at module top: repro.core.generator is pulled in by
+    # the repro.core package __init__, which the runtime layer's own imports
+    # trigger — a top-level import of the runtime from here would be cyclic.
+    from repro.runtime.batching import BATCH_PROXY_RESERVED, BatchingDispatchMixin
+
+    name = instance_batch_proxy_name(model.name, transport_name)
+    namespace: dict[str, Any] = {
+        "__doc__": (
+            f"Batching {transport_name.upper()} proxy for {interface.name}; every "
+            "member invocation buffers into a batch window and returns a future "
+            "(generated)."
+        ),
+        "_repro_class_name": model.name,
+        "_repro_interface_name": interface.name,
+        "_repro_role": "batch-proxy",
+        "_repro_transport": transport_name,
+    }
+
+    def __init__(self, ref=None, space=None, max_batch=32):
+        # The buffer is built lazily on the first call, so an unbound proxy
+        # costs nothing; rebinding resets it.
+        self._ref = ref
+        self._space = space
+        self._max_batch = max_batch
+        self._batcher = None
+        self._engine = None
+
+    def bind(self, ref, space):
+        """Bind this proxy to a remote reference and the local address space.
+
+        Anything still buffered for the previous binding ships first, so a
+        rebind never strands unresolved futures.
+        """
+        self._discard_batcher()
+        self._ref = ref
+        self._space = space
+        return self
+
+    def remote_reference(self):
+        """The remote reference this proxy forwards to."""
+        return self._ref
+
+    namespace["__init__"] = __init__
+    namespace["bind"] = bind
+    namespace["remote_reference"] = remote_reference
+
+    for signature in interface.methods:
+        if signature.name in BATCH_PROXY_RESERVED:
+            # The control plane must win: a proxy whose flush() buffered a
+            # remote "flush" instead of shipping the window would silently
+            # break batching.  The remote member stays reachable through
+            # _enqueue(name, args).
+            continue
+        source = (
+            f"def {signature.name}({_signature_params(signature)}):\n"
+            f"    return self._enqueue({signature.name!r}, "
+            f"({_forwarding_args(signature)}"
+            f"{',' if signature.parameter_names else ''}))\n"
+        )
+        namespace[signature.name] = _compile_function(source, ctx.namespace, signature.name)
+
+    cls = type(interface_cls)(name, (BatchingDispatchMixin, interface_cls), namespace)
     return ctx.register(name, cls)
 
 

@@ -28,6 +28,7 @@ from repro.core import codegen
 from repro.core.generator import (
     ClassArtifacts,
     GenerationContext,
+    generate_batch_proxy_class,
     generate_class_factory,
     generate_class_local,
     generate_interface_class,
@@ -497,6 +498,10 @@ class ApplicationTransformer:
                 artifacts.class_proxies[transport] = generate_proxy_class(
                     model, artifacts.class_interface, artifacts.class_interface_cls,
                     transport, context, kind="class",
+                )
+                artifacts.batch_proxies[transport] = generate_batch_proxy_class(
+                    model, artifacts.instance_interface, artifacts.instance_interface_cls,
+                    transport, context,
                 )
             artifacts.object_factory = generate_object_factory(
                 model, artifacts.instance_interface, context, artifacts

@@ -126,6 +126,24 @@ class HeartbeatDetector:
         """Call ``listener(node_id, simulated_time)`` when a down node answers again."""
         self._recovery_listeners.append(listener)
 
+    def off_failure(self, listener: NodeListener) -> None:
+        """Remove a listener registered with :meth:`on_failure` (idempotent)."""
+        try:
+            self._failure_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def off_recovery(self, listener: NodeListener) -> None:
+        """Remove a listener registered with :meth:`on_recovery` (idempotent)."""
+        try:
+            self._recovery_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def listener_count(self) -> int:
+        """Total registered failure + recovery listeners (leak checks)."""
+        return len(self._failure_listeners) + len(self._recovery_listeners)
+
     # ------------------------------------------------------------------
     # status
     # ------------------------------------------------------------------

@@ -39,7 +39,11 @@ of wall-clock (simulated) time instead of ``W``.  A manager constructed with
 weighting — the observed window is divided by ``batch_size * pipeline_depth``
 before the ``min_calls`` comparison, because traffic whose latency is hidden
 by the pipeline is even weaker evidence that the callee should move.  The
-default ``pipeline_depth=1`` models the synchronous dispatch modes.
+default ``pipeline_depth=1`` models the synchronous dispatch modes.  A live
+scheduler connected via :meth:`AdaptiveDistributionManager.connect_pipeline`
+supersedes the configured value with the depth the pipeline *actually
+achieved* (its ``observed_pipeline_depth``), so decisions track measured —
+not assumed — overlap.
 
 Replication-awareness
 ---------------------
@@ -164,6 +168,9 @@ class AdaptiveDistributionManager:
         #: means unreplicated, larger values weigh every observed write by
         #: its eager-replication amplification.
         self.replication_factor = replication_factor
+        #: A live scheduler whose measured window depth supersedes the
+        #: configured ``pipeline_depth`` (see :meth:`connect_pipeline`).
+        self._pipeline_source: Optional[Any] = None
         self._monitors: dict[int, AccessMonitor] = {}
         self.history: list[AdaptationRecord] = []
 
@@ -202,18 +209,47 @@ class AdaptiveDistributionManager:
     # decisions
     # ------------------------------------------------------------------
 
+    def connect_pipeline(self, scheduler: Any) -> None:
+        """Feed a scheduler's *measured* window depth into the heuristic.
+
+        ``scheduler`` is anything exposing ``observed_pipeline_depth`` and
+        ``depth_samples`` — in practice the
+        :class:`~repro.runtime.pipelining.PipelineScheduler` (or the façade
+        service built on one) carrying the monitored traffic.  Once connected,
+        :meth:`effective_pipeline_depth` prefers the depth the pipeline
+        actually achieved over the statically configured ``pipeline_depth``,
+        closing the "configured, not measured" gap: a window that traffic
+        never fills no longer over-discounts the observed calls.  Pass
+        ``None`` to disconnect.
+        """
+        self._pipeline_source = scheduler
+
+    def effective_pipeline_depth(self) -> float:
+        """The pipeline depth the amortisation actually uses.
+
+        The connected scheduler's :attr:`observed_pipeline_depth` when one is
+        connected and has shipped at least one batch; the configured
+        ``pipeline_depth`` otherwise.
+        """
+        source = self._pipeline_source
+        if source is not None and getattr(source, "depth_samples", 0) > 0:
+            return max(1.0, float(source.observed_pipeline_depth))
+        return float(self.pipeline_depth)
+
     def amortised_call_count(self, monitor: AccessMonitor) -> float:
         """The monitor's window weighted by batching, pipelining and replication.
 
         ``n`` batched calls cost about ``n / batch_size`` round-trip
-        overheads, a pipelined window overlaps ``pipeline_depth`` of those
-        round trips in simulated time, and eager replication amplifies each
-        served write into ``replication_factor`` messages — so the quantity
-        compared against ``min_calls`` is
-        ``n * replication_factor / (batch_size * pipeline_depth)``.  With
-        all three factors at 1 this is exactly ``monitor.total_calls``.
+        overheads, a pipelined window overlaps the *effective* pipeline depth
+        of those round trips in simulated time (measured when a scheduler is
+        connected via :meth:`connect_pipeline`, configured otherwise), and
+        eager replication amplifies each served write into
+        ``replication_factor`` messages — so the quantity compared against
+        ``min_calls`` is
+        ``n * replication_factor / (batch_size * effective_pipeline_depth)``.
+        With all three factors at 1 this is exactly ``monitor.total_calls``.
         """
-        weight = self.batch_size * self.pipeline_depth
+        weight = self.batch_size * self.effective_pipeline_depth()
         amplification = self.replication_factor
         if weight <= 1 and amplification <= 1:
             return float(monitor.total_calls)

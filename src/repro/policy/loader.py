@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Mapping, Optional, Union
+from typing import Mapping, Union
 
 from repro.errors import PolicyError
 from repro.policy.policy import (

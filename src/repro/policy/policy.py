@@ -17,7 +17,7 @@ redistribution of experiment E8).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Mapping, Optional
 
 from repro.errors import PolicyError
 

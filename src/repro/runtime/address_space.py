@@ -17,7 +17,7 @@ they host whatever objects the application exports into them.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     InvocationError,
@@ -72,6 +72,8 @@ class AddressSpace:
         self._exported_refs: Dict[int, RemoteRef] = {}
         self._allocator = ObjectIdAllocator(node_id)
         self._dispatch_hooks: list[Any] = []
+        self._batch_scope_depth = 0
+        self._batch_commit_hooks: list[Any] = []
 
         #: Number of invocation requests served by this space's dispatcher.
         self.invocations_served = 0
@@ -83,6 +85,8 @@ class AddressSpace:
         self.batches_served = 0
         #: Number of heartbeat probes answered by this space.
         self.pings_answered = 0
+        #: Batch-commit hooks that raised (isolated; see ``on_batch_commit``).
+        self.batch_commit_hook_failures = 0
 
         network.register(node_id, self._handle_message)
 
@@ -145,6 +149,57 @@ class AddressSpace:
     def remove_dispatch_hook(self, hook: Any) -> None:
         if hook in self._dispatch_hooks:
             self._dispatch_hooks.remove(hook)
+
+    # ------------------------------------------------------------------
+    # Batch-dispatch scope (amortisation hooks for server-side observers)
+    # ------------------------------------------------------------------
+
+    @property
+    def in_batch_dispatch(self) -> bool:
+        """True while this space is executing the calls of one batch message.
+
+        Server-side observers — most importantly eager replication's write
+        forwarding — use this to amortise their own per-call traffic: work
+        deferred through :meth:`on_batch_commit` runs once per dispatched
+        batch instead of once per call.
+        """
+        return self._batch_scope_depth > 0
+
+    def on_batch_commit(self, hook: Any) -> None:
+        """Run ``hook()`` once when the current batch dispatch completes.
+
+        Hooks are one-shot and fire *before* the batch response leaves the
+        node, so an acknowledged batch has observed every commit-time effect
+        (e.g. its writes were forwarded to replicas).  Batch-scope hooks run
+        isolated from one another: one raising hook neither skips the
+        remaining hooks nor fails the already-executed batch (the failure is
+        counted in ``batch_commit_hook_failures``) — hooks with real failure
+        modes, like replication forwards, handle them internally.  Outside a
+        batch dispatch the hook runs immediately and synchronously in the
+        registering caller, so an error propagates to that caller (there is
+        no executed batch to protect, and no counter is touched).
+        """
+        if self.in_batch_dispatch:
+            self._batch_commit_hooks.append(hook)
+        else:
+            hook()
+
+    def _enter_batch_scope(self) -> None:
+        self._batch_scope_depth += 1
+
+    def _exit_batch_scope(self) -> None:
+        self._batch_scope_depth -= 1
+        if self._batch_scope_depth == 0 and self._batch_commit_hooks:
+            hooks, self._batch_commit_hooks = self._batch_commit_hooks, []
+            for hook in hooks:
+                try:
+                    hook()
+                except Exception:  # noqa: BLE001 - isolation, see on_batch_commit
+                    # The batch's calls already executed on this node; a
+                    # failing observer must not turn the executed batch into
+                    # a transport error (an at-least-once retry would then
+                    # double-apply the writes) nor starve the other hooks.
+                    self.batch_commit_hook_failures += 1
 
     # ------------------------------------------------------------------
     # Outgoing invocations (the proxy side)
@@ -366,14 +421,18 @@ class AddressSpace:
         self, calls: Sequence[tuple[RemoteRef, str, tuple, dict]]
     ) -> List[BatchResult]:
         results: list[BatchResult] = []
-        for index, (reference, member, args, kwargs) in enumerate(calls):
-            try:
-                target = self.lookup_local_object(reference.object_id)
-                value = getattr(target, member)(*args, **kwargs)
-            except Exception as error:  # noqa: BLE001 - per-call isolation
-                results.append(BatchResult(index=index, error=error))
-            else:
-                results.append(BatchResult(index=index, value=value))
+        self._enter_batch_scope()
+        try:
+            for index, (reference, member, args, kwargs) in enumerate(calls):
+                try:
+                    target = self.lookup_local_object(reference.object_id)
+                    value = getattr(target, member)(*args, **kwargs)
+                except Exception as error:  # noqa: BLE001 - per-call isolation
+                    results.append(BatchResult(index=index, error=error))
+                else:
+                    results.append(BatchResult(index=index, value=value))
+        finally:
+            self._exit_batch_scope()
         return results
 
     # ------------------------------------------------------------------
@@ -392,9 +451,15 @@ class AddressSpace:
         if is_batch:
             self.batches_served += 1
             batch = InvocationBatch.from_dicts(transport.decode_batch_request(body))
-            responses = InvocationBatchResponse(
-                [self._dispatch(request) for request in batch]
-            )
+            self._enter_batch_scope()
+            try:
+                responses = InvocationBatchResponse(
+                    [self._dispatch(request) for request in batch]
+                )
+            finally:
+                # Commit hooks (e.g. batched replication forwards) run before
+                # the response is framed: an acknowledged batch is durable.
+                self._exit_batch_scope()
             return frame_batch_message(
                 transport_name, transport.encode_batch_response(responses.to_dicts())
             )

@@ -14,11 +14,12 @@ above it:
   raw :class:`~repro.runtime.remote_ref.RemoteRef` and turns attribute calls
   into buffered, pipelined invocations with automatic flushing.
 
-Usage::
+Usage — via the façade, which composes this module internally (direct
+``BatchingProxy(...)`` construction still works but is deprecated)::
 
-    batch = BatchingProxy(store_proxy, max_batch=32)
-    pending = [batch.submit(sku, 1, 10) for sku in skus]  # no round trips yet
-    batch.flush()                                  # one message per window
+    svc = session.service("store", ServicePolicy(batch_window=32), ...)
+    pending = [svc.future.submit(sku, 1, 10) for sku in skus]  # no round trips
+    svc.flush()                                    # one message per window
     ids = [p.result() for p in pending]            # or p.result() auto-flushes
 
 The flush model is synchronous: calls are issued in order without waiting
@@ -36,6 +37,7 @@ out-of-order completion across several in-flight batches, step up to
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
@@ -104,6 +106,10 @@ class BatchingProxy:
     observe its server-side effects, since batches execute in order).
     """
 
+    #: Subclasses used internally by the :mod:`repro.api` façade set this to
+    #: ``False``; direct construction of the public class is deprecated.
+    _warn_on_direct_construction = True
+
     def __init__(
         self,
         target: Any,
@@ -114,6 +120,14 @@ class BatchingProxy:
         invoker: Optional[FaultTolerantInvoker] = None,
         retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
+        if type(self)._warn_on_direct_construction:
+            warnings.warn(
+                "constructing BatchingProxy directly is deprecated; create a "
+                "Service through repro.api.Session with a ServicePolicy "
+                "(batch_window=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if max_batch < 1:
             raise InvocationError("max_batch must be at least 1")
         if invoker is not None and retry_policy is not None:
@@ -207,6 +221,12 @@ class BatchingProxy:
     def call(self, member: str, *args: Any, **kwargs: Any) -> PendingCall:
         """Queue one invocation; returns its placeholder immediately."""
         pending = PendingCall(self, member)
+        # Fill the same future bookkeeping the pipelined scheduler provides,
+        # so latency/attempt statistics work whatever dispatch path a policy
+        # picked (clockless spaces in unit tests simply leave them None).
+        clock = getattr(getattr(self._space, "network", None), "clock", None)
+        if clock is not None:
+            pending.submitted_at = clock.now
         self._queue.append(_QueuedCall(member, args, kwargs, pending))
         self.calls_enqueued += 1
         if len(self._queue) >= self.max_batch:
@@ -245,6 +265,30 @@ class BatchingProxy:
         window, self._queue = self._queue, []
         reference = self._refresh_reference()
         calls = [(reference, item.member, item.args, item.kwargs) for item in window]
+        for item in window:
+            item.pending.attempts += 1
+        # The invoker re-ships the whole window internally on retry, writing
+        # one *recovered* failure record per call per re-ship — fold that
+        # back into the futures so "attempts > 1 after a retry" holds on
+        # this path like on the scheduler's.  (Unrecovered records are
+        # terminal: they did not add a carrier.)  The per-window average is
+        # exact for whole-window re-ships, the overwhelmingly common case;
+        # when a failover SPLITS the window across promoted replicas and
+        # only one sub-batch retries, the delta averages out across the
+        # window (per-call attribution would need per-call failure
+        # identity, which FailureRecord does not carry).  The pipelined
+        # scheduler tracks attempts per call exactly.
+        recovered_before = (
+            self._invoker.log.recovered_failures if self._invoker is not None else 0
+        )
+
+        def _extra_attempts() -> int:
+            if self._invoker is None or not window:
+                return 0
+            return (
+                self._invoker.log.recovered_failures - recovered_before
+            ) // len(window)
+
         try:
             if self._invoker is not None:
                 results = self._invoker.invoke_many(
@@ -253,16 +297,45 @@ class BatchingProxy:
             else:
                 results = self._space.invoke_remote_many(calls, transport=self._transport)
         except Exception as error:
+            extra = _extra_attempts()
             for item in window:
+                item.pending.attempts += extra
                 item.pending._fail(error)
             raise
+        extra = _extra_attempts()
+        if extra:
+            for item in window:
+                item.pending.attempts += extra
         self.batches_flushed += 1
+        clock = getattr(getattr(self._space, "network", None), "clock", None)
         for item, result in zip(window, results):
+            if clock is not None:
+                item.pending.completed_at = clock.now
             if result.ok:
                 item.pending._resolve(result.value)
             else:
                 item.pending._fail(result.error)
         return results
+
+    def abandon(self, error: BaseException) -> int:
+        """Fail (do not ship) every queued call; returns how many were dropped.
+
+        The teardown counterpart of :meth:`flush`: a retiring owner (e.g. a
+        closed façade session) must ensure the buffered window can never
+        ship later — each placeholder fails with ``error`` instead, so held
+        futures surface the teardown rather than hanging or sending
+        messages.
+        """
+        window, self._queue = self._queue, []
+        clock = getattr(getattr(self._space, "network", None), "clock", None)
+        abandoned = 0
+        for item in window:
+            if not item.pending.done:
+                if clock is not None:
+                    item.pending.completed_at = clock.now
+                item.pending._fail(error)
+                abandoned += 1
+        return abandoned
 
     # ------------------------------------------------------------------
     # context manager
@@ -280,3 +353,122 @@ class BatchingProxy:
             f"<BatchingProxy {self._reference} queued={len(self._queue)} "
             f"max_batch={self.max_batch}>"
         )
+
+
+class _InternalBatcher(BatchingProxy):
+    """The batching engine used by the façade and generated proxies.
+
+    Identical to :class:`BatchingProxy` but exempt from the direct-construction
+    deprecation warning: internal composition is the supported path.
+    """
+
+    _warn_on_direct_construction = False
+
+
+#: Control-plane member names of :class:`BatchingDispatchMixin`.  Generated
+#: batch proxies must not let an interface method shadow these — a proxy
+#: whose ``flush()`` silently buffered a remote ``flush`` call instead of
+#: shipping the window would be a correctness trap.  Colliding remote
+#: members stay reachable through ``_enqueue(name, args)``.
+BATCH_PROXY_RESERVED = frozenset(
+    {
+        "flush",
+        "attach",
+        "detach",
+        "bind",
+        "remote_reference",
+        "configure_batching",
+        "pending_batched_calls",
+    }
+)
+
+
+class BatchingDispatchMixin:
+    """Buffered, future-based dispatch for generated batching-aware proxies.
+
+    Generated ``A_O_BatchProxy_<T>`` classes mix this in: every interface
+    method calls :meth:`_enqueue` instead of ``invoke_remote``, so calls are
+    buffered and shipped ``max_batch`` at a time — no manual
+    :class:`BatchingProxy` wrapping required.  Methods return
+    :class:`~repro.runtime.pipelining.InvocationFuture` placeholders that
+    resolve when their window round-trips (``result()`` auto-flushes).
+
+    The proxy is *pipelining-aware* too: :meth:`attach` plugs in any engine
+    with a ``submit(target, member, *args, **kwargs)`` method — typically a
+    session's :class:`~repro.runtime.pipelining.PipelineScheduler` — and
+    subsequent calls stream through it (sharded, windowed, out-of-order)
+    instead of the proxy's own synchronous buffer.
+    """
+
+    def configure_batching(self, *, max_batch: Optional[int] = None, engine: Any = None):
+        """Set the buffer window and/or attach a pipelining engine; returns self."""
+        if max_batch is not None:
+            if max_batch < 1:
+                raise InvocationError("max_batch must be at least 1")
+            self._max_batch = max_batch
+            self._discard_batcher()
+        if engine is not None:
+            self.attach(engine)
+        return self
+
+    def _discard_batcher(self) -> None:
+        """Retire the current buffer, shipping anything still queued first.
+
+        Reconfiguring or rebinding must not strand buffered calls: their
+        futures would silently never resolve unless each ``result()`` were
+        demanded explicitly.
+        """
+        batcher = getattr(self, "_batcher", None)
+        if batcher is not None and len(batcher):
+            batcher.flush()
+        self._batcher = None
+
+    def attach(self, engine: Any):
+        """Route subsequent calls through ``engine`` (scheduler-style ``submit``).
+
+        Anything still buffered locally ships first — switching engines must
+        not strand earlier calls' futures.
+        """
+        if not hasattr(engine, "submit"):
+            raise InvocationError(
+                "a batching proxy engine needs a submit(target, member, *args) method"
+            )
+        self._discard_batcher()
+        self._engine = engine
+        return self
+
+    def detach(self):
+        """Return to the proxy's own synchronous batch buffer; returns self."""
+        self._engine = None
+        return self
+
+    def _enqueue(self, member: str, args: tuple, kwargs: Optional[dict] = None):
+        """Buffer one interface-method call; returns its future immediately."""
+        kwargs = kwargs or {}
+        engine = getattr(self, "_engine", None)
+        if engine is not None:
+            return engine.submit(self._ref, member, *args, **kwargs)
+        batcher = getattr(self, "_batcher", None)
+        if batcher is None:
+            batcher = _InternalBatcher(
+                self._ref,
+                space=self._space,
+                max_batch=getattr(self, "_max_batch", 32),
+                transport=getattr(type(self), "_repro_transport", None),
+            )
+            self._batcher = batcher
+        return batcher.call(member, *args, **kwargs)
+
+    def flush(self) -> None:
+        """Ship every buffered call (own buffer or the attached engine's)."""
+        engine = getattr(self, "_engine", None)
+        if engine is not None and hasattr(engine, "flush"):
+            engine.flush()
+        batcher = getattr(self, "_batcher", None)
+        if batcher is not None:
+            batcher.flush()
+
+    def pending_batched_calls(self) -> int:
+        """Calls buffered locally and not yet shipped (0 with an engine attached)."""
+        batcher = getattr(self, "_batcher", None)
+        return len(batcher) if batcher is not None else 0

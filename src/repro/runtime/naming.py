@@ -50,6 +50,22 @@ class NamingService:
         """Call ``listener(name, old, new)`` whenever a binding changes."""
         self._rebind_listeners.append(listener)
 
+    def off_rebind(self, listener: RebindListener) -> None:
+        """Remove a listener registered with :meth:`on_rebind` (idempotent).
+
+        Long-lived naming services outlive the sessions that observe them;
+        a session that registered a listener must be able to detach it on
+        close, or repeated sessions in one process leak callbacks.
+        """
+        try:
+            self._rebind_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def rebind_listener_count(self) -> int:
+        """How many rebind listeners are currently registered (leak checks)."""
+        return len(self._rebind_listeners)
+
     def lookup(self, name: str) -> RemoteRef:
         try:
             return self._bindings[name]

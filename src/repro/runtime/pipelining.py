@@ -25,20 +25,17 @@ Three pieces:
   batch completes undisturbed.  Fatal failures (partitions, crashed nodes)
   fail the affected futures immediately.
 
-Usage::
+Usage — via the façade, which composes this module internally (direct
+``PipelineScheduler(...)`` construction still works but is deprecated)::
 
-    from repro.runtime.pipelining import PipelineScheduler
-
-    scheduler = PipelineScheduler(
-        cluster.space("client"), max_batch=32, window=4, transport="rmi",
-    )
+    policy = ServicePolicy(transport="rmi", batch_window=32, pipeline_depth=4)
+    shards = [session.service(f"s{i}", policy, ...) for i in range(2)]
     futures = [
-        scheduler.submit(shard_refs[i % len(shard_refs)], "submit", f"sku-{i}", 1, 10)
-        for i in range(256)
+        shards[i % 2].future.submit(f"sku-{i}", 1, 10) for i in range(256)
     ]
-    scheduler.drain()                       # pump until every future resolves
+    session.drain()                         # pump until every future resolves
     values = [f.result() for f in futures]  # per-call results, order preserved
-    scheduler.out_of_order_completions      # > 0 when shards answer at different speeds
+    shards[0].scheduler.out_of_order_completions  # > 0 with uneven shards
 
 Used as a context manager, a clean exit flushes the buffers and drains the
 event queue, mirroring :class:`~repro.runtime.batching.BatchingProxy`.
@@ -46,6 +43,7 @@ event queue, mirroring :class:`~repro.runtime.batching.BatchingProxy`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -225,6 +223,10 @@ class PipelineScheduler:
     promotion before the fatal error is surfaced after all.
     """
 
+    #: Subclasses used internally by the :mod:`repro.api` façade set this to
+    #: ``False``; direct construction of the public class is deprecated.
+    _warn_on_direct_construction = True
+
     def __init__(
         self,
         space: Any,
@@ -237,6 +239,14 @@ class PipelineScheduler:
         replica_manager=None,
         max_failover_attempts: int = 8,
     ) -> None:
+        if type(self)._warn_on_direct_construction:
+            warnings.warn(
+                "constructing PipelineScheduler directly is deprecated; create "
+                "a Service through repro.api.Session with a ServicePolicy "
+                "(pipeline_depth=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if max_batch < 1:
             raise InvocationError("max_batch must be at least 1")
         if window < 1:
@@ -268,6 +278,12 @@ class PipelineScheduler:
         self.calls_redirected = 0
         #: High-water mark of concurrently in-flight batches.
         self.max_in_flight = 0
+        #: Sum of in-flight depths sampled at every batch ship (the measured
+        #: counterpart of the configured ``window``).
+        self._depth_sample_sum = 0.0
+        #: Number of depth samples taken (one per shipped batch).
+        self.depth_samples = 0
+        self._stopped = False
 
     # ------------------------------------------------------------------
     # submission
@@ -283,6 +299,10 @@ class PipelineScheduler:
         different nodes ship independently, so one submission stream fans
         out (shards) across the cluster.
         """
+        if self._stopped:
+            # Mirror the _ship guard: accepting the call would strand its
+            # future silently, violating stop()'s no-pending guarantee.
+            raise InvocationError("pipeline scheduler is stopped; no new submissions")
         if isinstance(target, RemoteRef):
             reference = target
         else:
@@ -326,6 +346,22 @@ class PipelineScheduler:
         return self._outstanding
 
     @property
+    def observed_pipeline_depth(self) -> float:
+        """The in-flight window depth the pipeline has actually achieved.
+
+        The mean number of concurrently in-flight batches, sampled at every
+        batch ship.  This is the *measured* counterpart of the configured
+        ``window``: a stream too small (or too skewed) to fill the window
+        reports a lower value.  Before any batch has shipped it falls back to
+        ``1.0`` (no overlap observed yet).
+        :meth:`~repro.policy.adaptive.AdaptiveDistributionManager.connect_pipeline`
+        consumes this instead of a statically configured depth.
+        """
+        if self.depth_samples == 0:
+            return 1.0
+        return max(1.0, self._depth_sample_sum / self.depth_samples)
+
+    @property
     def out_of_order_completions(self) -> int:
         """How many futures completed after one with a higher submission index."""
         count = 0
@@ -335,6 +371,32 @@ class PipelineScheduler:
                 count += 1
             highest = max(highest, future.index)
         return count
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has retired this scheduler."""
+        return self._stopped
+
+    def stop(self) -> None:
+        """Retire the scheduler: nothing ships after this (idempotent).
+
+        Backoff re-ships already scheduled on the event queue become no-ops
+        that *fail* their calls instead of shipping them — a retired
+        scheduler (typically one whose owning session closed without
+        draining) must never invoke services when some later party pumps the
+        shared event queue.  Buffered, never-shipped calls fail the same
+        way, so no future is left silently pending.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        buffers, self._buffers = self._buffers, {}
+        error = InvocationError("pipeline scheduler stopped before this call shipped")
+        for calls in buffers.values():
+            for call in calls:
+                if not call.future.done:
+                    call.future._fail(error)
+                    self._complete(call.future)
 
     def drain(self) -> List[InvocationFuture]:
         """Flush the buffers and pump events until every future is done.
@@ -376,6 +438,15 @@ class PipelineScheduler:
         """
         if not calls:
             return
+        if self._stopped:
+            error = InvocationError(
+                "pipeline scheduler stopped before this call shipped"
+            )
+            for call in calls:
+                if not call.future.done:
+                    call.future._fail(error)
+                    self._complete(call.future)
+            return
         if self.replica_manager is not None:
             buckets: Dict[str, List[_ScheduledCall]] = {}
             for call in calls:
@@ -401,6 +472,11 @@ class PipelineScheduler:
         self._in_flight += 1
         self.batches_shipped += 1
         self.max_in_flight = max(self.max_in_flight, self._in_flight)
+        # Sample the depth the pipeline actually achieves: the mean of these
+        # samples is what the adaptive policy consumes instead of the
+        # configured window (which traffic may never fill).
+        self._depth_sample_sum += self._in_flight
+        self.depth_samples += 1
         try:
             self.space.invoke_remote_many_async(
                 [(call.reference, call.member, call.args, call.kwargs) for call in calls],

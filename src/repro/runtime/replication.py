@@ -43,7 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
 
-from repro.errors import NetworkError, ReplicationError
+from repro.errors import NetworkError, RemoteInvocationError, ReplicationError
 from repro.runtime.migration import capture_state, restore_state
 from repro.runtime.remote_ref import RemoteRef
 
@@ -113,6 +113,19 @@ class ReplicaEndpoint:
         self.ops_applied += 1
         return result
 
+    def apply_ops(self, ops: list) -> int:
+        """Replay a list of ``(member, args, kwargs)`` operations in order.
+
+        The batched form of :meth:`apply_op`: when the primary serves a
+        dispatched batch of writes, the whole window's forwards travel to
+        this backup as **one** message instead of one per write.  Returns the
+        number of operations applied.
+        """
+        for member, args, kwargs in ops:
+            getattr(self._impl, member)(*args, **kwargs)
+            self.ops_applied += 1
+        return len(ops)
+
     def apply_state(self, state: dict) -> int:
         """Overwrite the copy's state with a snapshot; returns fields written."""
         written = apply_state(self._impl, state, self._application)
@@ -171,6 +184,15 @@ class ReplicaGroup:
     writes_propagated: int = 0
     #: State snapshots shipped to backups (interval mode, seeding, re-sync).
     snapshots_shipped: int = 0
+    #: Forward messages actually sent (eager mode): one per backup per write
+    #: outside a batch, one per backup per *dispatched batch* inside one.
+    forward_messages: int = 0
+    #: Writes deferred during the current batch dispatch (eager mode).
+    pending_ops: List[tuple] = field(default_factory=list)
+    #: True while a commit hook is registered for the current batch.  Kept
+    #: separate from ``pending_ops`` so a hook that never ran (or failed)
+    #: cannot wedge the deferral machinery: the next batch re-arms.
+    commit_armed: bool = False
     #: Zero-argument constructor used to build (re-)seeded backup copies.
     factory: Optional[Callable[[], Any]] = None
 
@@ -370,7 +392,7 @@ class ReplicaManager:
                 endpoint_ref, "apply_state", (dict(state),), transport=self.transport
             )
             group.snapshots_shipped += 1
-        except NetworkError:
+        except (NetworkError, RemoteInvocationError):
             record.healthy = False
         return record
 
@@ -452,11 +474,26 @@ class ReplicaManager:
     # ------------------------------------------------------------------
 
     def _after_write(self, group: ReplicaGroup, member: str, args: tuple, kwargs: dict) -> None:
-        """React to one mutating call on the primary (from the wrapper)."""
-        if group.sync == "eager":
-            self._propagate_op(group, member, args, kwargs)
-        else:
+        """React to one mutating call on the primary (from the wrapper).
+
+        Eager mode forwards the call to every backup — immediately for a
+        single invocation, but *deferred and batched* while the primary's
+        space is dispatching a batch message: the whole window's writes then
+        travel as one ``apply_ops`` message per backup (committed before the
+        batch response leaves), cutting the write amplification from one
+        message per write to one per dispatched batch.
+        """
+        if group.sync != "eager":
             group.dirty = True
+            return
+        space = self._primary_space(group)
+        if getattr(space, "in_batch_dispatch", False):
+            if not group.commit_armed:
+                group.commit_armed = True
+                space.on_batch_commit(lambda: self._flush_pending_ops(group))
+            group.pending_ops.append((member, list(args), dict(kwargs)))
+        else:
+            self._propagate_op(group, member, args, kwargs)
 
     def _propagate_op(self, group: ReplicaGroup, member: str, args: tuple, kwargs: dict) -> None:
         """Forward one mutating call to every live backup (eager mode)."""
@@ -470,9 +507,39 @@ class ReplicaManager:
                     transport=self.transport,
                 )
                 group.writes_propagated += 1
-            except NetworkError:
-                # The forward was lost; the copy is stale and no longer a
-                # promotion candidate until a snapshot re-seeds it.
+                group.forward_messages += 1
+            except (NetworkError, RemoteInvocationError):
+                # The forward was lost — or the replay failed on the backup
+                # (its state has diverged).  Either way the copy is stale and
+                # no longer a promotion candidate until a snapshot re-seeds
+                # it; the primary's acknowledged write must not fail.
+                record.healthy = False
+                self._schedule_reseed(group, record.node_id)
+
+    def _flush_pending_ops(self, group: ReplicaGroup) -> None:
+        """Ship the batch-deferred writes: one ``apply_ops`` per live backup."""
+        # Disarm first: whatever happens below, the next batch must register
+        # a fresh hook rather than silently appending to a dead buffer.
+        group.commit_armed = False
+        ops, group.pending_ops = group.pending_ops, []
+        if not ops:
+            return
+        space = self._primary_space(group)
+        for record in group.healthy_backups():
+            try:
+                space.invoke_remote(
+                    record.endpoint_ref,
+                    "apply_ops",
+                    ([list(op) for op in ops],),
+                    transport=self.transport,
+                )
+                group.writes_propagated += len(ops)
+                group.forward_messages += 1
+            except (NetworkError, RemoteInvocationError):
+                # A lost forward or a failed replay (diverged backup) demotes
+                # this copy only; it must not escape the batch-commit hook
+                # and fail a batch the primary already executed, nor skip the
+                # forwards to the remaining backups.
                 record.healthy = False
                 self._schedule_reseed(group, record.node_id)
 
@@ -491,7 +558,9 @@ class ReplicaManager:
                 )
                 group.snapshots_shipped += 1
                 synced += 1
-            except NetworkError:
+            except (NetworkError, RemoteInvocationError):
+                # A failed snapshot application must not crash the interval
+                # sync tick running on the event queue.
                 record.healthy = False
                 self._schedule_reseed(group, record.node_id)
         group.dirty = False
@@ -666,6 +735,18 @@ class ReplicaManager:
     def stop(self) -> None:
         """Stop the interval sync loops (pending ticks become no-ops)."""
         self.running = False
+
+    def detach(self) -> None:
+        """Unsubscribe this manager's listeners from its heartbeat detector.
+
+        Detector instances can outlive the manager (and the session that
+        created it); without detaching, every discarded manager would keep
+        reacting — and keep being referenced — forever.  Idempotent, and a
+        no-op for managers built without a detector.
+        """
+        if self.detector is not None:
+            self.detector.off_failure(self.handle_node_down)
+            self.detector.off_recovery(self.handle_node_recovered)
 
     def _primary_space(self, group: ReplicaGroup):
         return self.cluster.space(group.primary_node)

@@ -18,9 +18,9 @@ The affinity structure is also exposed as a :mod:`networkx` bipartite graph
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Optional
 
 import networkx
 

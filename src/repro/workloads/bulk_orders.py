@@ -3,18 +3,27 @@
 A warehouse gateway streams large volumes of small, independent order
 submissions at a central intake service on another node.  Issued one call at
 a time, every submission pays a full round trip on the simulated network and
-per-message transport overhead; issued through the batched invocation path
-(:class:`~repro.runtime.batching.BatchingProxy`), those costs are amortised
-across the batch window.  The scenario is the workload behind
-``benchmarks/bench_batching.py`` and the ``repro bench-batching`` CLI
-command.
+per-message transport overhead; issued through a batching
+:class:`~repro.api.policy.ServicePolicy`, those costs are amortised across
+the batch window.  The scenario drives the :mod:`repro.api` façade — one
+:class:`~repro.api.session.Session`, one service, no hand-wired proxies —
+and is the workload behind ``benchmarks/bench_batching.py`` and the ``repro
+bench-batching`` CLI command.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
-from repro.runtime.batching import BatchingProxy
+from repro.api import ServicePolicy, Session
+
+#: Deterministic per-process sequence making every scenario run's service
+#: names unique, so repeated runs against ONE cluster never collide on the
+#: naming service (deploying over a bound name is a PolicyError by design).
+#: Shared by the sibling workloads (pipelined_orders, replicated_orders),
+#: which combine it with distinct per-scenario name prefixes.
+_RUN_SEQ = itertools.count()
 
 
 class OrderIntake:
@@ -62,43 +71,42 @@ def run_bulk_order_scenario(
 ) -> dict:
     """Push ``orders`` submissions from ``client`` to an intake on ``server``.
 
-    ``batch_size == 1`` issues one remote call per order (the classic path);
-    larger values pipeline the submissions through a
-    :class:`~repro.runtime.batching.BatchingProxy` window of that size.
+    The intake is deployed as a façade service; ``batch_size == 1`` issues
+    one remote call per order (a plain :class:`~repro.api.policy.ServicePolicy`),
+    larger values buffer the submissions into batch windows of that size.
     Returns the scenario's simulated cost figures.
     """
 
     if orders < 1:
         raise ValueError("orders must be at least 1")
-    client_space = cluster.space(client)
-    server_space = cluster.space(server)
     if intake is None:
         intake = OrderIntake()
-    reference = server_space.export(intake)
-
-    started = cluster.clock.now
-    messages_before = cluster.metrics.total_messages
-    bytes_before = cluster.metrics.total_bytes
-
-    if batch_size <= 1:
-        for index in range(orders):
-            client_space.invoke_remote(
-                reference,
-                "submit",
-                (f"sku-{index % 16}", 1 + index % 3, 10 + index % 7),
-                transport=transport,
-            )
-    else:
-        proxy = BatchingProxy(
-            reference, space=client_space, max_batch=batch_size, transport=transport
+    # The context manager guarantees teardown (listeners, probes) even when
+    # the scenario fails mid-stream — nothing leaks into the caller's cluster.
+    with Session(cluster, node=client) as session:
+        # batch_size <= 1 historically meant "unbatched" (including 0 and
+        # negatives); map those onto a plain policy rather than letting
+        # ServicePolicy reject them.
+        policy = ServicePolicy(transport=transport, batch_window=max(1, batch_size))
+        service = session.service(
+            f"bulk-orders-{next(_RUN_SEQ)}", policy, impl=intake, node=server
         )
-        pending = [
-            proxy.submit(f"sku-{index % 16}", 1 + index % 3, 10 + index % 7)
-            for index in range(orders)
-        ]
-        proxy.flush()
-        for placeholder in pending:
-            placeholder.result()
+
+        started = cluster.clock.now
+        messages_before = cluster.metrics.total_messages
+        bytes_before = cluster.metrics.total_bytes
+
+        if batch_size <= 1:
+            for index in range(orders):
+                service.submit(f"sku-{index % 16}", 1 + index % 3, 10 + index % 7)
+        else:
+            pending = [
+                service.future.submit(f"sku-{index % 16}", 1 + index % 3, 10 + index % 7)
+                for index in range(orders)
+            ]
+            service.flush()
+            for placeholder in pending:
+                placeholder.result()
 
     elapsed = cluster.clock.now - started
     return {

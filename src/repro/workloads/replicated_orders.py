@@ -2,18 +2,19 @@
 
 The sharded bulk-order workload (:mod:`repro.workloads.pipelined_orders`)
 streams submissions across intake shards; this variant asks what happens when
-one of those shards *dies mid-stream*.  Each shard's
-:class:`~repro.workloads.bulk_orders.OrderIntake` is registered with a
-:class:`~repro.runtime.replication.ReplicaManager` keeping a backup copy on a
-neighbouring shard node, a heartbeat detector watches the shards from the
-client, and the :class:`~repro.runtime.pipelining.PipelineScheduler` is built
-failover-aware.  Halfway through the stream a shard node is crashed: its
-in-flight batches fail, the detector declares it dead, the manager promotes
-the backup and rebinds the name, and the requeued calls re-resolve onto the
-promoted replica — the client sees *every* submission complete, with the
-recovery cost visible only as latency: the affected calls stall for the
-failover window (crash → detection → promotion, reported as
-``failover_delay_seconds``), never as failures.
+one of those shards *dies mid-stream*.  Everything is assembled by the
+:mod:`repro.api` façade from one declarative policy: each shard's
+:class:`~repro.workloads.bulk_orders.OrderIntake` becomes a service whose
+:class:`~repro.api.policy.ServicePolicy` carries ``replication_factor=2``, so
+the session keeps a backup copy on a neighbouring shard node, arms a
+heartbeat detector watching the shards from the client, and builds its
+pipeline scheduler failover-aware.  Halfway through the stream a shard node
+is crashed: its in-flight batches fail, the detector declares it dead, the
+replica manager promotes the backup and rebinds the name, and the requeued
+calls re-resolve onto the promoted replica — the client sees *every*
+submission complete, with the recovery cost visible only as latency: the
+affected calls stall for the failover window (crash → detection → promotion,
+reported as ``failover_delay_seconds``), never as failures.
 
 ``benchmarks/bench_replication.py`` and the ``repro bench-replication`` CLI
 subcommand compare this against the unreplicated baseline (same kill, no
@@ -29,10 +30,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.network.heartbeat import HeartbeatDetector
-from repro.runtime.pipelining import PipelineScheduler
-from repro.runtime.replication import ReplicaManager
-from repro.workloads.bulk_orders import OrderIntake
+from repro.api import ServicePolicy, Session
+
+from repro.workloads.bulk_orders import _RUN_SEQ, OrderIntake
 
 #: Members of :class:`~repro.workloads.bulk_orders.OrderIntake` that never
 #: mutate state and therefore need no replication to backups.
@@ -63,14 +63,14 @@ def run_replicated_order_scenario(
 ) -> dict:
     """Stream ``orders`` submissions across shards, optionally killing one.
 
-    One :class:`~repro.workloads.bulk_orders.OrderIntake` is hosted per shard
-    and submissions are assigned round-robin.  With ``replicate=True`` each
-    intake becomes a replica group whose backup lives on the next shard node
-    (ring placement), a :class:`~repro.network.heartbeat.HeartbeatDetector`
-    watches the shards from ``client``, and the scheduler retries fatal
-    failures against promoted replicas.  ``kill`` names a shard node to
-    crash after ``kill_after`` of the submissions have been issued (``None``
-    = steady state).
+    One :class:`~repro.workloads.bulk_orders.OrderIntake` is deployed as a
+    façade service per shard and submissions are assigned round-robin.  With
+    ``replicate=True`` every service's policy replicates (factor 2, backup on
+    the next shard node — ring placement), which makes the session stand up
+    the heartbeat detector, the replica manager and the failover-aware
+    scheduler on its own.  ``kill`` names a shard node to crash after
+    ``kill_after`` of the submissions have been issued (``None`` = steady
+    state).
 
     Returns the scenario's simulated figures, including the count of
     client-visible failures (0 in the replicated kill run), the failover
@@ -85,76 +85,60 @@ def run_replicated_order_scenario(
     if not 0.0 <= kill_after <= 1.0:
         raise ValueError("kill_after must be a fraction in [0, 1]")
 
-    client_space = cluster.space(client)
     intakes = [OrderIntake() for _ in shards]
-
-    detector = None
-    manager = None
-    if replicate:
-        detector = HeartbeatDetector(
-            cluster.network,
-            client,
-            interval=heartbeat_interval,
+    # The context manager guarantees teardown (listeners, probes) even when
+    # the scenario fails mid-stream — nothing leaks into the caller's cluster.
+    with Session(cluster, node=client) as session:
+        policy = ServicePolicy(
+            transport=transport,
+            batch_window=batch_size,
+            pipeline_depth=window,
+            heartbeat_interval=heartbeat_interval,
             miss_threshold=miss_threshold,
+            max_failover_attempts=max_failover_attempts,
         )
-        for node in shards:
-            detector.watch(node)
-        manager = ReplicaManager(cluster, detector=detector, sync=sync)
-        groups = [
-            manager.replicate(
-                intake,
-                name=f"orders-{index}",
-                primary_node=node,
-                backup_nodes=[shards[(index + 1) % len(shards)]],
-                readonly=INTAKE_READONLY,
-            )
-            for index, (node, intake) in enumerate(zip(shards, intakes))
-        ]
-        references = [group.primary_ref for group in groups]
-        detector.start()
-    else:
-        groups = []
-        references = [
-            cluster.space(node).export(intake)
-            for node, intake in zip(shards, intakes)
-        ]
+        run_id = next(_RUN_SEQ)
+        if replicate:
+            policy = policy.with_replication(2, sync=sync, readonly=INTAKE_READONLY)
+            services = [
+                session.service(
+                    f"replicated-orders-{run_id}-{index}",
+                    policy,
+                    impl=intake,
+                    node=node,
+                    backup_nodes=[shards[(index + 1) % len(shards)]],
+                )
+                for index, (node, intake) in enumerate(zip(shards, intakes))
+            ]
+            groups = [service.group for service in services]
+        else:
+            services = [
+                session.service(f"replicated-orders-{run_id}-{index}", policy, impl=intake, node=node)
+                for index, (node, intake) in enumerate(zip(shards, intakes))
+            ]
+            groups = []
+        manager = session.replica_manager
+        scheduler = services[0].scheduler
 
-    scheduler = PipelineScheduler(
-        client_space,
-        max_batch=batch_size,
-        window=window,
-        transport=transport,
-        replica_manager=manager,
-        max_failover_attempts=max_failover_attempts,
-    )
+        started = cluster.clock.now
+        messages_before = cluster.metrics.total_messages
+        bytes_before = cluster.metrics.total_bytes
 
-    started = cluster.clock.now
-    messages_before = cluster.metrics.total_messages
-    bytes_before = cluster.metrics.total_bytes
-
-    kill_index = int(orders * kill_after) if kill is not None else None
-    killed_at = None
-    futures = []
-    for index in range(orders):
-        if kill_index is not None and index == kill_index:
+        kill_index = int(orders * kill_after) if kill is not None else None
+        killed_at = None
+        futures = []
+        for index in range(orders):
+            if kill_index is not None and index == kill_index:
+                cluster.network.failures.crash_node(kill)
+                killed_at = cluster.clock.now
+            futures.append(services[index % len(services)].future.submit(*_order_args(index)))
+        if kill_index is not None and killed_at is None:
+            # kill_after == 1.0: the crash lands after the last submission but
+            # before the drain, so the kill still happens (against the in-flight
+            # tail) rather than silently degrading to a steady-state run.
             cluster.network.failures.crash_node(kill)
             killed_at = cluster.clock.now
-        futures.append(
-            scheduler.submit(
-                references[index % len(references)], "submit", *_order_args(index)
-            )
-        )
-    if kill_index is not None and killed_at is None:
-        # kill_after == 1.0: the crash lands after the last submission but
-        # before the drain, so the kill still happens (against the in-flight
-        # tail) rather than silently degrading to a steady-state run.
-        cluster.network.failures.crash_node(kill)
-        killed_at = cluster.clock.now
-    scheduler.drain()
-    if detector is not None:
-        detector.stop()
-    if manager is not None:
-        manager.stop()
+        session.drain()
 
     elapsed = cluster.clock.now - started
     failures = sum(1 for future in futures if not future.ok)
@@ -175,10 +159,12 @@ def run_replicated_order_scenario(
         accepted = sum(group.primary_impl.accepted_count() for group in groups)
         writes_propagated = sum(group.writes_propagated for group in groups)
         snapshots_shipped = sum(group.snapshots_shipped for group in groups)
+        forward_messages = sum(group.forward_messages for group in groups)
     else:
         accepted = sum(intake.accepted_count() for intake in intakes)
         writes_propagated = 0
         snapshots_shipped = 0
+        forward_messages = 0
 
     return {
         "transport": transport,
@@ -192,8 +178,8 @@ def run_replicated_order_scenario(
         "accepted": accepted,
         "values": values,
         "client_visible_failures": failures,
-        "calls_retried": scheduler.calls_retried,
-        "calls_redirected": scheduler.calls_redirected,
+        "calls_retried": scheduler.calls_retried if scheduler is not None else 0,
+        "calls_redirected": scheduler.calls_redirected if scheduler is not None else 0,
         "failovers": len(manager.failovers) if manager is not None else 0,
         "failover_times": [
             record.simulated_time for record in manager.failovers
@@ -209,6 +195,7 @@ def run_replicated_order_scenario(
         ),
         "writes_propagated": writes_propagated,
         "snapshots_shipped": snapshots_shipped,
+        "forward_messages": forward_messages,
         "steady_calls": len(steady),
         "recovered_calls": len(recovered),
         "steady_latency_mean": sum(steady) / len(steady) if steady else 0.0,

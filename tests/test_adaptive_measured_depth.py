@@ -1,0 +1,119 @@
+"""Measured (not configured) pipeline depth in the adaptive policy.
+
+PR 2 made ``AdaptiveDistributionManager`` pipeline-aware through a statically
+configured ``pipeline_depth``; the ROADMAP flagged the gap that the value was
+assumed, never observed.  These tests pin the closing of that gap: the
+scheduler samples the in-flight depth it actually achieves, and a manager
+connected to it amortises by the *measured* value — which legitimately
+differs from the configured window whenever traffic cannot fill it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ServicePolicy, Session
+from repro.core.transformer import ApplicationTransformer
+from repro.policy.adaptive import AdaptiveDistributionManager
+from repro.policy.policy import place_classes_on
+from repro.runtime.cluster import Cluster
+from repro.runtime.redistribution import DistributionController
+from repro.workloads.bulk_orders import OrderIntake
+
+import sample_app
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(("client", "server-0", "server-1"))
+
+
+def _pipelined_scheduler(cluster, *, window: int, orders: int):
+    """Drive a façade stream through ``window`` and return its scheduler."""
+    session = Session(cluster, node="client")
+    policy = ServicePolicy(transport="rmi", batch_window=8, pipeline_depth=window)
+    services = [
+        session.service(f"svc-{node}", policy, impl=OrderIntake(), node=node)
+        for node in ("server-0", "server-1")
+    ]
+    futures = [
+        services[i % 2].future.submit(f"sku-{i}", 1, 10) for i in range(orders)
+    ]
+    session.drain()
+    assert all(f.ok for f in futures)
+    scheduler = services[0].scheduler
+    session.close()
+    return scheduler
+
+
+class TestObservedDepth:
+    def test_unfilled_window_reports_lower_than_configured(self, cluster):
+        # 16 orders over 2 shards at batch 8 = one batch per shard: the
+        # configured window of 8 can never hold more than 2 batches.
+        scheduler = _pipelined_scheduler(cluster, window=8, orders=16)
+        assert scheduler.window == 8
+        assert scheduler.depth_samples > 0
+        assert scheduler.observed_pipeline_depth < 8
+        assert 1.0 <= scheduler.observed_pipeline_depth <= 2.0
+
+    def test_fresh_scheduler_reports_no_overlap(self, cluster):
+        session = Session(cluster, node="client")
+        svc = session.service(
+            "svc",
+            ServicePolicy(batch_window=8, pipeline_depth=4),
+            impl=OrderIntake(),
+            node="server-0",
+        )
+        assert svc.scheduler.observed_pipeline_depth == 1.0
+        session.close()
+
+
+class TestManagerConsumesMeasuredDepth:
+    def _manager(self, *, configured_depth: int) -> AdaptiveDistributionManager:
+        app = ApplicationTransformer(
+            place_classes_on({"Y": "server-0"}, dynamic=True)
+        ).transform([sample_app.X, sample_app.Y, sample_app.Z])
+        cluster = Cluster(("client", "server-0", "server-1"))
+        app.deploy(cluster, default_node="client")
+        controller = DistributionController(app, cluster)
+        return AdaptiveDistributionManager(
+            app,
+            controller,
+            min_calls=10,
+            batch_size=1,
+            pipeline_depth=configured_depth,
+        )
+
+    def test_measured_depth_supersedes_configured(self, cluster):
+        # Configured for a deep window the traffic never fills.
+        manager = self._manager(configured_depth=8)
+        scheduler = _pipelined_scheduler(cluster, window=8, orders=16)
+        assert manager.effective_pipeline_depth() == 8.0  # not yet connected
+        manager.connect_pipeline(scheduler)
+        measured = manager.effective_pipeline_depth()
+        assert measured == scheduler.observed_pipeline_depth
+        assert measured != 8.0, "the observed window must differ from the configured one"
+
+    def test_amortisation_uses_the_measured_value(self, cluster):
+        manager = self._manager(configured_depth=8)
+        scheduler = _pipelined_scheduler(cluster, window=8, orders=16)
+
+        class FakeMonitor:
+            total_calls = 80
+
+        # Configured depth 8 would discount 80 calls to 10; the measured
+        # depth (< 2 here) discounts far less, so the signal stays strong.
+        configured_view = manager.amortised_call_count(FakeMonitor())
+        manager.connect_pipeline(scheduler)
+        measured_view = manager.amortised_call_count(FakeMonitor())
+        assert configured_view == pytest.approx(10.0)
+        assert measured_view > configured_view
+        assert measured_view == pytest.approx(80 / scheduler.observed_pipeline_depth)
+
+    def test_disconnect_restores_configured_depth(self, cluster):
+        manager = self._manager(configured_depth=4)
+        scheduler = _pipelined_scheduler(cluster, window=8, orders=16)
+        manager.connect_pipeline(scheduler)
+        assert manager.effective_pipeline_depth() != 4.0
+        manager.connect_pipeline(None)
+        assert manager.effective_pipeline_depth() == 4.0

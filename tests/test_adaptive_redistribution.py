@@ -14,7 +14,7 @@ import pytest
 import sample_app
 from repro.core.transformer import ApplicationTransformer
 from repro.errors import RedistributionError
-from repro.policy.adaptive import AccessMonitor, AdaptiveDistributionManager
+from repro.policy.adaptive import AdaptiveDistributionManager
 from repro.policy.policy import all_local_policy
 from repro.runtime.cluster import Cluster
 from repro.runtime.redistribution import DistributionController

@@ -11,7 +11,7 @@ from repro.errors import (
     SerializationError,
     UnknownObjectError,
 )
-from repro.policy.policy import all_local_policy, place_classes_on
+from repro.policy.policy import place_classes_on
 from repro.runtime.cluster import Cluster, default_transport_registry, lan_cluster, single_node_cluster
 from repro.runtime.remote_ref import RemoteRef
 

@@ -1,0 +1,176 @@
+"""Session lifecycle: close() must not leak callbacks or event-queue work.
+
+Regression suite for the façade teardown path: a session registers a rebind
+listener on the cluster's (long-lived, shared) naming service, and a
+replicated session additionally schedules heartbeat rounds on the event
+queue and subscribes its replica manager to the detector.  Opening and
+closing many sessions in one process must leave no trace of any of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ServicePolicy, Session
+from repro.runtime.cluster import Cluster
+from repro.workloads.bulk_orders import OrderIntake
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(("client", "shard-0", "shard-1"))
+
+
+def _drain_queue(cluster, limit: int = 100_000) -> int:
+    """Run the event queue dry; returns the number of events executed."""
+    executed = 0
+    while cluster.network.events.run_next():
+        executed += 1
+        assert executed < limit, "event queue never went idle (leaked reschedules)"
+    return executed
+
+
+class TestSessionClose:
+    def test_close_unregisters_the_rebind_listener(self, cluster):
+        before = cluster.naming.rebind_listener_count()
+        session = Session(cluster, node="client")
+        assert cluster.naming.rebind_listener_count() == before + 1
+        session.close()
+        assert cluster.naming.rebind_listener_count() == before
+
+    def test_close_is_idempotent(self, cluster):
+        session = Session(cluster, node="client")
+        session.close()
+        session.close()
+        assert session.closed
+
+    def test_close_stops_heartbeat_and_detaches_manager(self, cluster):
+        session = Session(cluster, node="client")
+        session.service(
+            "orders",
+            ServicePolicy(batch_window=4).with_replication(2),
+            impl=OrderIntake(),
+            node="shard-0",
+            backup_nodes=["shard-1"],
+        )
+        detector = session.detector
+        assert detector.listener_count() == 2  # the manager's two listeners
+        session.close()
+        assert not detector.running
+        assert detector.watched_nodes() == []
+        assert detector.listener_count() == 0
+        # Whatever round was already scheduled becomes a no-op and the
+        # queue goes idle instead of rescheduling forever.
+        _drain_queue(cluster)
+
+    def test_close_tears_down_even_when_the_drain_raises(self, cluster):
+        """A failing drain must not skip the teardown (or wedge close())."""
+        from repro.errors import NetworkError
+
+        session = Session(cluster, node="client")
+        svc = session.service(
+            "orders",
+            ServicePolicy(transport="rmi", batch_window=8),
+            impl=OrderIntake(),
+            node="shard-0",
+        )
+        svc.future.submit("sku-1", 1, 10)  # buffered, not yet shipped
+        cluster.network.failures.crash_node("shard-0")
+        with pytest.raises(NetworkError):
+            session.close()  # the drain's flush hits the dead node
+        assert session.closed
+        assert cluster.naming.rebind_listener_count() == 0
+
+    def test_exception_exit_still_unregisters(self, cluster):
+        with pytest.raises(RuntimeError):
+            with Session(cluster, node="client") as session:
+                session.service("orders", impl=OrderIntake(), node="shard-0")
+                raise RuntimeError("application error")
+        assert cluster.naming.rebind_listener_count() == 0
+
+    def test_fifty_sessions_do_not_leak_callbacks(self, cluster):
+        """The regression scenario: 50 replicated sessions, opened and closed."""
+        policy = (
+            ServicePolicy(transport="rmi", batch_window=4, pipeline_depth=2)
+            .with_replication(2)
+        )
+        for round_index in range(50):
+            with Session(cluster, node="client") as session:
+                svc = session.service(
+                    f"orders-{round_index}",
+                    policy,
+                    impl=OrderIntake(),
+                    node="shard-0",
+                    backup_nodes=["shard-1"],
+                )
+                futures = [svc.future.submit(f"sku-{i}", 1, 10) for i in range(8)]
+                session.drain()
+                assert all(f.ok for f in futures)
+        assert cluster.naming.rebind_listener_count() == 0
+        # No detector keeps probing, no sync loop keeps ticking: the event
+        # queue drains completely instead of replenishing itself.
+        _drain_queue(cluster)
+        assert cluster.network.events.run_next() is False
+
+    def test_closed_session_cannot_ship_ghost_batches(self):
+        """A backoff re-ship left on the shared event queue by a dead session
+        must not fire its batch when a later party pumps the queue."""
+        from repro.network.failures import FailureModel
+        from repro.runtime.faulttolerance import RetryPolicy
+
+        cluster = Cluster(
+            ("client", "shard-0", "shard-1"),
+            failures=FailureModel(drop_probability=1.0),
+        )
+        intake = OrderIntake()
+        session = Session(cluster, node="client")
+        svc = session.service(
+            "orders",
+            ServicePolicy(transport="rmi", batch_window=2, pipeline_depth=2)
+            .with_retry(RetryPolicy(max_attempts=50, initial_backoff=0.5)),
+            impl=intake,
+            node="shard-0",
+        )
+        future = svc.future.submit("sku-1", 1, 10)
+        svc.flush()  # ships; the drop schedules a far-future backoff re-ship
+        session.close(drain=False)
+        assert svc.scheduler.stopped
+        # A later session on the same cluster pumps the shared queue; the
+        # dead session's requeued batch must fail, not execute.
+        while cluster.network.events.run_next():
+            pass
+        assert future.done and not future.ok
+        assert intake.accepted_count() == 0
+        # And fresh submissions against the retired scheduler fail fast
+        # instead of stranding a silently-pending future.
+        from repro.errors import InvocationError
+
+        with pytest.raises(InvocationError, match="stopped"):
+            svc.scheduler.submit(svc.reference, "submit", "sku-2", 1, 10)
+
+    def test_closed_session_batch_futures_fail_instead_of_shipping(self, cluster):
+        """result() on a future buffered in a closed session's BatchPipe must
+        fail — not flush a window of messages into the cluster."""
+        from repro.errors import InvocationError
+
+        intake = OrderIntake()
+        session = Session(cluster, node="client")
+        svc = session.service(
+            "orders", ServicePolicy(batch_window=8), impl=intake, node="shard-0"
+        )
+        held = svc.future.submit("sku-1", 1, 10)
+        session.close(drain=False)
+        before = cluster.metrics.total_messages
+        with pytest.raises(InvocationError, match="closed"):
+            held.result()
+        assert cluster.metrics.total_messages == before  # nothing shipped
+        assert intake.accepted_count() == 0
+
+    def test_rebinds_after_close_do_not_touch_old_services(self, cluster):
+        session = Session(cluster, node="client")
+        svc = session.service("orders", impl=OrderIntake(), node="shard-0")
+        old_ref = svc.reference
+        session.close()
+        replacement = cluster.space("shard-1").export(OrderIntake())
+        cluster.naming.rebind("orders", replacement)
+        assert svc.reference == old_ref  # the closed session stopped listening

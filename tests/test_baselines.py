@@ -64,7 +64,7 @@ class TestObjectWrapper:
     def test_wrapper_runtime_tracks_instances(self):
         runtime = WrapperRuntime()
         first = runtime.new(_Counter, 1)
-        second = runtime.new(_Counter, 2)
+        runtime.new(_Counter, 2)
         assert isinstance(first, ObjectWrapper)
         assert runtime.wrapper_count() == 2
         first.increment()

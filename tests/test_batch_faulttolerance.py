@@ -242,8 +242,6 @@ class TestGuardedHandleBatching:
 
     def test_unguarded_proxy_stays_atomic_on_drops(self):
         """Without a guard the historical semantics hold: the batch fails."""
-        handle, cluster, _ = self._guarded_handle()
-        raw_reference = handle.__meta__.target._ref
         failing_cluster, _ = _cluster(drops={("client", "shard-0"): 1})
         reference = failing_cluster.space("shard-0").export(OrderIntake())
         proxy = BatchingProxy(

@@ -131,6 +131,7 @@ class TestWholeClassEmission:
             "X_O_Int", "X_O_Local", "X_C_Int", "X_C_Local",
             "X_O_Factory", "X_C_Factory",
             "X_O_Proxy_SOAP", "X_O_Proxy_RMI", "X_C_Proxy_SOAP", "X_C_Proxy_RMI",
+            "X_O_BatchProxy_SOAP", "X_O_BatchProxy_RMI",
         }
         assert expected == set(sources)
 

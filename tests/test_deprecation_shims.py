@@ -1,0 +1,74 @@
+"""The old hand-wired constructors are deprecation shims for the façade.
+
+``BatchingProxy`` and ``PipelineScheduler`` keep working exactly as before —
+their full test suites still run against them unchanged — but constructing
+them *directly* now emits a ``DeprecationWarning`` pointing at
+``repro.api``.  The façade's own internal engines are subclasses exempt from
+the warning, so policy-driven composition stays silent.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import ServicePolicy, Session
+from repro.runtime.batching import BatchingProxy
+from repro.runtime.cluster import Cluster
+from repro.runtime.pipelining import PipelineScheduler
+from repro.workloads.bulk_orders import OrderIntake
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(("client", "server"))
+
+
+class TestDeprecationWarnings:
+    def test_batching_proxy_direct_construction_warns(self, cluster):
+        reference = cluster.space("server").export(OrderIntake())
+        with pytest.warns(DeprecationWarning, match="BatchingProxy.*ServicePolicy"):
+            BatchingProxy(reference, space=cluster.space("client"), max_batch=8)
+
+    def test_pipeline_scheduler_direct_construction_warns(self, cluster):
+        with pytest.warns(DeprecationWarning, match="PipelineScheduler.*ServicePolicy"):
+            PipelineScheduler(cluster.space("client"), max_batch=8, window=2)
+
+    def test_deprecated_batching_proxy_still_works(self, cluster):
+        """The shim is thin: behaviour is unchanged besides the warning."""
+        intake = OrderIntake()
+        reference = cluster.space("server").export(intake)
+        with pytest.warns(DeprecationWarning):
+            proxy = BatchingProxy(
+                reference, space=cluster.space("client"), max_batch=8, transport="rmi"
+            )
+        pending = [proxy.submit(f"sku-{i}", 1, 10) for i in range(8)]
+        assert [p.result() for p in pending] == list(range(8))
+        assert intake.accepted_count() == 8
+
+    def test_deprecated_scheduler_still_works(self, cluster):
+        intake = OrderIntake()
+        reference = cluster.space("server").export(intake)
+        with pytest.warns(DeprecationWarning):
+            scheduler = PipelineScheduler(
+                cluster.space("client"), max_batch=4, window=2, transport="rmi"
+            )
+        futures = [scheduler.submit(reference, "submit", f"sku-{i}", 1, 10) for i in range(8)]
+        scheduler.drain()
+        assert [f.result() for f in futures] == list(range(8))
+
+    def test_facade_composition_is_warning_free(self, cluster):
+        """Internal engines (subclasses) must not trigger the shim warning."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Session(cluster, node="client") as session:
+                svc = session.service(
+                    "orders",
+                    ServicePolicy(transport="rmi", batch_window=4, pipeline_depth=2),
+                    impl=OrderIntake(),
+                    node="server",
+                )
+                futures = [svc.future.submit(f"sku-{i}", 1, 10) for i in range(8)]
+                session.drain()
+                assert all(f.ok for f in futures)

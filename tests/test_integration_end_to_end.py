@@ -9,7 +9,6 @@ original single-process program throughout.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.transformer import ApplicationTransformer
 from repro.network.failures import FailureModel

@@ -14,7 +14,7 @@ import pytest
 
 from repro.errors import InvocationError, NodeUnreachableError
 from repro.network.clock import EventQueue, SimClock
-from repro.network.simnet import LinkConfig, SimulatedNetwork
+from repro.network.simnet import LinkConfig
 from repro.policy.adaptive import AdaptiveDistributionManager
 from repro.runtime.batching import BatchingProxy, PendingCall
 from repro.runtime.cluster import Cluster

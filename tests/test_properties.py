@@ -16,7 +16,7 @@ from repro.core.introspect import class_model_from_descriptor
 from repro.core.transformer import ApplicationTransformer
 from repro.network.clock import SimClock
 from repro.policy.loader import policy_from_dict, policy_to_dict
-from repro.policy.policy import DistributionPolicy, all_local_policy, place_classes_on, remote
+from repro.policy.policy import all_local_policy, place_classes_on
 from repro.runtime.cluster import Cluster
 from repro.transports.corba import CorbaTransport
 from repro.transports.inproc import InProcTransport

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 import sample_app
 import sample_unsupported

@@ -12,7 +12,6 @@ import pytest
 
 import sample_app
 import sample_unsupported
-from repro.core.classmodel import ClassModel
 from repro.core.transformer import (
     ApplicationTransformer,
     DEFAULT_TRANSPORTS,

@@ -6,7 +6,7 @@ import pytest
 
 import sample_app
 from repro.core.transformer import ApplicationTransformer, transform_application
-from repro.policy.policy import all_local_policy, local, place_classes_on, remote
+from repro.policy.policy import all_local_policy, place_classes_on, remote
 from repro.runtime.cluster import Cluster
 
 CLASSES = [sample_app.X, sample_app.Y, sample_app.Z]
