@@ -1,0 +1,220 @@
+"""Client-side result caching: read speedup and coherence on the catalog.
+
+Two claims, one workload (:mod:`repro.workloads.cached_catalog`):
+
+* **What does caching buy?**  At the fixed 90 % read ratio, serving
+  repeated ``@cacheable`` reads from the per-client cache must make the
+  whole run at least **5x cheaper per call** than the uncached baseline on
+  every transport — hot reads cost nothing, and the coherence traffic
+  (lease subscriptions, ``!inv`` frames riding ahead of write
+  acknowledgements) must stay a small fraction of the round trips it
+  saves.
+* **What does coherence cost-check?**  Every read is asserted against a
+  client-side mirror of the committed state: **zero stale reads** are
+  tolerated, in steady state and across a primary kill — the replicated
+  variant crashes the node hosting the write-hot shard mid-run, readers
+  ride the failover, leases held against the demoted primary are flushed,
+  and the assertion keeps holding against the promoted backups.
+
+Run standalone for a quick smoke check (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_caching.py
+"""
+
+from __future__ import annotations
+
+from _helpers import record_simulation, write_bench_json
+
+from repro.runtime.cluster import Cluster
+from repro.workloads.cached_catalog import run_cached_catalog_scenario
+
+ROUNDS = 15
+NODES = ("client", "writer", "server-0", "server-1")
+TRANSPORTS = ("inproc", "rmi", "corba", "soap")
+
+#: The benchmark's floor: cached vs uncached per-call speedup at 90% reads.
+SPEEDUP_FLOOR = 5.0
+
+
+def _cluster() -> Cluster:
+    return Cluster(NODES)
+
+
+def _run(
+    transport: str,
+    *,
+    cached: bool,
+    replicate: bool = False,
+    kill: bool = False,
+    rounds: int = ROUNDS,
+) -> dict:
+    cluster = _cluster()
+    outcome = run_cached_catalog_scenario(
+        cluster,
+        transport=transport,
+        rounds=rounds,
+        cached=cached,
+        replicate=replicate,
+        kill=kill,
+    )
+    outcome["cluster"] = cluster
+    return outcome
+
+
+def _compare(transport: str, rounds: int = ROUNDS) -> dict:
+    """One transport's cached-vs-uncached figures plus the kill run."""
+    baseline = _run(transport, cached=False, rounds=rounds)
+    cached = _run(transport, cached=True, rounds=rounds)
+    killed = _run(transport, cached=True, replicate=True, kill=True, rounds=rounds)
+    return {
+        "transport": transport,
+        "speedup": baseline["per_call_seconds"] / cached["per_call_seconds"],
+        "uncached_per_call": baseline["per_call_seconds"],
+        "cached_per_call": cached["per_call_seconds"],
+        "hit_rate": cached["hit_rate"],
+        "stale_reads": baseline["stale_reads"] + cached["stale_reads"],
+        "invalidations_sent": cached["invalidations_sent"],
+        "subscriptions_sent": cached["subscriptions_sent"],
+        "killed_stale_reads": killed["stale_reads"],
+        "failovers": killed["failovers"],
+        "failover_delay": killed["failover_delay_seconds"],
+        "read_ratio": cached["read_ratio"],
+    }
+
+
+def _extra(outcome: dict) -> dict:
+    return {
+        "transport": outcome["transport"],
+        "cached": outcome["cached"],
+        "hit_rate": round(outcome["hit_rate"], 4),
+        "stale_reads": outcome["stale_reads"],
+        "invalidations_sent": outcome["invalidations_sent"],
+        "per_call_seconds": round(outcome["per_call_seconds"], 9),
+    }
+
+
+# -- per-mode benchmarks -------------------------------------------------------
+
+
+def bench_cached_catalog_steady_state(benchmark):
+    """The headline run: 90% reads served coherently from the client cache."""
+    outcome = benchmark(lambda: _run("rmi", cached=True))
+    assert outcome["stale_reads"] == 0
+    record_simulation(benchmark, outcome["cluster"], **_extra(outcome))
+
+
+def bench_uncached_catalog_baseline(benchmark):
+    """The baseline every read of which pays its round trip."""
+    outcome = benchmark(lambda: _run("rmi", cached=False))
+    record_simulation(benchmark, outcome["cluster"], **_extra(outcome))
+
+
+def bench_cached_catalog_across_failover(benchmark):
+    """Kill the write-hot shard's primary mid-run: still zero stale reads."""
+    outcome = benchmark.pedantic(
+        lambda: _run("rmi", cached=True, replicate=True, kill=True),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome["stale_reads"] == 0
+    assert outcome["failovers"] >= 1
+    record_simulation(benchmark, outcome["cluster"], **_extra(outcome))
+
+
+# -- the caching claim ---------------------------------------------------------
+
+
+def bench_cache_speedup_all_transports(benchmark):
+    """>=5x per-call speedup at 90% reads, zero stale reads, every transport."""
+
+    def run():
+        return [_compare(transport) for transport in TRANSPORTS]
+
+    comparisons = benchmark.pedantic(run, rounds=1, iterations=1)
+    for row in comparisons:
+        assert row["speedup"] >= SPEEDUP_FLOOR, (
+            f"{row['transport']}: caching gained only {row['speedup']:.2f}x "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )
+        assert row["stale_reads"] == 0, (
+            f"{row['transport']}: {row['stale_reads']} stale read(s) observed "
+            "after committed writes"
+        )
+        assert row["killed_stale_reads"] == 0, (
+            f"{row['transport']}: {row['killed_stale_reads']} stale read(s) "
+            "across the primary kill"
+        )
+        assert row["failovers"] >= 1, "the kill never triggered a failover"
+    benchmark.extra_info["speedups"] = {
+        row["transport"]: round(row["speedup"], 2) for row in comparisons
+    }
+    benchmark.extra_info["hit_rates"] = {
+        row["transport"]: round(row["hit_rate"], 4) for row in comparisons
+    }
+
+
+# -- standalone smoke run ------------------------------------------------------
+
+
+def main(rounds: int = ROUNDS) -> int:
+    print(
+        f"cached catalog: {rounds} rounds at 90% reads, lease+invalidation "
+        f"coherence, killing the feed shard's primary halfway in the kill run"
+    )
+    print(
+        f"{'transport':9s} {'uncached/call':>14s} {'cached/call':>12s} "
+        f"{'speedup':>8s} {'hit rate':>9s} {'stale':>6s} {'kill stale':>11s} "
+        f"{'failovers':>10s}"
+    )
+    failures = 0
+    rows = []
+    for transport in TRANSPORTS:
+        row = _compare(transport, rounds)
+        rows.append(row)
+        ok = (
+            row["speedup"] >= SPEEDUP_FLOOR
+            and row["stale_reads"] == 0
+            and row["killed_stale_reads"] == 0
+            and row["failovers"] >= 1
+        )
+        failures += 0 if ok else 1
+        print(
+            f"{transport:9s} {row['uncached_per_call']:12.6f} s "
+            f"{row['cached_per_call']:10.6f} s {row['speedup']:6.1f}x "
+            f"{row['hit_rate']:8.1%} {row['stale_reads']:6d} "
+            f"{row['killed_stale_reads']:11d} {row['failovers']:10d}"
+            f"{'' if ok else '  FAIL'}"
+        )
+    write_bench_json(
+        "caching",
+        {
+            "rounds": rounds,
+            "read_ratio": rows[0]["read_ratio"] if rows else 0.0,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speedups": {row["transport"]: round(row["speedup"], 3) for row in rows},
+            "hit_rates": {row["transport"]: round(row["hit_rate"], 4) for row in rows},
+            "stale_reads": {row["transport"]: row["stale_reads"] for row in rows},
+            "killed_stale_reads": {
+                row["transport"]: row["killed_stale_reads"] for row in rows
+            },
+            "failovers": {row["transport"]: row["failovers"] for row in rows},
+            "failover_delay_seconds": {
+                row["transport"]: round(row["failover_delay"], 9) for row in rows
+            },
+            "invalidations_sent": {
+                row["transport"]: row["invalidations_sent"] for row in rows
+            },
+            "subscriptions_sent": {
+                row["transport"]: row["subscriptions_sent"] for row in rows
+            },
+            "ok": failures == 0,
+        },
+    )
+    print("ok" if failures == 0 else f"{failures} transport(s) failed the caching check")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

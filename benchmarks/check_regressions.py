@@ -9,7 +9,10 @@ fails (exit 1) when a tracked ratio drops below its floor:
 * pipelining — pipelined vs sequential-batched speedup >= 2x on every
   transport, plus out-of-order completions observed on the slow-shard run;
 * replication — zero client-visible failures and no lost or duplicated
-  orders on the kill-a-shard run, with at least one failover exercised.
+  orders on the kill-a-shard run, with at least one failover exercised;
+* caching — cached vs uncached per-call speedup >= 5x at 90% reads on every
+  transport, with zero stale reads observed after committed writes (steady
+  state and across the primary kill, which must exercise a failover).
 
 A tracked file that is missing is itself a failure: the gate must not pass
 vacuously because a smoke run silently stopped emitting its artifact.
@@ -29,6 +32,7 @@ from pathlib import Path
 #: Floors for the tracked speedup ratios.
 BATCHING_FLOOR = 3.0
 PIPELINING_FLOOR = 2.0
+CACHING_FLOOR = 5.0
 
 
 def _load(directory: Path, name: str, problems: list) -> dict | None:
@@ -104,10 +108,52 @@ def check_replication(data: dict, problems: list) -> None:
             problems.append(f"replication: {transport} never failed over")
 
 
+def check_caching(data: dict, problems: list) -> None:
+    """Cached reads must clear the 5x floor with zero stale reads anywhere.
+
+    Every tracked key must be present — a smoke-run edit that renames or
+    drops one must fail the gate, not skip its check vacuously.  The
+    stale-read maps are checked per transport (zero is a legitimate — and
+    required — value, so presence is tested, not truthiness).
+    """
+    missing = [
+        key
+        for key in ("speedups", "stale_reads", "killed_stale_reads", "failovers")
+        if key not in data or not isinstance(data.get(key), dict) or not data.get(key)
+    ]
+    if missing:
+        problems.append(
+            f"caching: artifact is missing tracked key(s): {', '.join(missing)}"
+        )
+        return
+    for transport, speedup in sorted(data["speedups"].items()):
+        if speedup < CACHING_FLOOR:
+            problems.append(
+                f"caching: {transport} speedup {speedup:.2f}x "
+                f"below the {CACHING_FLOOR}x floor"
+            )
+    for key, label in (
+        ("stale_reads", "steady state"),
+        ("killed_stale_reads", "across the primary kill"),
+    ):
+        for transport, stale in sorted(data[key].items()):
+            if stale != 0:
+                problems.append(
+                    f"caching: {transport} observed {stale} stale read(s) {label}"
+                )
+    for transport, failovers in sorted(data["failovers"].items()):
+        if failovers < 1:
+            problems.append(
+                f"caching: {transport} kill run never failed over "
+                "(the coherence-across-promotion claim went untested)"
+            )
+
+
 CHECKS = {
     "batching": check_batching,
     "pipelining": check_pipelining,
     "replication": check_replication,
+    "caching": check_caching,
 }
 
 

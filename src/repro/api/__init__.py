@@ -31,5 +31,14 @@ policy fields.
 from repro.api.policy import ServicePolicy
 from repro.api.service import FutureView, Service
 from repro.api.session import Session
+from repro.core.interfaces import cacheable
+from repro.runtime.caching import CachePolicy
 
-__all__ = ["FutureView", "Service", "ServicePolicy", "Session"]
+__all__ = [
+    "CachePolicy",
+    "FutureView",
+    "Service",
+    "ServicePolicy",
+    "Session",
+    "cacheable",
+]

@@ -34,6 +34,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import PolicyError
+from repro.runtime.caching import CachePolicy
 from repro.runtime.faulttolerance import RetryPolicy
 from repro.runtime.replication import SYNC_MODES
 
@@ -70,8 +71,16 @@ class ServicePolicy:
     miss_threshold: int = 2
     #: Re-ships a call may spend riding out failure detection + promotion.
     max_failover_attempts: int = 12
+    #: Client-side result caching for the service's ``@cacheable`` members
+    #: (``None`` = every read pays its round trip).  See
+    #: :class:`~repro.runtime.caching.CachePolicy` for the knobs.
+    cache: Optional[CachePolicy] = None
 
     def __post_init__(self) -> None:
+        if self.cache is not None and not isinstance(self.cache, CachePolicy):
+            raise PolicyError(
+                "cache must be a repro.runtime.caching.CachePolicy (or None)"
+            )
         if self.batch_window < 1:
             raise PolicyError("batch_window must be at least 1")
         if self.pipeline_depth < 1:
@@ -140,6 +149,37 @@ class ServicePolicy:
             readonly=tuple(readonly) if readonly is not None else self.readonly,
         )
 
+    def with_caching(
+        self,
+        policy: Optional[CachePolicy] = None,
+        *,
+        max_entries: Optional[int] = None,
+        lease_ms: Optional[float] = None,
+        mode: Optional[str] = None,
+        cacheable: Optional[Sequence[str]] = None,
+    ) -> "ServicePolicy":
+        """A copy caching the service's ``@cacheable`` reads client-side.
+
+        Pass a full :class:`~repro.runtime.caching.CachePolicy`, or just the
+        knobs to change on the default one (``max_entries``, ``lease_ms``,
+        ``mode``, an explicit ``cacheable`` member list)::
+
+            ServicePolicy(transport="rmi").with_caching(lease_ms=100)
+        """
+        if policy is not None and any(
+            knob is not None for knob in (max_entries, lease_ms, mode, cacheable)
+        ):
+            raise PolicyError("pass either a CachePolicy or individual knobs, not both")
+        if policy is None:
+            base = CachePolicy()
+            policy = CachePolicy(
+                max_entries=max_entries if max_entries is not None else base.max_entries,
+                lease_ms=lease_ms if lease_ms is not None else base.lease_ms,
+                mode=mode if mode is not None else base.mode,
+                cacheable=tuple(cacheable) if cacheable is not None else (),
+            )
+        return replace(self, cache=policy)
+
     # ------------------------------------------------------------------
     # derived views the façade consumes
     # ------------------------------------------------------------------
@@ -158,6 +198,11 @@ class ServicePolicy:
     def replicated(self) -> bool:
         """Whether the service object keeps backup copies."""
         return self.replication_factor > 1
+
+    @property
+    def cached(self) -> bool:
+        """Whether the service serves cacheable reads from a client cache."""
+        return self.cache is not None
 
     @property
     def backup_count(self) -> int:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.runtime.caching import cached_enqueue
 from repro.runtime.pipelining import InvocationFuture
 from repro.runtime.remote_ref import RemoteRef
 
@@ -40,14 +41,14 @@ class FutureView:
 
     def __call__(self, member: str, *args: Any, **kwargs: Any) -> InvocationFuture:
         """Enqueue ``member`` and return its future immediately."""
-        return self._service._pipe.enqueue(member, args, kwargs)
+        return self._service._enqueue(member, args, kwargs)
 
     def __getattr__(self, member: str) -> Any:
         if member.startswith("_"):
             raise AttributeError(member)
 
         def enqueue(*args: Any, **kwargs: Any) -> InvocationFuture:
-            return self._service._pipe.enqueue(member, args, kwargs)
+            return self._service._enqueue(member, args, kwargs)
 
         enqueue.__name__ = member
         # Memoize so hot submission loops build one closure per member, not
@@ -72,7 +73,7 @@ class Service:
     Attribute-style calls cannot reach remote members whose names collide
     with the façade's own attributes (``call``, ``flush``, ``drain``,
     ``future``, ``pending``, ``name``, ``policy``, ``group``, ``session``,
-    ``scheduler``, ``reference``) — use the explicit forms
+    ``scheduler``, ``reference``, ``cache``) — use the explicit forms
     ``svc.call("flush")`` / ``svc.future("flush")`` for those.  Dispatch
     through a closed session raises
     :class:`~repro.errors.PolicyError`.
@@ -85,6 +86,8 @@ class Service:
         policy: Any,
         reference: RemoteRef,
         group: Any = None,
+        cache: Any = None,
+        cacheable: frozenset = frozenset(),
     ) -> None:
         self.session = session
         #: The well-known name this service is bound to.
@@ -94,6 +97,10 @@ class Service:
         #: The replica group when the policy replicates, else ``None``.
         self.group = group
         self._reference = reference
+        #: The client-side :class:`~repro.runtime.caching.ResultCache` when
+        #: the policy caches, else ``None``.
+        self._cache = cache
+        self._cacheable = cache.cacheable if cache is not None else frozenset(cacheable)
         self._pipe = session._build_pipe(self)
         self._future_view = FutureView(self)
 
@@ -127,7 +134,23 @@ class Service:
         On a batched or pipelined service the buffered window is shipped as
         needed for this call's result to materialise.
         """
-        return self._pipe.enqueue(member, args, kwargs).result()
+        return self._enqueue(member, args, kwargs).result()
+
+    def _enqueue(self, member: str, args: tuple, kwargs: dict) -> InvocationFuture:
+        """Dispatch one call through the cache (if any) and the policy's pipe.
+
+        Every call form — plain, ``.future``, attribute-style — funnels
+        through :func:`~repro.runtime.caching.cached_enqueue` (the one place
+        the coherence protocol lives), so caching behaves identically
+        whatever pipe the policy composed.
+        """
+        cache = self._cache
+        if cache is None:
+            return self._pipe.enqueue(member, args, kwargs)
+        return cached_enqueue(
+            cache, self._cacheable, self.reference, member, args, kwargs,
+            self._pipe.enqueue,
+        )
 
     def __getattr__(self, member: str) -> Any:
         if member.startswith("_"):
@@ -158,6 +181,20 @@ class Service:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    @property
+    def cache(self) -> Optional[Any]:
+        """This service's result cache (``None`` unless the policy caches).
+
+        Exposes the hit/miss/invalidation counters benchmarks and the
+        adaptive policy's hit-rate term consume.
+        """
+        return self._cache
+
+    def _on_reference_moved(self, old: Optional[RemoteRef]) -> None:
+        """Session rebind hook: flush cache entries held against the old ref."""
+        if self._cache is not None and old is not None:
+            self.session._flush_cached_reference(old)
 
     @property
     def scheduler(self) -> Optional[Any]:

@@ -31,8 +31,10 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.api.dispatch import BatchPipe, DirectPipe, StreamPipe, _SessionScheduler
 from repro.api.policy import ServicePolicy
 from repro.api.service import Service
+from repro.core.interfaces import cacheable_members
 from repro.errors import PolicyError
 from repro.network.heartbeat import HeartbeatDetector
+from repro.runtime.caching import CacheManager
 from repro.runtime.faulttolerance import NO_RETRY, FaultTolerantInvoker
 from repro.runtime.remote_ref import RemoteRef
 from repro.runtime.replication import ReplicaManager
@@ -60,6 +62,12 @@ class Session:
         self._invokers: Dict[tuple, Optional[FaultTolerantInvoker]] = {}
         self._detector: Optional[HeartbeatDetector] = None
         self._manager: Optional[ReplicaManager] = None
+        self._cache_manager: Optional[CacheManager] = None
+        self._adaptive: Optional[Any] = None
+        self._adapt_epoch = 0
+        #: ``(name, group, host node, reference)`` of every deployment this
+        #: session made, consumed by :meth:`dismantle`.
+        self._deployments: List[tuple] = []
         self._closed = False
         cluster.naming.on_rebind(self._on_rebind)
 
@@ -109,6 +117,7 @@ class Session:
                 "hold on to the object it returned"
             )
         group = None
+        host: Optional[str] = None
         if impl is None:
             if policy.replicated:
                 raise PolicyError(
@@ -148,8 +157,22 @@ class Session:
             host = node if node is not None else self._pick_host()
             reference = self.cluster.space(host).export(impl)
             self.cluster.naming.rebind(name, reference)
-        service = Service(self, name, policy, reference, group=group)
+        cache = None
+        cacheable: frozenset = frozenset()
+        if policy.cached:
+            # Cacheability metadata comes from the implementation's
+            # ``@cacheable`` markers when this session deploys it; attaching
+            # to a foreign deployment relies on the CachePolicy's explicit
+            # ``cacheable`` list (unioned in by the cache itself).
+            if impl is not None:
+                cacheable = cacheable_members(type(impl))
+            cache = self._ensure_cache_manager().create_cache(policy.cache, cacheable)
+        service = Service(
+            self, name, policy, reference, group=group, cache=cache, cacheable=cacheable
+        )
         self._services[name] = service
+        if impl is not None:
+            self._deployments.append((name, group, host, reference))
         return service
 
     def services(self) -> List[Service]:
@@ -169,6 +192,24 @@ class Session:
     def detector(self) -> Optional[HeartbeatDetector]:
         """The session's heartbeat detector (``None`` until something replicates)."""
         return self._detector
+
+    @property
+    def cache_manager(self) -> Optional[CacheManager]:
+        """The session's cache manager (``None`` until a policy caches)."""
+        return self._cache_manager
+
+    def _ensure_cache_manager(self) -> CacheManager:
+        """Create the shared cache manager on the first cached service."""
+        if self._cache_manager is None:
+            self._cache_manager = CacheManager(self.space)
+            if self._adaptive is not None:
+                self._adaptive.connect_cache(self._cache_manager)
+        return self._cache_manager
+
+    def _flush_cached_reference(self, reference: RemoteRef) -> None:
+        """Drop every cached entry held against ``reference`` (rebind hook)."""
+        if self._cache_manager is not None:
+            self._cache_manager.flush_reference(reference)
 
     def _build_pipe(self, service: Service):
         """Choose and build the dispatch pipe a service's policy calls for."""
@@ -194,6 +235,10 @@ class Session:
                 max_failover_attempts=policy.max_failover_attempts,
             )
             self._schedulers[key] = scheduler
+            if self._adaptive is not None:
+                # Keep the adaptive heuristic fed with *measured* pipeline
+                # depth: the most recently created shared scheduler wins.
+                self._adaptive.connect_pipeline(scheduler)
         return scheduler
 
     def _current_invoker(self, policy: ServicePolicy) -> Optional[FaultTolerantInvoker]:
@@ -283,14 +328,115 @@ class Session:
         return candidates[: policy.backup_count]
 
     def _on_rebind(self, name: str, old: Optional[RemoteRef], new: RemoteRef) -> None:
-        """Naming listener: keep the matching service's reference fresh."""
+        """Naming listener: keep the matching service's reference fresh.
+
+        A cached service additionally flushes entries held against the old
+        reference — a failover or migration must not leave leases pointing
+        at a retired export.
+        """
         service = self._services.get(name)
         if service is not None:
             service._reference = new
+            service._on_reference_moved(old)
 
     def _ensure_open(self) -> None:
         if self._closed:
             raise PolicyError("this session is closed")
+
+    # ------------------------------------------------------------------
+    # adaptivity (auto-wired; see ROADMAP "façade could auto-wire adaptivity")
+    # ------------------------------------------------------------------
+
+    @property
+    def adaptive_manager(self) -> Optional[Any]:
+        """The session's adaptive manager (``None`` until enabled)."""
+        return self._adaptive
+
+    def enable_adaptivity(
+        self,
+        application: Any,
+        *,
+        controller: Any = None,
+        threshold: float = 0.6,
+        min_calls: int = 10,
+        interval: Optional[float] = None,
+        attach_existing: bool = True,
+    ):
+        """Own an adaptive distribution manager wired to this session's stack.
+
+        ``application`` is a deployed
+        :class:`~repro.core.transformer.TransformedApplication` on this
+        session's cluster (its rebindable handles are what the manager
+        monitors and moves).  The session supplies the measured signals the
+        heuristic amortises by: every shared pipeline scheduler is connected
+        as it appears (:meth:`~repro.policy.adaptive.AdaptiveDistributionManager.connect_pipeline`,
+        most recent wins) and the session's cache manager feeds the hit-rate
+        discount (:meth:`~repro.policy.adaptive.AdaptiveDistributionManager.connect_cache`).
+        ``attach_existing`` monitors every handle the application has already
+        produced; ``interval`` additionally starts :meth:`auto_adapt`.
+        Returns the manager.
+        """
+        from repro.policy.adaptive import AdaptiveDistributionManager
+        from repro.runtime.redistribution import DistributionController
+
+        self._ensure_open()
+        if self._adaptive is not None:
+            raise PolicyError("adaptivity is already enabled on this session")
+        if controller is None:
+            controller = DistributionController(application, self.cluster)
+        manager = AdaptiveDistributionManager(
+            application, controller, threshold=threshold, min_calls=min_calls
+        )
+        self._adaptive = manager
+        for scheduler in self._schedulers.values():
+            manager.connect_pipeline(scheduler)
+        if self._cache_manager is not None:
+            manager.connect_cache(self._cache_manager)
+        if attach_existing:
+            manager.attach_all()
+        if interval is not None:
+            self.auto_adapt(interval)
+        return manager
+
+    def adapt(self):
+        """Close one observation epoch: apply suggested moves, reset windows.
+
+        Requires :meth:`enable_adaptivity`; returns the round's
+        :class:`~repro.policy.adaptive.AdaptationRecord`.
+        """
+        self._ensure_open()
+        if self._adaptive is None:
+            raise PolicyError(
+                "adaptivity is not enabled; call enable_adaptivity(application) first"
+            )
+        return self._adaptive.adapt()
+
+    def auto_adapt(self, interval: float) -> None:
+        """Drive :meth:`adapt` every ``interval`` simulated seconds.
+
+        The rounds ride the cluster's event queue (like heartbeat probes and
+        interval replication sync), so they interleave deterministically
+        with in-flight traffic.  Calling again re-paces the loop;
+        :meth:`close` cancels it — pending ticks become no-ops.
+        """
+        self._ensure_open()
+        if self._adaptive is None:
+            raise PolicyError(
+                "adaptivity is not enabled; call enable_adaptivity(application) first"
+            )
+        if interval <= 0:
+            raise PolicyError("auto_adapt interval must be positive")
+        self._adapt_epoch += 1
+        epoch = self._adapt_epoch
+        events = self.cluster.network.events
+
+        def tick() -> None:
+            if self._closed or epoch != self._adapt_epoch:
+                return
+            self._adaptive.adapt()
+            events.schedule(interval, tick)
+
+        events.schedule(interval, tick)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -345,8 +491,39 @@ class Session:
             if self._manager is not None:
                 self._manager.stop()
                 self._manager.detach()
+            if self._cache_manager is not None:
+                # Detach the invalidation listener from the (long-lived)
+                # address space and drop every cached entry.
+                self._cache_manager.close()
+            # Cancel any auto-adapt loop: pending ticks become no-ops.
+            self._adapt_epoch += 1
             self.cluster.naming.off_rebind(self._on_rebind)
             self._closed = True
+
+    def dismantle(self, *, drain: bool = True) -> None:
+        """:meth:`close`, then undo every deployment this session made.
+
+        Where ``close()`` only retires the session's *client-side* machinery
+        (listeners, probes, schedulers), ``dismantle()`` makes the session
+        fully reversible: every implementation it exported is unexported
+        from its host space, every replica group it created is torn down
+        (primary wrapper and backup endpoints unexported), and every name it
+        bound is unbound from the cluster's naming service.  Services other
+        parties deployed — ones this session merely attached to — are left
+        untouched.  Idempotent; safe after a plain ``close()``.
+        """
+        try:
+            self.close(drain=drain)
+        finally:
+            deployments, self._deployments = self._deployments, []
+            for name, group, host, reference in deployments:
+                if group is not None:
+                    if self._manager is not None:
+                        self._manager.dismantle(group)
+                elif host is not None and host in self.cluster:
+                    self.cluster.space(host).unexport(reference)
+                if name in self.cluster.naming:
+                    self.cluster.naming.unbind(name)
 
     @property
     def closed(self) -> bool:

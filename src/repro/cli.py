@@ -42,6 +42,14 @@ run against their own code base before deploying it:
     backup), failovers, write amplification and the recovered-call latency
     against steady state, per transport.
 
+``repro bench-caching [--transports ...] [--rounds N] [--mode
+leases|invalidate|write_through] [--lease-ms L] [--kill]``
+    Run the cached-catalog workload (90 % reads, a writer that invalidates)
+    with and without the client-side result cache and report the per-call
+    speedup, hit rate and stale-read count per transport.  ``--kill``
+    additionally replicates the shards and crashes the write-hot primary
+    mid-run, asserting coherence holds across the failover.
+
 Run ``python -m repro --help`` for the full syntax.
 """
 
@@ -336,6 +344,63 @@ def command_bench_replication(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def command_bench_caching(args: argparse.Namespace, out) -> int:
+    from repro.runtime.cluster import Cluster, default_transport_registry
+    from repro.runtime.caching import CACHE_MODES
+    from repro.workloads.cached_catalog import run_cached_catalog_scenario
+
+    transports = _split_csv(args.transports) or ["inproc", "rmi", "corba", "soap"]
+    known = default_transport_registry().names()
+    unknown = [name for name in transports if name not in known]
+    if unknown:
+        print(f"unknown transports: {', '.join(unknown)}", file=out)
+        return 1
+    if args.rounds < 1:
+        print("--rounds must be at least 1", file=out)
+        return 1
+    if args.mode not in CACHE_MODES:
+        print(f"--mode must be one of {', '.join(CACHE_MODES)}", file=out)
+        return 1
+    if args.lease_ms <= 0:
+        print("--lease-ms must be positive", file=out)
+        return 1
+
+    nodes = ("client", "writer", "server-0", "server-1")
+    print(
+        f"cached catalog: {args.rounds} rounds at 90% reads, mode={args.mode}, "
+        f"lease {args.lease_ms:g} ms"
+        + (", killing the feed shard's primary halfway" if args.kill else ""),
+        file=out,
+    )
+    print(
+        f"{'transport':9s} {'uncached/call':>14s} {'cached/call':>12s} "
+        f"{'speedup':>8s} {'hit rate':>9s} {'stale reads':>12s}",
+        file=out,
+    )
+    for transport in transports:
+        uncached = run_cached_catalog_scenario(
+            Cluster(nodes), transport=transport, rounds=args.rounds, cached=False
+        )
+        cached = run_cached_catalog_scenario(
+            Cluster(nodes),
+            transport=transport,
+            rounds=args.rounds,
+            cached=True,
+            mode=args.mode,
+            lease_ms=args.lease_ms,
+            replicate=args.kill,
+            kill=args.kill,
+        )
+        speedup = uncached["per_call_seconds"] / cached["per_call_seconds"]
+        print(
+            f"{transport:9s} {uncached['per_call_seconds']:12.6f} s "
+            f"{cached['per_call_seconds']:10.6f} s {speedup:6.1f}x "
+            f"{cached['hit_rate']:8.1%} {cached['stale_reads']:12d}",
+            file=out,
+        )
+    return 0
+
+
 def command_policy_template(args: argparse.Namespace, out) -> int:
     classes = _split_csv(args.classes)
     nodes = _split_csv(args.nodes)
@@ -424,6 +489,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-kill", action="store_true", help="steady state only (no shard crash)"
     )
     replication.set_defaults(handler=command_bench_replication)
+
+    caching = subparsers.add_parser(
+        "bench-caching",
+        help="compare cached vs uncached reads and assert zero stale reads",
+    )
+    caching.add_argument("--transports", help="comma-separated transports (default: all)")
+    caching.add_argument("--rounds", type=int, default=15)
+    caching.add_argument(
+        "--mode", default="leases", help="cache mode: leases|invalidate|write_through"
+    )
+    caching.add_argument("--lease-ms", type=float, default=250.0)
+    caching.add_argument(
+        "--kill",
+        action="store_true",
+        help="replicate the shards and crash the write-hot primary mid-run",
+    )
+    caching.set_defaults(handler=command_bench_caching)
 
     return parser
 

@@ -24,6 +24,7 @@ from repro.core.classmodel import ClassModel
 from repro.core.interfaces import (
     InterfaceModel,
     MethodSignature,
+    class_batch_proxy_name,
     class_factory_name,
     class_local_name,
     class_proxy_name,
@@ -232,21 +233,29 @@ def emit_batch_proxy(
     model: ClassModel,
     interface: InterfaceModel,
     transport: str,
+    *,
+    kind: str = "instance",
 ) -> str:
-    """Emit ``A_O_BatchProxy_<T>``: the batching-aware proxy for one transport.
+    """Emit the batching-aware proxy for one transport.
 
     Where the plain proxy performs one round trip per method call, this
     variant buffers calls into batch windows and returns futures — the
     generated analogue of wrapping a proxy in a ``BatchingProxy``, made
     native so no manual wrapping is needed.  The buffering machinery itself
     lives in :class:`~repro.runtime.batching.BatchingDispatchMixin`; the
-    emitted class contains only the interface-shaped enqueue methods.
+    emitted class contains only the interface-shaped enqueue methods (plus
+    the cacheability metadata ``enable_caching`` consumes).  ``kind`` picks
+    ``A_O_BatchProxy_<T>`` (instance members) or ``A_C_BatchProxy_<T>``
+    (static members routed through the same batch/cache-aware path).
     """
     # Kept in sync with the live generator: the mixin's control-plane names
     # must not be shadowed by interface methods (see BATCH_PROXY_RESERVED).
     from repro.runtime.batching import BATCH_PROXY_RESERVED
 
-    name = instance_batch_proxy_name(model.name, transport)
+    if kind == "instance":
+        name = instance_batch_proxy_name(model.name, transport)
+    else:
+        name = class_batch_proxy_name(model.name, transport)
     lines = [
         f"class {name}(BatchingDispatchMixin, {interface.name}):",
         _INDENT
@@ -258,6 +267,8 @@ def emit_batch_proxy(
         # the space's default transport.
         _INDENT + f"_repro_transport = {transport!r}",
         _INDENT + '_repro_role = "batch-proxy"',
+        _INDENT
+        + f"_repro_cacheable_members = {interface.cacheable_method_names()!r}",
         "",
         _INDENT + "def __init__(self, ref=None, space=None, max_batch=32):",
         _INDENT * 2 + "self._ref = ref",
@@ -464,6 +475,9 @@ def emit_class_artifacts(
         )
         sources[instance_batch_proxy_name(model.name, transport)] = emit_batch_proxy(
             model, instance_interface, transport
+        )
+        sources[class_batch_proxy_name(model.name, transport)] = emit_batch_proxy(
+            model, class_interface, transport, kind="class"
         )
     return sources
 

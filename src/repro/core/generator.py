@@ -28,8 +28,10 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.classmodel import ClassModel
 from repro.core.interfaces import (
+    CACHEABLE_ATTR,
     InterfaceModel,
     MethodSignature,
+    class_batch_proxy_name,
     class_factory_name,
     class_local_name,
     class_proxy_name,
@@ -37,6 +39,7 @@ from repro.core.interfaces import (
     instance_batch_proxy_name,
     instance_local_name,
     instance_proxy_name,
+    is_cacheable,
     object_factory_name,
     redirector_name,
     setter_name,
@@ -90,6 +93,10 @@ class ClassArtifacts:
     #: Batching/pipelining-aware proxies, one per transport: methods buffer
     #: calls and return futures instead of performing one round trip each.
     batch_proxies: dict[str, type] = dataclass_field(default_factory=dict)
+    #: Batching-aware proxies for the *class* (static-member) interface, so
+    #: class singleton calls route through the same batch/cache-aware path
+    #: as instance calls.
+    class_batch_proxies: dict[str, type] = dataclass_field(default_factory=dict)
     object_factory: type = None
     class_factory: type = None
     #: Rewritten source text per member, kept for inspection and codegen.
@@ -109,13 +116,20 @@ class ClassArtifacts:
                 f"and transport {transport!r}"
             ) from exc
 
-    def batch_proxy_for(self, transport: str) -> type:
-        """The generated batching-aware proxy class for one transport."""
+    def batch_proxy_for(self, transport: str, kind: str = "instance") -> type:
+        """The generated batching-aware proxy class for one transport.
+
+        ``kind`` selects the instance interface's ``A_O_BatchProxy_<T>``
+        (default) or the class interface's ``A_C_BatchProxy_<T>`` — static
+        singleton calls batch and cache through the latter exactly like
+        instance calls.
+        """
+        table = self.batch_proxies if kind == "instance" else self.class_batch_proxies
         try:
-            return self.batch_proxies[transport]
+            return table[transport]
         except KeyError as exc:
             raise GenerationError(
-                f"no batch proxy generated for class {self.class_name!r} "
+                f"no {kind} batch proxy generated for class {self.class_name!r} "
                 f"and transport {transport!r}"
             ) from exc
 
@@ -213,6 +227,9 @@ def generate_local_class(
         )
         getter = _compile_function(get_src, ctx.namespace, getter_name(field_name))
         setter = _compile_function(set_src, ctx.namespace, setter_name(field_name))
+        # Field getters are side-effect-free by construction: result caches
+        # may serve them, and dispatching one never triggers invalidation.
+        setattr(getter, CACHEABLE_ATTR, True)
         namespace[getter_name(field_name)] = getter
         namespace[setter_name(field_name)] = setter
         # The property keeps un-rewritten code (methods whose source was not
@@ -268,6 +285,7 @@ def generate_class_local(
         )
         getter = _compile_function(get_src, ctx.namespace, getter_name(field_name))
         setter = _compile_function(set_src, ctx.namespace, setter_name(field_name))
+        setattr(getter, CACHEABLE_ATTR, True)
         namespace[getter_name(field_name)] = getter
         namespace[setter_name(field_name)] = setter
         namespace[field_name] = property(getter, setter)
@@ -299,7 +317,13 @@ def _rewritten_or_original(
     *,
     force_instance: bool,
 ) -> Callable:
-    """Rewrite a method body if possible, otherwise reuse the original function."""
+    """Rewrite a method body if possible, otherwise reuse the original function.
+
+    ``@cacheable`` markers survive the rewrite: the recompiled function is
+    re-marked when the original carried the marker, so cacheability metadata
+    reaches the generated local implementations (and, through them, the
+    owning address space's invalidation bookkeeping).
+    """
     if method.source is not None and not method.is_native:
         try:
             rewritten = rewrite_method(
@@ -310,7 +334,10 @@ def _rewritten_or_original(
                 force_instance=force_instance,
             )
             artifacts.rewritten_sources[method.name] = rewritten
-            return _compile_function(rewritten, ctx.namespace, method.name)
+            compiled = _compile_function(rewritten, ctx.namespace, method.name)
+            if is_cacheable(method.func):
+                setattr(compiled, CACHEABLE_ATTR, True)
+            return compiled
         except RewriteError:
             pass
     if method.func is not None:
@@ -324,6 +351,8 @@ def _rewritten_or_original(
                 return original(*args, **kwargs)
 
             adapted.__name__ = method.name
+            if is_cacheable(original):
+                setattr(adapted, CACHEABLE_ATTR, True)
             return adapted
         return method.func
     # No source and no function: generate a stub that raises.
@@ -368,6 +397,7 @@ def generate_proxy_class(
         "_repro_interface_name": interface.name,
         "_repro_role": "proxy",
         "_repro_transport": transport_name,
+        "_repro_cacheable_members": interface.cacheable_method_names(),
     }
 
     def __init__(self, ref=None, space=None):
@@ -409,8 +439,11 @@ def generate_batch_proxy_class(
     interface_cls: type,
     transport_name: str,
     ctx: GenerationContext,
+    *,
+    kind: str = "instance",
 ) -> type:
-    """Create ``A_O_BatchProxy_<T>``: the batching/pipelining-aware proxy.
+    """Create ``A_O_BatchProxy_<T>`` (or ``A_C_BatchProxy_<T>``): the
+    batching/pipelining-aware proxy.
 
     Unlike ``A_O_Proxy_<T>``, whose every method performs one synchronous
     round trip, the batch proxy's methods *buffer* their calls (via
@@ -419,8 +452,11 @@ def generate_batch_proxy_class(
     buffered window ships as one batch message when it fills, on ``flush()``,
     or when a future's ``result()`` is demanded.  ``attach(engine)`` plugs in
     a pipeline scheduler so the same proxy streams its calls through an
-    asynchronous in-flight window instead.  No manual ``BatchingProxy``
-    wrapping is needed: batching is native to the generated artifact.
+    asynchronous in-flight window instead, and ``enable_caching(cache)``
+    serves the interface's cacheable members (``_repro_cacheable_members``,
+    emitted below) from a client-side result cache.  ``kind="class"``
+    produces the static-member variant, so class singleton calls route
+    through the same batch/cache-aware path as instance calls.
     """
 
     # Imported here, not at module top: repro.core.generator is pulled in by
@@ -428,7 +464,10 @@ def generate_batch_proxy_class(
     # trigger — a top-level import of the runtime from here would be cyclic.
     from repro.runtime.batching import BATCH_PROXY_RESERVED, BatchingDispatchMixin
 
-    name = instance_batch_proxy_name(model.name, transport_name)
+    if kind == "instance":
+        name = instance_batch_proxy_name(model.name, transport_name)
+    else:
+        name = class_batch_proxy_name(model.name, transport_name)
     namespace: dict[str, Any] = {
         "__doc__": (
             f"Batching {transport_name.upper()} proxy for {interface.name}; every "
@@ -439,6 +478,7 @@ def generate_batch_proxy_class(
         "_repro_interface_name": interface.name,
         "_repro_role": "batch-proxy",
         "_repro_transport": transport_name,
+        "_repro_cacheable_members": interface.cacheable_method_names(),
     }
 
     def __init__(self, ref=None, space=None, max_batch=32):

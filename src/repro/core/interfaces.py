@@ -81,12 +81,61 @@ def redirector_name(class_name: str) -> str:
     return f"{class_name}_O_Redirector"
 
 
+def class_batch_proxy_name(class_name: str, transport: str) -> str:
+    return f"{class_name}_C_BatchProxy_{transport.upper()}"
+
+
 def getter_name(field_name: str) -> str:
     return f"get_{field_name}"
 
 
 def setter_name(field_name: str) -> str:
     return f"set_{field_name}"
+
+
+# ---------------------------------------------------------------------------
+# Method cacheability metadata
+# ---------------------------------------------------------------------------
+
+#: Attribute carrying a member's cacheability marker on live functions.
+CACHEABLE_ATTR = "_repro_cacheable"
+
+
+def cacheable(func):
+    """Mark a method as side-effect-free and therefore result-cacheable.
+
+    A ``@cacheable`` method's return value depends only on the target
+    object's current state and the call's arguments, and calling it mutates
+    nothing — so a client-side cache
+    (:class:`~repro.runtime.caching.CacheManager`) may serve repeated calls
+    locally, and the owning address space knows that dispatching it never
+    needs a write-invalidation broadcast.  Any member *not* marked cacheable
+    is conservatively treated as mutating.
+    """
+    setattr(func, CACHEABLE_ATTR, True)
+    return func
+
+
+def is_cacheable(func) -> bool:
+    """Whether ``func`` carries the :func:`cacheable` marker."""
+    return bool(getattr(func, CACHEABLE_ATTR, False))
+
+
+def cacheable_members(cls: type) -> frozenset[str]:
+    """The names of ``cls``'s members marked :func:`cacheable`.
+
+    Walks the MRO so markers survive subclassing; plain attributes and
+    properties are ignored (only callables can carry the marker).
+    """
+    names: set[str] = set()
+    for klass in type.mro(cls) if isinstance(cls, type) else [cls]:
+        for name, value in vars(klass).items():
+            if is_cacheable(value):
+                names.add(name)
+    explicit = getattr(cls, "_repro_cacheable_members", None)
+    if explicit:
+        names.update(explicit)
+    return frozenset(names)
 
 
 # ---------------------------------------------------------------------------
@@ -104,6 +153,10 @@ class MethodSignature:
     accessor_for: Optional[str] = None
     #: "get", "set" or None.
     accessor_kind: Optional[str] = None
+    #: Whether the member is side-effect-free and result-cacheable (field
+    #: getters always are; plain methods inherit their :func:`cacheable`
+    #: marker from the source class).
+    cacheable: bool = False
 
     @property
     def is_accessor(self) -> bool:
@@ -134,6 +187,12 @@ class InterfaceModel:
 
     def accessors(self) -> list[MethodSignature]:
         return [signature for signature in self.methods if signature.is_accessor]
+
+    def cacheable_method_names(self) -> tuple[str, ...]:
+        """The names of this interface's cacheable (side-effect-free) members."""
+        return tuple(
+            signature.name for signature in self.methods if signature.cacheable
+        )
 
     def plain_methods(self) -> list[MethodSignature]:
         return [signature for signature in self.methods if not signature.is_accessor]
@@ -187,6 +246,7 @@ def _accessor_signatures(
         return_type=value_type,
         accessor_for=field_model.name,
         accessor_kind="get",
+        cacheable=True,
     )
     setter = MethodSignature(
         name=setter_name(field_model.name),
@@ -205,6 +265,7 @@ def _method_signature(
         name=method.name,
         parameters=adapt_parameters(method.parameters, transformed_names),
         return_type=adapt_type(method.return_type, transformed_names),
+        cacheable=is_cacheable(method.func),
     )
 
 

@@ -503,6 +503,10 @@ class ApplicationTransformer:
                     model, artifacts.instance_interface, artifacts.instance_interface_cls,
                     transport, context,
                 )
+                artifacts.class_batch_proxies[transport] = generate_batch_proxy_class(
+                    model, artifacts.class_interface, artifacts.class_interface_cls,
+                    transport, context, kind="class",
+                )
             artifacts.object_factory = generate_object_factory(
                 model, artifacts.instance_interface, context, artifacts
             )

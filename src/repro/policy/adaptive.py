@@ -45,6 +45,18 @@ supersedes the configured value with the depth the pipeline *actually
 achieved* (its ``observed_pipeline_depth``), so decisions track measured —
 not assumed — overlap.
 
+Cache-awareness
+---------------
+
+Client-side result caching (:mod:`repro.runtime.caching`) removes traffic
+entirely: a call served from the cache costs no message at all, so observed
+call counts overstate the network cost of a cached workload.  A manager
+constructed with ``cache_hit_ratio=r`` (or connected to a live cache via
+:meth:`AdaptiveDistributionManager.connect_cache`, whose *measured* hit rate
+then supersedes the configured value) discounts the observed window by
+``1 - r`` — the same direction as batch amortisation: traffic that is cheap
+because it is cached no longer justifies moving an object.
+
 Replication-awareness
 ---------------------
 
@@ -143,6 +155,7 @@ class AdaptiveDistributionManager:
         batch_size: int = 1,
         pipeline_depth: int = 1,
         replication_factor: int = 1,
+        cache_hit_ratio: float = 0.0,
     ) -> None:
         if not 0.0 < threshold <= 1.0:
             raise RedistributionError("threshold must be in (0, 1]")
@@ -152,6 +165,8 @@ class AdaptiveDistributionManager:
             raise RedistributionError("pipeline_depth must be at least 1")
         if replication_factor < 1:
             raise RedistributionError("replication_factor must be at least 1")
+        if not 0.0 <= cache_hit_ratio < 1.0:
+            raise RedistributionError("cache_hit_ratio must be in [0, 1)")
         self.application = application
         self.controller = controller
         self.threshold = threshold
@@ -168,9 +183,16 @@ class AdaptiveDistributionManager:
         #: means unreplicated, larger values weigh every observed write by
         #: its eager-replication amplification.
         self.replication_factor = replication_factor
+        #: Fraction of the monitored calls assumed to be served from a
+        #: client-side result cache (no network traffic); ``0.0`` models
+        #: uncached callers, larger values discount the observed window.
+        self.cache_hit_ratio = cache_hit_ratio
         #: A live scheduler whose measured window depth supersedes the
         #: configured ``pipeline_depth`` (see :meth:`connect_pipeline`).
         self._pipeline_source: Optional[Any] = None
+        #: A live cache whose measured hit rate supersedes the configured
+        #: ``cache_hit_ratio`` (see :meth:`connect_cache`).
+        self._cache_source: Optional[Any] = None
         self._monitors: dict[int, AccessMonitor] = {}
         self.history: list[AdaptationRecord] = []
 
@@ -224,6 +246,37 @@ class AdaptiveDistributionManager:
         """
         self._pipeline_source = scheduler
 
+    def connect_cache(self, cache: Any) -> None:
+        """Feed a cache's *measured* hit rate into the heuristic.
+
+        ``cache`` is anything exposing integer ``hits`` and ``misses``
+        counters — in practice a
+        :class:`~repro.runtime.caching.ResultCache` or the session-level
+        :class:`~repro.runtime.caching.CacheManager` aggregating several.
+        Once connected (and once at least one lookup has happened),
+        :meth:`effective_cache_hit_ratio` prefers the observed ratio over
+        the statically configured ``cache_hit_ratio``.  Pass ``None`` to
+        disconnect.
+        """
+        self._cache_source = cache
+
+    def effective_cache_hit_ratio(self) -> float:
+        """The hit ratio the discount actually uses (measured when possible).
+
+        The connected cache's observed ratio when one is connected and has
+        served at least one lookup; the configured ``cache_hit_ratio``
+        otherwise.  Clamped below 1 so a perfectly-hitting window still
+        counts a sliver of traffic.
+        """
+        source = self._cache_source
+        if source is not None:
+            hits = getattr(source, "hits", 0)
+            misses = getattr(source, "misses", 0)
+            total = hits + misses
+            if total > 0:
+                return min(hits / total, 0.999)
+        return self.cache_hit_ratio
+
     def effective_pipeline_depth(self) -> float:
         """The pipeline depth the amortisation actually uses.
 
@@ -237,23 +290,27 @@ class AdaptiveDistributionManager:
         return float(self.pipeline_depth)
 
     def amortised_call_count(self, monitor: AccessMonitor) -> float:
-        """The monitor's window weighted by batching, pipelining and replication.
+        """The monitor's window weighted by batching, pipelining, replication
+        and caching.
 
         ``n`` batched calls cost about ``n / batch_size`` round-trip
         overheads, a pipelined window overlaps the *effective* pipeline depth
         of those round trips in simulated time (measured when a scheduler is
-        connected via :meth:`connect_pipeline`, configured otherwise), and
-        eager replication amplifies each served write into
-        ``replication_factor`` messages — so the quantity compared against
+        connected via :meth:`connect_pipeline`, configured otherwise), eager
+        replication amplifies each served write into ``replication_factor``
+        messages, and a result cache removes the hit fraction of the traffic
+        entirely (measured when a cache is connected via
+        :meth:`connect_cache`) — so the quantity compared against
         ``min_calls`` is
-        ``n * replication_factor / (batch_size * effective_pipeline_depth)``.
-        With all three factors at 1 this is exactly ``monitor.total_calls``.
+        ``n * replication_factor * (1 - hit_ratio) / (batch_size * depth)``.
+        With every factor neutral this is exactly ``monitor.total_calls``.
         """
         weight = self.batch_size * self.effective_pipeline_depth()
         amplification = self.replication_factor
-        if weight <= 1 and amplification <= 1:
+        discount = 1.0 - self.effective_cache_hit_ratio()
+        if weight <= 1 and amplification <= 1 and discount >= 1.0:
             return float(monitor.total_calls)
-        return monitor.total_calls * amplification / weight
+        return monitor.total_calls * amplification * discount / weight
 
     def suggest_for(self, handle: Any) -> Optional[RedistributionSuggestion]:
         """Apply the affinity heuristic to one monitored handle."""

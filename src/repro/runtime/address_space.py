@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.interfaces import cacheable_members
 from repro.errors import (
     InvocationError,
+    NetworkError,
     RemoteInvocationError,
     TransportError,
     UnknownObjectError,
@@ -37,12 +39,21 @@ from repro.runtime.remote_ref import ObjectIdAllocator, RemoteRef
 from repro.runtime.serialization import Marshaller
 from repro.transports.base import (
     TransportRegistry,
+    attach_invalidations,
     frame_batch_message,
+    frame_invalidation,
+    frame_invalidation_ack,
     frame_message,
     frame_pong,
+    frame_subscription_ack,
+    is_invalidation,
     is_ping,
+    is_subscription,
     parse_frame,
     parse_heartbeat,
+    parse_invalidation,
+    parse_subscription,
+    split_invalidations,
 )
 
 #: One call of a batch: (reference, member, positional args, keyword args).
@@ -74,6 +85,19 @@ class AddressSpace:
         self._dispatch_hooks: list[Any] = []
         self._batch_scope_depth = 0
         self._batch_commit_hooks: list[Any] = []
+        #: Cache-coherence state (server side): object id → {node → lease
+        #: expiry in simulated seconds, or None for an unbounded lease}.
+        self._cache_subscribers: Dict[str, Dict[str, Optional[float]]] = {}
+        #: Cacheable-member sets memoized per implementation type.
+        self._cacheable_sets: Dict[type, frozenset] = {}
+        #: Client-declared cacheable members per object id (from ``!sub``
+        #: frames), honoured in addition to the ``@cacheable`` markers.
+        self._cacheable_declared: Dict[str, set] = {}
+        #: Mutated-and-subscribed object ids of the message being served.
+        self._pending_invalidations: set[str] = set()
+        #: Cache-coherence state (client side): listeners fed every ``!inv``
+        #: frame (standalone or piggybacked) that reaches this space.
+        self._invalidation_listeners: list[Any] = []
 
         #: Number of invocation requests served by this space's dispatcher.
         self.invocations_served = 0
@@ -87,6 +111,14 @@ class AddressSpace:
         self.pings_answered = 0
         #: Batch-commit hooks that raised (isolated; see ``on_batch_commit``).
         self.batch_commit_hook_failures = 0
+        #: Cache subscriptions registered with this space (renewals included).
+        self.cache_subscriptions = 0
+        #: Standalone ``!inv`` frames this space has sent to subscribers.
+        self.invalidations_sent = 0
+        #: Responses that left this space carrying piggybacked invalidations.
+        self.invalidations_piggybacked = 0
+        #: Invalidation deliveries applied at this space (as a client).
+        self.invalidations_received = 0
 
         network.register(node_id, self._handle_message)
 
@@ -117,6 +149,13 @@ class AddressSpace:
         implementation = self._objects.pop(reference.object_id, None)
         if implementation is not None:
             self._exported_refs.pop(id(implementation), None)
+        # A retired export needs no coherence bookkeeping: long-lived spaces
+        # serving many short-lived caching clients must not accumulate
+        # subscriber tables or declared-cacheable sets per dead object id.
+        # (Failover captures the dead primary's subscribers *before* its
+        # unexport, so the promoted node can still flush them.)
+        self._cache_subscribers.pop(reference.object_id, None)
+        self._cacheable_declared.pop(reference.object_id, None)
 
     def lookup_local_object(self, object_id: str) -> Any:
         try:
@@ -202,6 +241,193 @@ class AddressSpace:
                     self.batch_commit_hook_failures += 1
 
     # ------------------------------------------------------------------
+    # Cache coherence (see repro.runtime.caching)
+    # ------------------------------------------------------------------
+
+    def add_invalidation_listener(self, listener: Any) -> None:
+        """Feed ``listener(object_ids)`` every invalidation reaching this space.
+
+        Registered by the client-side :class:`~repro.runtime.caching.CacheManager`;
+        both standalone ``!inv`` frames and invalidations piggybacked on
+        response messages are delivered.
+        """
+        if listener not in self._invalidation_listeners:
+            self._invalidation_listeners.append(listener)
+
+    def remove_invalidation_listener(self, listener: Any) -> None:
+        """Detach a listener registered with :meth:`add_invalidation_listener`."""
+        if listener in self._invalidation_listeners:
+            self._invalidation_listeners.remove(listener)
+
+    def invalidation_listener_count(self) -> int:
+        """How many invalidation listeners are registered (leak checks)."""
+        return len(self._invalidation_listeners)
+
+    def _deliver_invalidations(self, object_ids: Sequence[str]) -> None:
+        """Hand one invalidation delivery to every registered listener."""
+        if not object_ids:
+            return
+        self.invalidations_received += 1
+        for listener in list(self._invalidation_listeners):
+            listener(list(object_ids))
+
+    def register_cache_subscriber(
+        self, object_id: str, node_id: str, expiry: Optional[float] = None
+    ) -> None:
+        """Record one client node's interest in ``object_id``'s invalidations.
+
+        ``expiry`` bounds the subscription in simulated seconds (``None``
+        keeps it until the next invalidation).  Subscriptions are one-shot:
+        sending (or piggybacking) an invalidation drops the subscriber, and
+        the client re-subscribes on its next cache fill.  One node may host
+        several caching clients, so a re-registration can only *extend* the
+        recorded expiry — a short-lease subscriber must not silence the
+        invalidations a longer-lease subscriber on the same node relies on.
+        """
+        subscribers = self._cache_subscribers.setdefault(object_id, {})
+        if node_id in subscribers:
+            existing = subscribers[node_id]
+            if existing is None or (expiry is not None and existing >= expiry):
+                expiry = existing
+        subscribers[node_id] = expiry
+        self.cache_subscriptions += 1
+
+    def cache_subscriber_count(self, object_id: Optional[str] = None) -> int:
+        """Live subscriptions for one object (or in total, introspection)."""
+        if object_id is not None:
+            return len(self._cache_subscribers.get(object_id, {}))
+        return sum(len(nodes) for nodes in self._cache_subscribers.values())
+
+    def take_cache_subscribers(self, object_id: str) -> Dict[str, Optional[float]]:
+        """Remove and return one object's subscriber table.
+
+        Used by the failover path: the demoted primary's subscriptions are
+        handed to the promoted node, which flushes them with an explicit
+        invalidation (the dead node can no longer send anything itself).
+        """
+        return self._cache_subscribers.pop(object_id, {})
+
+    def send_cache_invalidations(
+        self, object_ids: Sequence[str], nodes: Sequence[str]
+    ) -> int:
+        """Send one ``!inv`` frame for ``object_ids`` to each of ``nodes``.
+
+        Unreachable subscribers are skipped (their caches self-expire or
+        re-key); returns how many frames were delivered.
+        """
+        payload = frame_invalidation(object_ids)
+        delivered = 0
+        for node in sorted(set(nodes)):
+            try:
+                self.network.send_request(self.node_id, node, payload)
+            except NetworkError:
+                continue
+            self.invalidations_sent += 1
+            delivered += 1
+        return delivered
+
+    def _cacheable_members_for(self, target: Any) -> frozenset:
+        """The target's side-effect-free members, memoized per type.
+
+        Wrappers that interpose on a real implementation (e.g. the
+        replication layer's ``ReplicatedObject``) expose it via
+        ``_repro_cache_target`` so cacheability is read off the real class.
+        """
+        unwrapped = getattr(target, "_repro_cache_target", None)
+        if unwrapped is not None:
+            target = unwrapped
+        cls = type(target)
+        members = self._cacheable_sets.get(cls)
+        if members is None:
+            members = cacheable_members(cls)
+            self._cacheable_sets[cls] = members
+        return members
+
+    def _mutates_subscribed_object(
+        self, object_id: str, target: Any, member: str
+    ) -> bool:
+        """Whether dispatching ``member`` must invalidate subscriber caches.
+
+        Any member not marked cacheable is conservatively a write; objects
+        nobody subscribed to need no bookkeeping at all.
+        """
+        if object_id not in self._cache_subscribers:
+            return False
+        if member in self._cacheable_members_for(target):
+            return False
+        declared = self._cacheable_declared.get(object_id)
+        return declared is None or member not in declared
+
+    def _broadcast_invalidations(
+        self, object_ids: set, exclude: Optional[str] = None
+    ) -> set:
+        """Invalidate every live subscriber of ``object_ids`` — now.
+
+        One ``!inv`` frame travels per subscriber node (ids coalesced), paid
+        on the simulated network *before* the triggering write's response
+        leaves.  Expired leases are pruned instead of invalidated, and
+        delivered subscriptions are dropped (one-shot).  Subscriptions held
+        by ``exclude`` — the node whose request triggered the write — are
+        returned instead of messaged, so the caller can piggyback them on
+        the response for free.
+
+        An *undeliverable* invalidation (the subscriber's node is down, the
+        frame was dropped) falls back to the classic lease protocol: the
+        write stalls until the lost subscriber's lease has run out, so by
+        the time the write is acknowledged the unreachable cache's entries
+        have expired on their own.  Unbounded subscriptions (``invalidate``
+        mode) have no lease to wait out — that mode's coherence assumes
+        deliverable invalidations, which is why ``leases`` is the default.
+        """
+        now = self.network.clock.now
+        per_node: Dict[str, list] = {}
+        excluded_ids: set = set()
+        for object_id in object_ids:
+            subscribers = self._cache_subscribers.get(object_id)
+            if not subscribers:
+                continue
+            for node, expiry in list(subscribers.items()):
+                del subscribers[node]
+                if expiry is not None and expiry <= now:
+                    continue
+                if node == exclude:
+                    excluded_ids.add(object_id)
+                    continue
+                ids, expiries = per_node.setdefault(node, [set(), []])
+                ids.add(object_id)
+                expiries.append(expiry)
+            if not subscribers:
+                self._cache_subscribers.pop(object_id, None)
+        for node in sorted(per_node):
+            ids, expiries = per_node[node]
+            payload = frame_invalidation(sorted(ids))
+            try:
+                self.network.send_request(self.node_id, node, payload)
+                self.invalidations_sent += 1
+            except NetworkError:
+                if None not in expiries:
+                    # Wait the lost subscriber's leases out before the write
+                    # is acknowledged: its entries expire by themselves.
+                    latest = max(expiries)
+                    if latest > self.network.clock.now:
+                        self.network.clock.advance(latest - self.network.clock.now)
+        return excluded_ids
+
+    def _handle_subscription(self, payload: bytes) -> bytes:
+        """Serve one ``!sub`` frame: record the subscriber, acknowledge."""
+        body = parse_subscription(payload)
+        lease = body.get("lease")
+        expiry = self.network.clock.now + float(lease) if lease is not None else None
+        object_id = str(body["object_id"])
+        declared = body.get("cacheable") or ()
+        if declared:
+            self._cacheable_declared.setdefault(object_id, set()).update(
+                str(member) for member in declared
+            )
+        self.register_cache_subscriber(object_id, str(body["node"]), expiry)
+        return frame_subscription_ack()
+
+    # ------------------------------------------------------------------
     # Outgoing invocations (the proxy side)
     # ------------------------------------------------------------------
 
@@ -224,6 +450,16 @@ class AddressSpace:
         kwargs = kwargs or {}
         if reference.located_on(self.node_id):
             target = self.lookup_local_object(reference.object_id)
+            if self._cache_subscribers and self._mutates_subscribed_object(
+                reference.object_id, target, member
+            ):
+                # A co-located writer bypasses the dispatcher, but remote
+                # subscribers must still drop their entries before the write
+                # returns to the caller.
+                try:
+                    return getattr(target, member)(*args, **kwargs)
+                finally:
+                    self._broadcast_invalidations({reference.object_id})
             return getattr(target, member)(*args, **kwargs)
 
         transport_impl = self.transports.get(transport or self.default_transport)
@@ -242,6 +478,9 @@ class AddressSpace:
         self.invocations_sent += 1
         raw_response = self.network.send_request(self.node_id, reference.node_id, payload)
 
+        piggybacked, raw_response = split_invalidations(raw_response)
+        if piggybacked:
+            self._deliver_invalidations(piggybacked)
         response_name, response_body, response_is_batch = parse_frame(raw_response)
         if response_is_batch:
             raise TransportError("batch response received for a single invocation")
@@ -384,6 +623,11 @@ class AddressSpace:
         self, raw_response: bytes, expected: int
     ) -> List[BatchResult]:
         """Decode a framed batch response into per-call results, charging decode cost."""
+        piggybacked, raw_response = split_invalidations(raw_response)
+        if piggybacked:
+            # Delivered before the batch's own results are decoded, so reads
+            # in the same window re-fill with post-invalidation state.
+            self._deliver_invalidations(piggybacked)
         response_name, response_body, response_is_batch = parse_frame(raw_response)
         if not response_is_batch:
             raise TransportError("single response received for a batched invocation")
@@ -421,11 +665,16 @@ class AddressSpace:
         self, calls: Sequence[tuple[RemoteRef, str, tuple, dict]]
     ) -> List[BatchResult]:
         results: list[BatchResult] = []
+        mutated: set[str] = set()
         self._enter_batch_scope()
         try:
             for index, (reference, member, args, kwargs) in enumerate(calls):
                 try:
                     target = self.lookup_local_object(reference.object_id)
+                    if self._cache_subscribers and self._mutates_subscribed_object(
+                        reference.object_id, target, member
+                    ):
+                        mutated.add(reference.object_id)
                     value = getattr(target, member)(*args, **kwargs)
                 except Exception as error:  # noqa: BLE001 - per-call isolation
                     results.append(BatchResult(index=index, error=error))
@@ -433,6 +682,11 @@ class AddressSpace:
                     results.append(BatchResult(index=index, value=value))
         finally:
             self._exit_batch_scope()
+            if mutated:
+                # A co-located batch has no response message to piggyback on;
+                # every subscriber (this node's own caches included) gets the
+                # broadcast before the results reach the caller.
+                self._broadcast_invalidations(mutated)
         return results
 
     # ------------------------------------------------------------------
@@ -446,26 +700,57 @@ class AddressSpace:
             # it speaks.  They do not count as served invocations.
             self.pings_answered += 1
             return frame_pong(parse_heartbeat(payload))
-        transport_name, body, is_batch = parse_frame(payload)
-        transport = self.transports.get(transport_name)
-        if is_batch:
-            self.batches_served += 1
-            batch = InvocationBatch.from_dicts(transport.decode_batch_request(body))
-            self._enter_batch_scope()
-            try:
-                responses = InvocationBatchResponse(
-                    [self._dispatch(request) for request in batch]
+        if is_subscription(payload):
+            # Cache control frames bypass the codecs like heartbeats do.
+            return self._handle_subscription(payload)
+        if is_invalidation(payload):
+            object_ids = parse_invalidation(payload)
+            self._deliver_invalidations(object_ids)
+            return frame_invalidation_ack(len(object_ids))
+        # Mutations of subscribed objects collect per served message, so one
+        # batch of writes coalesces into one invalidation round.
+        outer_pending = self._pending_invalidations
+        self._pending_invalidations = set()
+        try:
+            transport_name, body, is_batch = parse_frame(payload)
+            transport = self.transports.get(transport_name)
+            if is_batch:
+                self.batches_served += 1
+                batch = InvocationBatch.from_dicts(transport.decode_batch_request(body))
+                self._enter_batch_scope()
+                try:
+                    responses = InvocationBatchResponse(
+                        [self._dispatch(request) for request in batch]
+                    )
+                finally:
+                    # Commit hooks (e.g. batched replication forwards) run
+                    # before the response is framed: an acknowledged batch is
+                    # durable.
+                    self._exit_batch_scope()
+                framed = frame_batch_message(
+                    transport_name, transport.encode_batch_response(responses.to_dicts())
                 )
-            finally:
-                # Commit hooks (e.g. batched replication forwards) run before
-                # the response is framed: an acknowledged batch is durable.
-                self._exit_batch_scope()
-            return frame_batch_message(
-                transport_name, transport.encode_batch_response(responses.to_dicts())
+            else:
+                request = InvocationRequest.from_dict(transport.decode_request(body))
+                response = self._dispatch(request)
+                framed = frame_message(
+                    transport_name, transport.encode_response(response.to_dict())
+                )
+        finally:
+            pending, self._pending_invalidations = (
+                self._pending_invalidations,
+                outer_pending,
             )
-        request = InvocationRequest.from_dict(transport.decode_request(body))
-        response = self._dispatch(request)
-        return frame_message(transport_name, transport.encode_response(response.to_dict()))
+        if pending:
+            # Coherence guarantee: every subscriber's entries drop before the
+            # write's response leaves this node.  The requesting client's own
+            # invalidation rides the response itself (free), everyone else
+            # pays one !inv frame per node.
+            piggyback = self._broadcast_invalidations(pending, exclude=source)
+            if piggyback:
+                framed = attach_invalidations(framed, sorted(piggyback))
+                self.invalidations_piggybacked += 1
+        return framed
 
     def _dispatch(self, request: InvocationRequest) -> InvocationResponse:
         self.invocations_served += 1
@@ -484,6 +769,13 @@ class AddressSpace:
                         f"object {request.target_id!r} has no member {request.member!r}"
                     )
                 )
+            if self._cache_subscribers and self._mutates_subscribed_object(
+                request.target_id, target, request.member
+            ):
+                # Recorded before execution: a write that raises may still
+                # have mutated state, so subscribers are invalidated either
+                # way (conservative, never stale).
+                self._pending_invalidations.add(request.target_id)
             args, kwargs = self.marshaller.unmarshal_arguments(
                 request.args, request.kwargs
             )

@@ -379,6 +379,8 @@ BATCH_PROXY_RESERVED = frozenset(
         "remote_reference",
         "configure_batching",
         "pending_batched_calls",
+        "enable_caching",
+        "disable_caching",
     }
 )
 
@@ -399,6 +401,35 @@ class BatchingDispatchMixin:
     subsequent calls stream through it (sharded, windowed, out-of-order)
     instead of the proxy's own synchronous buffer.
     """
+
+    def enable_caching(self, cache: Any, *, cacheable: Optional[Any] = None):
+        """Serve repeated cacheable calls from ``cache`` instead of buffering.
+
+        ``cache`` is a :class:`~repro.runtime.caching.ResultCache`.  Which
+        members are safe to serve defaults to the generated proxy's
+        cacheability metadata (``_repro_cacheable_members``, extracted from
+        ``@cacheable`` markers and accessor getters); pass ``cacheable`` to
+        override.  Non-cacheable calls through the proxy count as writes:
+        they invalidate the cache's entries for the target before they are
+        buffered, and cacheable lookups bypass the cache until the write's
+        future resolves.  Returns self.
+        """
+        self._cache = cache
+        if cacheable is not None:
+            self._cache_members = frozenset(cacheable)
+        else:
+            self._cache_members = frozenset(
+                getattr(type(self), "_repro_cacheable_members", ())
+            ) | frozenset(cache.cacheable)
+        # The cache itself re-checks cacheability on store/lookup; teach it
+        # this proxy's members so the two gates agree.
+        cache.cacheable = frozenset(cache.cacheable) | self._cache_members
+        return self
+
+    def disable_caching(self):
+        """Detach the cache: every call buffers and ships again; returns self."""
+        self._cache = None
+        return self
 
     def configure_batching(self, *, max_batch: Optional[int] = None, engine: Any = None):
         """Set the buffer window and/or attach a pipelining engine; returns self."""
@@ -443,8 +474,27 @@ class BatchingDispatchMixin:
         return self
 
     def _enqueue(self, member: str, args: tuple, kwargs: Optional[dict] = None):
-        """Buffer one interface-method call; returns its future immediately."""
+        """Buffer one interface-method call; returns its future immediately.
+
+        With a cache attached (:meth:`enable_caching`), the call funnels
+        through :func:`~repro.runtime.caching.cached_enqueue` — the same
+        coherence protocol the façade uses: cacheable calls are served
+        locally on a hit (no round trip), fills are version-token guarded,
+        and non-cacheable calls invalidate before they buffer.
+        """
         kwargs = kwargs or {}
+        cache = getattr(self, "_cache", None)
+        if cache is None:
+            return self._enqueue_uncached(member, args, kwargs)
+        from repro.runtime.caching import cached_enqueue
+
+        return cached_enqueue(
+            cache, self._cache_members, self._ref, member, args, kwargs,
+            self._enqueue_uncached,
+        )
+
+    def _enqueue_uncached(self, member: str, args: tuple, kwargs: dict):
+        """Buffer one call through the engine or the proxy's own window."""
         engine = getattr(self, "_engine", None)
         if engine is not None:
             return engine.submit(self._ref, member, *args, **kwargs)

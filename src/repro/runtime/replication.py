@@ -221,6 +221,16 @@ class ReplicatedObject:
         self._manager = manager
         self._group = group
 
+    @property
+    def _repro_cache_target(self) -> Any:
+        """The real implementation, for cacheability metadata lookups.
+
+        The owning address space reads ``@cacheable`` markers off this
+        instead of the wrapper type, so reads of a replicated object do not
+        spuriously invalidate subscriber caches.
+        """
+        return self._group.primary_impl
+
     def __getattr__(self, member: str) -> Callable:
         if member.startswith("_"):
             raise AttributeError(member)
@@ -704,9 +714,17 @@ class ReplicaManager:
             wrapper, interface_name=old_ref.interface_name
         )
         del group.backups[promoted.node_id]
-        # Retire the superseded export: should the dead node come back, its
-        # stale wrapper must not keep answering writes at the old reference.
+        # Capture the demoted primary's cache subscribers BEFORE retiring
+        # its export (unexport purges the coherence bookkeeping), so the
+        # promoted node can still flush their leases below.
+        stale_subscribers: Dict[str, Optional[float]] = {}
         if old_node in self.cluster:
+            stale_subscribers = self.cluster.space(old_node).take_cache_subscribers(
+                old_ref.object_id
+            )
+            # Retire the superseded export: should the dead node come back,
+            # its stale wrapper must not keep answering writes at the old
+            # reference.
             self.cluster.space(old_node).unexport(old_ref)
         # Keep the dead node enrolled so recovery can re-enlist it.
         group.backups[old_node] = ReplicaRecord(
@@ -717,6 +735,16 @@ class ReplicaManager:
         self._by_primary_ref.pop(old_ref, None)
         self._by_primary_ref[group.primary_ref] = group
         self.cluster.naming.rebind(group.name, group.primary_ref)
+        if stale_subscribers:
+            # Flush cache leases held against the demoted primary: it can no
+            # longer invalidate anyone, so the *promoted* node sends the
+            # invalidation for the old reference — readers drop their entries
+            # immediately rather than serving them until the lease runs out.
+            # (Entry keys also re-home naturally: the promoted primary is a
+            # fresh export, so post-failover reads miss and re-fill.)
+            new_space.send_cache_invalidations(
+                [old_ref.object_id], list(stale_subscribers)
+            )
 
         record = FailoverRecord(
             group_name=group.name,
@@ -731,6 +759,30 @@ class ReplicaManager:
         return record
 
     # ------------------------------------------------------------------
+
+    def dismantle(self, group: ReplicaGroup) -> None:
+        """Tear one replica group fully down (the reverse of :meth:`replicate`).
+
+        The primary wrapper and every backup endpoint are unexported and the
+        group is forgotten (redirect chains into it included) — dismantling a
+        session must leave no exports or manager state behind.  The group's
+        well-known name is the caller's to unbind (the manager does not know
+        whether anyone else rebound it).  Idempotent per group.
+        """
+        if self._groups.get(group.name) is not group:
+            return
+        if group.primary_node in self.cluster:
+            self.cluster.space(group.primary_node).unexport(group.primary_ref)
+        for record in group.backups.values():
+            if record.endpoint_ref is not None and record.node_id in self.cluster:
+                self.cluster.space(record.node_id).unexport(record.endpoint_ref)
+        del self._groups[group.name]
+        self._by_primary_ref.pop(group.primary_ref, None)
+        self._redirects = {
+            old: new
+            for old, new in self._redirects.items()
+            if new != group.primary_ref
+        }
 
     def stop(self) -> None:
         """Stop the interval sync loops (pending ticks become no-ops)."""

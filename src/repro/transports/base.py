@@ -25,7 +25,8 @@ JSON-compatible (None, bool, int, float, str, list, dict).
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, Optional
+import json
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import TransportError, UnknownTransportError
 
@@ -196,6 +197,137 @@ def parse_heartbeat(payload: bytes) -> int:
             except ValueError as exc:
                 raise TransportError("malformed heartbeat frame: bad sequence") from exc
     raise TransportError("not a heartbeat frame")
+
+
+#: Frame prefixes for the cache-coherence control plane.  Like heartbeat
+#: probes, these travel on the same simulated links as invocations (paying
+#: the same delivery rules) but bypass the transport codecs entirely: a node
+#: processes them before any protocol decoding, so coherence works regardless
+#: of which transports the node speaks.
+#:
+#: ``!inv``  — a write-invalidation frame: the owning address space tells a
+#: caching client to drop its entries for the listed object identifiers
+#: *before* the triggering write is acknowledged.
+#: ``!sub``  — a cache subscription: a client registers interest in one
+#: object's invalidations, optionally bounded by a lease (simulated seconds).
+INV_FRAME_PREFIX = b"!inv\n"
+INV_ACK_FRAME_PREFIX = b"!invack\n"
+SUB_FRAME_PREFIX = b"!sub\n"
+SUB_ACK_FRAME_PREFIX = b"!suback\n"
+
+#: Prefix marking a response payload that carries piggybacked invalidations
+#: in front of the real framed response.  When the client that issued a write
+#: is itself a cache subscriber, the owning space rides the invalidation on
+#: the (batch) response instead of paying a separate ``!inv`` message.
+INV_PIGGYBACK_PREFIX = b"!inv+\n"
+
+
+def frame_invalidation(object_ids: Iterable[str]) -> bytes:
+    """Frame one write-invalidation carrying the stale object identifiers."""
+    return INV_FRAME_PREFIX + json.dumps(sorted(object_ids)).encode("ascii")
+
+
+def is_invalidation(payload: bytes) -> bool:
+    """True when ``payload`` is a framed write-invalidation."""
+    return payload.startswith(INV_FRAME_PREFIX)
+
+
+def parse_invalidation(payload: bytes) -> List[str]:
+    """Extract the stale object identifiers from a framed invalidation."""
+    if not payload.startswith(INV_FRAME_PREFIX):
+        raise TransportError("not an invalidation frame")
+    try:
+        object_ids = json.loads(payload[len(INV_FRAME_PREFIX):])
+    except ValueError as exc:
+        raise TransportError("malformed invalidation frame: bad body") from exc
+    if not isinstance(object_ids, list):
+        raise TransportError("malformed invalidation frame: body is not a list")
+    return [str(object_id) for object_id in object_ids]
+
+
+def frame_invalidation_ack(count: int) -> bytes:
+    """Frame the answer to an invalidation, echoing how many ids it carried."""
+    return INV_ACK_FRAME_PREFIX + str(count).encode("ascii")
+
+
+def frame_subscription(
+    object_id: str,
+    node_id: str,
+    lease: Optional[float],
+    cacheable: Iterable[str] = (),
+) -> bytes:
+    """Frame one cache subscription for ``object_id`` from ``node_id``.
+
+    ``lease`` bounds the subscription in simulated seconds (``None`` keeps it
+    until the next invalidation for the object).  ``cacheable`` carries
+    member names the client *declares* side-effect-free — the owning space
+    honours them in addition to the implementation's own ``@cacheable``
+    markers, so policies caching a foreign deployment (no implementation
+    class at hand) stay coherent rather than self-invalidating on every
+    read.
+    """
+    body = {
+        "object_id": object_id,
+        "node": node_id,
+        "lease": lease,
+        "cacheable": sorted(cacheable),
+    }
+    return SUB_FRAME_PREFIX + json.dumps(body, sort_keys=True).encode("ascii")
+
+
+def is_subscription(payload: bytes) -> bool:
+    """True when ``payload`` is a framed cache subscription."""
+    return payload.startswith(SUB_FRAME_PREFIX)
+
+
+def parse_subscription(payload: bytes) -> dict:
+    """Extract ``{"object_id", "node", "lease"}`` from a subscription frame."""
+    if not payload.startswith(SUB_FRAME_PREFIX):
+        raise TransportError("not a subscription frame")
+    try:
+        body = json.loads(payload[len(SUB_FRAME_PREFIX):])
+    except ValueError as exc:
+        raise TransportError("malformed subscription frame: bad body") from exc
+    if not isinstance(body, dict) or "object_id" not in body or "node" not in body:
+        raise TransportError("malformed subscription frame: missing fields")
+    return body
+
+
+def frame_subscription_ack() -> bytes:
+    """Frame the answer to a cache subscription."""
+    return SUB_ACK_FRAME_PREFIX + b"ok"
+
+
+def attach_invalidations(payload: bytes, object_ids: Iterable[str]) -> bytes:
+    """Prepend piggybacked invalidations to a framed response payload.
+
+    The result is ``!inv+\\n<json ids>\\n<original payload>``; the receiving
+    side splits it back apart with :func:`split_invalidations` before handing
+    the inner payload to the normal response decoding path.
+    """
+    ids = sorted(object_ids)
+    if not ids:
+        return payload
+    return INV_PIGGYBACK_PREFIX + json.dumps(ids).encode("ascii") + b"\n" + payload
+
+
+def split_invalidations(payload: bytes) -> tuple[List[str], bytes]:
+    """Split piggybacked invalidations off a response payload.
+
+    Returns ``(object_ids, inner_payload)``; a payload without the piggyback
+    prefix comes back unchanged with an empty id list.
+    """
+    if not payload.startswith(INV_PIGGYBACK_PREFIX):
+        return [], payload
+    rest = payload[len(INV_PIGGYBACK_PREFIX):]
+    try:
+        header, inner = rest.split(b"\n", 1)
+        object_ids = json.loads(header)
+    except ValueError as exc:
+        raise TransportError("malformed piggybacked invalidation header") from exc
+    if not isinstance(object_ids, list):
+        raise TransportError("malformed piggybacked invalidation header")
+    return [str(object_id) for object_id in object_ids], inner
 
 
 def unframe_message(payload: bytes) -> tuple[str, bytes]:

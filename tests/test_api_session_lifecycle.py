@@ -166,6 +166,90 @@ class TestSessionClose:
         assert cluster.metrics.total_messages == before  # nothing shipped
         assert intake.accepted_count() == 0
 
+    def test_dismantle_unexports_and_unbinds(self, cluster):
+        """ROADMAP item: a dismantled session is fully reversible."""
+        session = Session(cluster, node="client")
+        before = cluster.space("shard-0").object_count()
+        session.service("orders", impl=OrderIntake(), node="shard-0")
+        assert "orders" in cluster.naming
+        assert cluster.space("shard-0").object_count() == before + 1
+        session.dismantle()
+        assert session.closed
+        assert "orders" not in cluster.naming
+        assert cluster.space("shard-0").object_count() == before
+
+    def test_dismantle_tears_down_replica_groups(self, cluster):
+        session = Session(cluster, node="client")
+        objects_before = {
+            node: cluster.space(node).object_count() for node in cluster.node_ids()
+        }
+        svc = session.service(
+            "orders",
+            ServicePolicy(batch_window=4).with_replication(2),
+            impl=OrderIntake(),
+            node="shard-0",
+            backup_nodes=["shard-1"],
+        )
+        svc.submit("sku-1", 1, 10)
+        session.dismantle()
+        assert "orders" not in cluster.naming
+        for node in cluster.node_ids():
+            assert cluster.space(node).object_count() == objects_before[node], node
+        assert session.replica_manager.groups() == []
+        _drain_queue(cluster)
+
+    def test_dismantle_leaves_foreign_deployments_alone(self, cluster):
+        owner = Session(cluster, node="client")
+        owner.service("orders", impl=OrderIntake(), node="shard-0")
+        attacher = Session(cluster, node="client")
+        attacher.service("orders")  # attach only
+        attacher.dismantle()
+        assert "orders" in cluster.naming  # the owner's binding survived
+        owner.dismantle()
+        assert "orders" not in cluster.naming
+
+    def test_dismantle_is_idempotent_and_safe_after_close(self, cluster):
+        session = Session(cluster, node="client")
+        session.service("orders", impl=OrderIntake(), node="shard-0")
+        session.close()
+        session.dismantle()
+        session.dismantle()
+        assert "orders" not in cluster.naming
+
+    def test_fifty_dismantled_sessions_leak_nothing(self, cluster):
+        """The leak regression, extended to cover dismantle(): names, exports,
+        listeners and event-queue work must all be gone."""
+        policy = (
+            ServicePolicy(transport="rmi", batch_window=4, pipeline_depth=2)
+            .with_replication(2)
+            .with_caching(lease_ms=50)
+        )
+        objects_before = {
+            node: cluster.space(node).object_count() for node in cluster.node_ids()
+        }
+        names_before = cluster.naming.names()
+        for round_index in range(50):
+            session = Session(cluster, node="client")
+            svc = session.service(
+                f"orders-{round_index}",
+                policy,
+                impl=OrderIntake(),
+                node="shard-0",
+                backup_nodes=["shard-1"],
+            )
+            futures = [svc.future.submit(f"sku-{i}", 1, 10) for i in range(8)]
+            svc.call("accepted_count")
+            session.drain()
+            assert all(f.ok for f in futures)
+            session.dismantle()
+        assert cluster.naming.names() == names_before
+        assert cluster.naming.rebind_listener_count() == 0
+        assert cluster.space("client").invalidation_listener_count() == 0
+        for node in cluster.node_ids():
+            assert cluster.space(node).object_count() == objects_before[node], node
+        _drain_queue(cluster)
+        assert cluster.network.events.run_next() is False
+
     def test_rebinds_after_close_do_not_touch_old_services(self, cluster):
         session = Session(cluster, node="client")
         svc = session.service("orders", impl=OrderIntake(), node="shard-0")

@@ -1,0 +1,545 @@
+"""The coherent client-side result cache (runtime/caching + the wire frames).
+
+Covers the subsystem bottom-up: control-frame round trips, the
+:class:`~repro.runtime.caching.CachePolicy` value object, the
+:class:`~repro.runtime.caching.ResultCache` mechanics (LRU, leases, the
+version-token race guard), the façade integration (hits cost no messages,
+writes invalidate **before** they are acknowledged, piggybacked
+invalidations ride batch responses), cacheability metadata on generated
+artifacts, and the adaptive policy's hit-rate discount.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import CachePolicy, ServicePolicy, Session, cacheable
+from repro.core.interfaces import cacheable_members, is_cacheable
+from repro.errors import PolicyError, TransportError
+from repro.runtime.caching import CacheManager, freeze_arguments
+from repro.runtime.cluster import Cluster
+from repro.transports.base import (
+    attach_invalidations,
+    frame_invalidation,
+    frame_subscription,
+    is_invalidation,
+    is_subscription,
+    parse_invalidation,
+    parse_subscription,
+    split_invalidations,
+)
+
+
+class Catalog:
+    """A tiny key/value service with cacheable reads and plain writes."""
+
+    def __init__(self):
+        self.items = {}
+        self.version = 0
+
+    @cacheable
+    def get_item(self, key):
+        return self.items.get(key)
+
+    @cacheable
+    def item_count(self):
+        return len(self.items)
+
+    def put_item(self, key, value):
+        self.items[key] = value
+        self.version += 1
+        return self.version
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(("reader", "writer", "server"))
+
+
+def _sessions(cluster, reader_policy, writer_policy=None, impl=None):
+    impl = impl if impl is not None else Catalog()
+    reader = Session(cluster, node="reader")
+    writer = Session(cluster, node="writer")
+    svc = reader.service("catalog", reader_policy, impl=impl, node="server")
+    wsvc = writer.service(
+        "catalog", writer_policy or ServicePolicy(transport="rmi")
+    )
+    return reader, writer, svc, wsvc, impl
+
+
+CACHED = ServicePolicy(transport="rmi").with_caching(lease_ms=500)
+
+
+class TestControlFrames:
+    def test_invalidation_round_trip(self):
+        payload = frame_invalidation(["obj-2", "obj-1"])
+        assert is_invalidation(payload)
+        assert parse_invalidation(payload) == ["obj-1", "obj-2"]
+
+    def test_subscription_round_trip(self):
+        payload = frame_subscription("obj-1", "reader", 0.25)
+        assert is_subscription(payload)
+        body = parse_subscription(payload)
+        assert body["object_id"] == "obj-1"
+        assert body["node"] == "reader"
+        assert body["lease"] == 0.25
+
+    def test_unbounded_subscription(self):
+        assert parse_subscription(frame_subscription("o", "n", None))["lease"] is None
+
+    def test_piggyback_attach_and_split(self):
+        inner = b"rmi\n{...}"
+        wrapped = attach_invalidations(inner, ["obj-1"])
+        ids, unwrapped = split_invalidations(wrapped)
+        assert ids == ["obj-1"]
+        assert unwrapped == inner
+
+    def test_piggyback_without_ids_is_identity(self):
+        inner = b"rmi\nbody"
+        assert attach_invalidations(inner, []) == inner
+        assert split_invalidations(inner) == ([], inner)
+
+    def test_malformed_frames_raise(self):
+        with pytest.raises(TransportError):
+            parse_invalidation(b"!inv\nnot json")
+        with pytest.raises(TransportError):
+            parse_subscription(b"!sub\n[1,2]")
+        with pytest.raises(TransportError):
+            split_invalidations(b"!inv+\nnot json")
+
+
+class TestCachePolicy:
+    def test_defaults(self):
+        policy = CachePolicy()
+        assert policy.mode == "leases"
+        assert policy.subscribes and policy.expires
+        assert policy.lease_seconds == pytest.approx(0.05)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_entries": 0},
+            {"lease_ms": 0},
+            {"lease_ms": -5},
+            {"mode": "psychic"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(PolicyError):
+            CachePolicy(**kwargs)
+
+    def test_mode_properties(self):
+        assert not CachePolicy(mode="invalidate").expires
+        assert CachePolicy(mode="invalidate").subscribes
+        assert not CachePolicy(mode="write_through").subscribes
+        assert CachePolicy(mode="write_through").expires
+
+    def test_service_policy_rejects_non_cache_policy(self):
+        with pytest.raises(PolicyError):
+            ServicePolicy(cache="yes please")
+
+    def test_with_caching_knobs_conflict(self):
+        with pytest.raises(PolicyError):
+            ServicePolicy().with_caching(CachePolicy(), lease_ms=5)
+
+    def test_freeze_arguments_rejects_unhashable_leaves(self):
+        frozen = freeze_arguments(([1, 2], {"k": {"n": 1}}), {})
+        assert hash(frozen) is not None
+        with pytest.raises(TypeError):
+            freeze_arguments((object().__class__.__dict__,), {})
+
+
+class TestCacheableMetadata:
+    def test_decorator_and_members(self):
+        assert is_cacheable(Catalog.get_item)
+        assert not is_cacheable(Catalog.put_item)
+        assert cacheable_members(Catalog) == {"get_item", "item_count"}
+
+    def test_markers_survive_subclassing(self):
+        class Special(Catalog):
+            pass
+
+        assert "get_item" in cacheable_members(Special)
+
+    def test_interface_extraction_flags_getters_and_marked_methods(self):
+        import sample_app
+        from repro.core.introspect import class_model_from_python
+        from repro.core.interfaces import extract_instance_interface
+
+        model = class_model_from_python(Catalog)
+        interface = extract_instance_interface(model)
+        names = set(interface.cacheable_method_names())
+        assert "get_item" in names and "item_count" in names
+        assert "put_item" not in names
+        # Accessor getters are always cacheable; setters never are.
+        y_interface = extract_instance_interface(class_model_from_python(sample_app.Y))
+        y_names = set(y_interface.cacheable_method_names())
+        assert any(name.startswith("get_") for name in y_names)
+        assert not any(name.startswith("set_") for name in y_names)
+
+
+class TestResultCacheMechanics:
+    def _cache(self, cluster, policy=None):
+        manager = CacheManager(cluster.space("reader"))
+        cache = manager.create_cache(
+            policy or CachePolicy(lease_ms=500), frozenset({"get_item"})
+        )
+        ref = cluster.space("server").export(Catalog())
+        return manager, cache, ref
+
+    def test_miss_fill_hit(self, cluster):
+        manager, cache, ref = self._cache(cluster)
+        hit, _ = cache.lookup(ref, "get_item", ("a",), {})
+        assert not hit
+        token = cache.begin_fill(ref)
+        assert cache.store(ref, "get_item", ("a",), {}, 41, token)
+        hit, value = cache.lookup(ref, "get_item", ("a",), {})
+        assert hit and value == 41
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self, cluster):
+        manager, cache, ref = self._cache(cluster, CachePolicy(max_entries=2, lease_ms=500))
+        for key in ("a", "b", "c"):
+            cache.store(ref, "get_item", (key,), {}, key, cache.begin_fill(ref))
+        assert len(cache) == 2
+        assert cache.lookup(ref, "get_item", ("a",), {}) == (False, None)
+        assert cache.lookup(ref, "get_item", ("c",), {})[0]
+
+    def test_lease_expiry_uses_simulated_time(self, cluster):
+        manager, cache, ref = self._cache(cluster, CachePolicy(lease_ms=10))
+        cache.store(ref, "get_item", ("a",), {}, 1, cache.begin_fill(ref))
+        assert cache.lookup(ref, "get_item", ("a",), {})[0]
+        cluster.clock.advance(0.02)  # 20 ms > the 10 ms lease
+        assert not cache.lookup(ref, "get_item", ("a",), {})[0]
+        assert cache.entries_expired == 1
+
+    def test_version_race_discards_the_fill(self, cluster):
+        """An invalidation arriving while a read is in flight voids its fill."""
+        manager, cache, ref = self._cache(cluster)
+        token = cache.begin_fill(ref)
+        manager.bump_version(ref.object_id)  # a write raced the read
+        assert not cache.store(ref, "get_item", ("a",), {}, "stale", token)
+        assert cache.racy_fills_discarded == 1
+        assert not cache.lookup(ref, "get_item", ("a",), {})[0]
+
+    def test_pending_write_bypasses_lookup(self, cluster):
+        from repro.runtime.pipelining import InvocationFuture
+
+        manager, cache, ref = self._cache(cluster)
+        cache.store(ref, "get_item", ("a",), {}, 1, cache.begin_fill(ref))
+        write = InvocationFuture("put_item")
+        cache.note_write(ref, write)
+        assert not cache.lookup(ref, "get_item", ("a",), {})[0]
+        write._resolve(7)
+        # Entries were dropped by the write; a fresh fill works again.
+        cache.store(ref, "get_item", ("a",), {}, 2, cache.begin_fill(ref))
+        assert cache.lookup(ref, "get_item", ("a",), {}) == (True, 2)
+
+    def test_manager_close_detaches_listener(self, cluster):
+        space = cluster.space("reader")
+        before = space.invalidation_listener_count()
+        manager = CacheManager(space)
+        assert space.invalidation_listener_count() == before + 1
+        manager.close()
+        manager.close()
+        assert space.invalidation_listener_count() == before
+
+
+class TestFacadeCaching:
+    def test_hits_cost_no_messages(self, cluster):
+        reader, writer, svc, wsvc, impl = _sessions(cluster, CACHED)
+        wsvc.put_item("a", 1)
+        assert svc.get_item("a") == 1
+        before = cluster.metrics.total_messages
+        for _ in range(10):
+            assert svc.get_item("a") == 1
+        assert cluster.metrics.total_messages == before
+        assert svc.cache.hits == 10
+        reader.close(), writer.close()
+
+    def test_foreign_write_invalidates_before_it_is_acknowledged(self, cluster):
+        reader, writer, svc, wsvc, impl = _sessions(cluster, CACHED)
+        wsvc.put_item("a", 1)
+        assert svc.get_item("a") == 1
+        wsvc.put_item("a", 2)  # the ack carries the coherence guarantee
+        assert cluster.space("reader").invalidations_received == 1
+        assert svc.get_item("a") == 2
+        reader.close(), writer.close()
+
+    def test_own_write_through_cached_service(self, cluster):
+        reader, writer, svc, wsvc, impl = _sessions(cluster, CACHED)
+        svc.put_item("a", 1)
+        assert svc.get_item("a") == 1
+        svc.put_item("a", 2)
+        assert svc.get_item("a") == 2
+        reader.close(), writer.close()
+
+    def test_batched_write_piggybacks_the_invalidation(self, cluster):
+        """A cached+batched client's own writes invalidate via the batch
+        response, not a separate !inv message."""
+        policy = ServicePolicy(transport="rmi", batch_window=4).with_caching(
+            lease_ms=500
+        )
+        reader, writer, svc, wsvc, impl = _sessions(cluster, policy)
+        assert svc.get_item("a") is None  # fill (and subscribe)
+        futures = [svc.future.put_item("a", n) for n in (1, 2, 3)]
+        svc.flush()
+        assert [f.result() for f in futures] == [1, 2, 3]
+        assert cluster.space("server").invalidations_piggybacked == 1
+        assert cluster.space("server").invalidations_sent == 0
+        assert svc.get_item("a") == 3
+        reader.close(), writer.close()
+
+    def test_invalidate_mode_never_expires(self, cluster):
+        policy = ServicePolicy(transport="rmi").with_caching(
+            CachePolicy(mode="invalidate")
+        )
+        reader, writer, svc, wsvc, impl = _sessions(cluster, policy)
+        wsvc.put_item("a", 1)
+        assert svc.get_item("a") == 1
+        cluster.clock.advance(60.0)  # any lease would be long gone
+        before = cluster.metrics.total_messages
+        assert svc.get_item("a") == 1
+        assert cluster.metrics.total_messages == before
+        wsvc.put_item("a", 2)
+        assert svc.get_item("a") == 2
+        reader.close(), writer.close()
+
+    def test_write_through_mode_staleness_is_lease_bounded(self, cluster):
+        policy = ServicePolicy(transport="rmi").with_caching(
+            CachePolicy(mode="write_through", lease_ms=10)
+        )
+        reader, writer, svc, wsvc, impl = _sessions(cluster, policy)
+        wsvc.put_item("a", 1)
+        assert svc.get_item("a") == 1
+        wsvc.put_item("a", 2)
+        # No subscription: the stale value may be served within the lease...
+        assert svc.get_item("a") == 1
+        # ...but never beyond it.
+        cluster.clock.advance(0.02)
+        assert svc.get_item("a") == 2
+        # Own writes invalidate immediately even in write_through mode.
+        svc.put_item("a", 3)
+        assert svc.get_item("a") == 3
+        reader.close(), writer.close()
+
+    def test_non_cacheable_members_always_dispatch(self, cluster):
+        reader, writer, svc, wsvc, impl = _sessions(cluster, CACHED)
+        svc.put_item("a", 1)
+        before = cluster.metrics.total_messages
+        svc.put_item("a", 2)
+        assert cluster.metrics.total_messages > before
+        reader.close(), writer.close()
+
+    def test_attaching_session_uses_explicit_cacheable_list(self, cluster):
+        """Without the impl class, CachePolicy(cacheable=...) supplies the
+        metadata."""
+        impl = Catalog()
+        owner = Session(cluster, node="writer")
+        owner.service("catalog", ServicePolicy(transport="rmi"), impl=impl, node="server")
+        reader = Session(cluster, node="reader")
+        svc = reader.service(
+            "catalog",
+            ServicePolicy(transport="rmi").with_caching(
+                CachePolicy(lease_ms=500, cacheable=("get_item",))
+            ),
+        )
+        impl.items["a"] = 5
+        assert svc.get_item("a") == 5
+        before = cluster.metrics.total_messages
+        assert svc.get_item("a") == 5
+        assert cluster.metrics.total_messages == before
+        reader.close(), owner.close()
+
+    def test_session_close_detaches_cache_manager(self, cluster):
+        reader, writer, svc, wsvc, impl = _sessions(cluster, CACHED)
+        assert cluster.space("reader").invalidation_listener_count() == 1
+        reader.close()
+        assert cluster.space("reader").invalidation_listener_count() == 0
+        assert reader.cache_manager.closed
+        writer.close()
+
+    def test_shorter_lease_on_the_same_node_cannot_silence_invalidations(
+        self, cluster
+    ):
+        """Regression: a second session on the same node subscribing with a
+        shorter lease must not overwrite (and prematurely expire) the
+        longer-lease subscription — the server keeps the later expiry."""
+        impl = Catalog()
+        long_reader = Session(cluster, node="reader")
+        svc_long = long_reader.service(
+            "catalog",
+            ServicePolicy(transport="rmi").with_caching(lease_ms=1000),
+            impl=impl,
+            node="server",
+        )
+        writer = Session(cluster, node="writer")
+        wsvc = writer.service("catalog", ServicePolicy(transport="rmi"))
+        wsvc.put_item("k", "v1")
+        assert svc_long.get_item("k") == "v1"  # cached under the long lease
+        short_reader = Session(cluster, node="reader")
+        svc_short = short_reader.service(
+            "catalog",
+            ServicePolicy(transport="rmi").with_caching(
+                CachePolicy(lease_ms=1, cacheable=("get_item",))
+            ),
+        )
+        assert svc_short.get_item("k") == "v1"  # subscribes with a 1 ms lease
+        cluster.clock.advance(0.01)  # past the short lease, within the long one
+        wsvc.put_item("k", "v2")
+        assert svc_long.get_item("k") == "v2", "invalidation was silenced"
+        long_reader.close(), short_reader.close(), writer.close()
+
+    def test_lost_invalidation_waits_the_lease_out(self, cluster):
+        """An undeliverable !inv frame falls back to the lease protocol: the
+        write stalls until the subscriber's entries have expired."""
+        reader, writer, svc, wsvc, impl = _sessions(
+            cluster, ServicePolicy(transport="rmi").with_caching(lease_ms=50)
+        )
+        wsvc.put_item("a", 1)
+        assert svc.get_item("a") == 1
+        # Partition the reader so the invalidation cannot be delivered.
+        cluster.network.failures.partition({"reader"}, {"writer", "server"})
+        wsvc.put_item("a", 2)  # must wait out the reader's lease
+        cluster.network.failures.heal()
+        assert svc.get_item("a") == 2  # lease expired during the stall: no stale read
+        reader.close(), writer.close()
+
+
+class TestGeneratedProxyCaching:
+    @pytest.fixture
+    def app_cluster(self):
+        import sample_app
+        from repro.core.transformer import ApplicationTransformer
+        from repro.policy.policy import all_local_policy
+
+        app = ApplicationTransformer(all_local_policy()).transform(
+            [sample_app.X, sample_app.Y, sample_app.Z]
+        )
+        cluster = Cluster(("client", "server"))
+        app.deploy(cluster, default_node="client")
+        return app, cluster
+
+    def test_batch_proxy_carries_cacheable_metadata(self, app_cluster):
+        app, cluster = app_cluster
+        proxy_cls = app.artifacts("Y").batch_proxy_for("rmi")
+        names = set(proxy_cls._repro_cacheable_members)
+        assert any(name.startswith("get_") for name in names)
+        assert not any(name.startswith("set_") for name in names)
+
+    def test_batch_proxy_serves_hits_without_round_trips(self, app_cluster):
+        app, cluster = app_cluster
+        server_space = cluster.space("server")
+        impl = app.artifacts("Y").local_cls()
+        impl.set_base(13)
+        ref = server_space.export(impl)
+        manager = CacheManager(cluster.space("client"))
+        cache = manager.create_cache(CachePolicy(lease_ms=500))
+        proxy = app.artifacts("Y").batch_proxy_for("rmi")(
+            ref, cluster.space("client")
+        ).enable_caching(cache)
+        assert proxy.get_base().result() == 13  # miss: fills
+        before = cluster.metrics.total_messages
+        assert proxy.get_base().result() == 13  # hit: no traffic
+        assert cluster.metrics.total_messages == before
+        assert cache.hits == 1
+
+    def test_batch_proxy_write_invalidates_and_refills(self, app_cluster):
+        app, cluster = app_cluster
+        impl = app.artifacts("Y").local_cls()
+        impl.set_base(1)
+        ref = cluster.space("server").export(impl)
+        manager = CacheManager(cluster.space("client"))
+        cache = manager.create_cache(CachePolicy(lease_ms=500))
+        proxy = app.artifacts("Y").batch_proxy_for("rmi")(
+            ref, cluster.space("client")
+        ).enable_caching(cache)
+        assert proxy.get_base().result() == 1
+        proxy.set_base(2).result()  # a write through the same proxy
+        assert proxy.get_base().result() == 2
+
+    def test_class_batch_proxy_batches_static_calls(self, app_cluster):
+        """ROADMAP item: class singletons route through the batch-aware path."""
+        app, cluster = app_cluster
+        artifacts = app.artifacts("Y")
+        proxy_cls = artifacts.batch_proxy_for("rmi", kind="class")
+        assert proxy_cls.__name__ == "Y_C_BatchProxy_RMI"
+        singleton = artifacts.class_local_cls.get_me()
+        ref = cluster.space("server").export(singleton)
+        proxy = proxy_cls(ref, cluster.space("client"), max_batch=8)
+        futures = [proxy.get_K() for _ in range(4)]
+        batches_before = cluster.space("client").batches_sent
+        proxy.flush()
+        assert cluster.space("client").batches_sent == batches_before + 1
+        assert all(future.result() == singleton.get_K() for future in futures)
+
+    def test_unknown_kind_raises_clearly(self, app_cluster):
+        from repro.errors import GenerationError
+
+        app, _ = app_cluster
+        with pytest.raises(GenerationError, match="class batch proxy"):
+            app.artifacts("Y").batch_proxy_for("carrier-pigeon", kind="class")
+
+    def test_emitted_listing_includes_class_batch_proxy(self, app_cluster):
+        app, _ = app_cluster
+        sources = app.emit_sources("Y", transports=("rmi",))
+        assert "Y_C_BatchProxy_RMI" in sources
+        assert "_repro_cacheable_members" in sources["Y_O_BatchProxy_RMI"]
+
+
+class TestAdaptiveHitRateTerm:
+    def _manager(self, **kwargs):
+        import sample_app
+        from repro.core.transformer import ApplicationTransformer
+        from repro.policy.adaptive import AdaptiveDistributionManager
+        from repro.policy.policy import all_local_policy
+        from repro.runtime.redistribution import DistributionController
+
+        app = ApplicationTransformer(all_local_policy(dynamic=True)).transform(
+            [sample_app.X, sample_app.Y, sample_app.Z]
+        )
+        cluster = Cluster(("front", "back"))
+        app.deploy(cluster, default_node="front")
+        controller = DistributionController(app, cluster)
+        return app, AdaptiveDistributionManager(
+            app, controller, threshold=0.6, min_calls=10, **kwargs
+        )
+
+    def test_hit_ratio_validation(self):
+        from repro.errors import RedistributionError
+
+        with pytest.raises(RedistributionError):
+            self._manager(cache_hit_ratio=1.0)
+        with pytest.raises(RedistributionError):
+            self._manager(cache_hit_ratio=-0.1)
+
+    def test_configured_ratio_discounts_the_window(self):
+        app, manager = self._manager(cache_hit_ratio=0.75)
+        y = app.new("Y", 1)
+        monitor = manager.attach(y)
+        with app.executing_on("back"):
+            for _ in range(20):
+                y.n(1)
+        # 20 observed calls, 75% served from cache -> 5 amortised < min_calls.
+        assert manager.amortised_call_count(monitor) == pytest.approx(5.0)
+        assert manager.evaluate() == []
+
+    def test_measured_ratio_supersedes_configured(self):
+        class FakeCache:
+            hits = 90
+            misses = 10
+
+        app, manager = self._manager(cache_hit_ratio=0.0)
+        manager.connect_cache(FakeCache())
+        assert manager.effective_cache_hit_ratio() == pytest.approx(0.9)
+        manager.connect_cache(None)
+        assert manager.effective_cache_hit_ratio() == 0.0
+
+    def test_unhit_cache_falls_back_to_configured(self):
+        class EmptyCache:
+            hits = 0
+            misses = 0
+
+        app, manager = self._manager(cache_hit_ratio=0.5)
+        manager.connect_cache(EmptyCache())
+        assert manager.effective_cache_hit_ratio() == pytest.approx(0.5)

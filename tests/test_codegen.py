@@ -132,6 +132,7 @@ class TestWholeClassEmission:
             "X_O_Factory", "X_C_Factory",
             "X_O_Proxy_SOAP", "X_O_Proxy_RMI", "X_C_Proxy_SOAP", "X_C_Proxy_RMI",
             "X_O_BatchProxy_SOAP", "X_O_BatchProxy_RMI",
+            "X_C_BatchProxy_SOAP", "X_C_BatchProxy_RMI",
         }
         assert expected == set(sources)
 
