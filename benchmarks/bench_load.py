@@ -1,0 +1,193 @@
+"""Saturation under open-loop load: the goodput-vs-offered-load curve.
+
+Every other benchmark measures an idle-network speedup; this one measures
+what happens when the network and the server stop being idle.  An open-loop
+Poisson arrival process (:mod:`repro.workloads.open_loop`) offers load at a
+sweep of multiples of the server's capacity (``workers / service_time``
+requests per simulated second) against a node bounded by a
+:class:`~repro.network.simnet.ServicePool`, with FIFO link queueing enabled.
+The claims pinned by ``benchmarks/check_regressions.py``:
+
+* **Below capacity the system keeps up**: goodput at the lowest load point
+  is at least 99 % of the measured offered load.
+* **Above capacity goodput plateaus** near capacity while p99 latency
+  inflates — the curve has a saturation *knee*, detected as the first point
+  whose goodput falls below 95 % of its offered load.
+* **Latency percentiles grow monotonically** with offered load (p99 at the
+  highest point is no lower than at the lowest).
+
+Run standalone for a quick smoke check (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_load.py
+"""
+
+from __future__ import annotations
+
+from _helpers import write_bench_json
+
+from repro.runtime.cluster import Cluster
+from repro.workloads.open_loop import detect_knee, run_open_loop_scenario
+
+NODES = ("client", "server")
+TRANSPORT = "rmi"
+
+#: Server bound: 2 workers x 2 ms per request = 1000 req/s capacity.
+WORKERS = 2
+SERVICE_TIME = 0.002
+QUEUE_LIMIT = 16
+
+#: Offered load sweep, as multiples of the server's capacity.
+LOAD_FACTORS = (0.5, 0.9, 1.5, 2.5)
+
+#: Simulated seconds of traffic per load point.
+DURATION = 1.0
+
+#: The gate: the lowest load point must complete >=99% of its offered load.
+LOW_LOAD_EFFICIENCY_FLOOR = 0.99
+
+#: Knee definition: goodput below 95% of offered load means saturated.
+KNEE_EFFICIENCY = 0.95
+
+
+def _capacity() -> float:
+    return WORKERS / SERVICE_TIME
+
+
+def _run_point(factor: float, duration: float = DURATION) -> dict:
+    cluster = Cluster(NODES)
+    outcome = run_open_loop_scenario(
+        cluster,
+        transport=TRANSPORT,
+        offered_load=factor * _capacity(),
+        duration=duration,
+        workers=WORKERS,
+        queue_limit=QUEUE_LIMIT,
+        service_time=SERVICE_TIME,
+    )
+    outcome.pop("histogram")
+    outcome["load_factor"] = factor
+    return outcome
+
+
+def _run_curve(duration: float = DURATION) -> list[dict]:
+    return [_run_point(factor, duration) for factor in LOAD_FACTORS]
+
+
+def _curve_holds(points: list[dict], knee) -> bool:
+    low, high = points[0], points[-1]
+    return (
+        knee is not None
+        and low["goodput"] >= LOW_LOAD_EFFICIENCY_FLOOR * low["measured_offered"]
+        and high["goodput"] <= _capacity() * 1.05
+        and high["latency"]["p99"] >= low["latency"]["p99"]
+    )
+
+
+# -- pytest-benchmark entry points ---------------------------------------------
+
+
+def bench_open_loop_below_capacity(benchmark):
+    """At half capacity the system completes what is offered."""
+    outcome = benchmark.pedantic(lambda: _run_point(0.5), rounds=1, iterations=1)
+    assert outcome["goodput"] >= LOW_LOAD_EFFICIENCY_FLOOR * outcome["measured_offered"]
+    benchmark.extra_info["goodput"] = round(outcome["goodput"], 2)
+    benchmark.extra_info["p99_ms"] = round(outcome["latency"]["p99"] * 1000, 3)
+
+
+def bench_open_loop_saturated(benchmark):
+    """At 2.5x capacity goodput plateaus at capacity and load is shed."""
+    outcome = benchmark.pedantic(lambda: _run_point(2.5), rounds=1, iterations=1)
+    assert outcome["goodput"] <= _capacity() * 1.05
+    assert outcome["rejected"] > 0
+    benchmark.extra_info["goodput"] = round(outcome["goodput"], 2)
+    benchmark.extra_info["rejected"] = outcome["rejected"]
+
+
+def bench_load_curve_has_knee(benchmark):
+    """The full sweep bends exactly once: linear, then a plateau."""
+    points = benchmark.pedantic(_run_curve, rounds=1, iterations=1)
+    knee = detect_knee(points, efficiency=KNEE_EFFICIENCY)
+    assert _curve_holds(points, knee), "the load curve lost its expected shape"
+    benchmark.extra_info["knee_offered_load"] = round(knee["offered_load"], 2)
+
+
+# -- standalone smoke run ------------------------------------------------------
+
+
+def _point_row(point: dict) -> dict:
+    """The plain-data slice of one load point kept in ``BENCH_load.json``."""
+    latency = point["latency"]
+    return {
+        "load_factor": point["load_factor"],
+        "offered_load": round(point["offered_load"], 3),
+        "measured_offered": round(point["measured_offered"], 3),
+        "arrivals": point["arrivals"],
+        "completed": point["completed"],
+        "rejected": point["rejected"],
+        "failed": point["failed"],
+        "calls_retried": point["calls_retried"],
+        "goodput": round(point["goodput"], 3),
+        "p50": round(latency["p50"], 6),
+        "p99": round(latency["p99"], 6),
+        "p999": round(latency["p999"], 6),
+        "mean_latency": round(latency["mean"], 6),
+        "max_latency": round(latency["max"], 6),
+        "max_pool_queue_depth": point["pool"]["max_queue_depth"],
+        "link_queue_delay": round(point["link_queue_delay"], 6),
+    }
+
+
+def main(duration: float = DURATION) -> int:
+    capacity = _capacity()
+    print(
+        f"open-loop load sweep: Poisson arrivals for {duration:.1f} simulated "
+        f"second(s) per point against {WORKERS} workers x {SERVICE_TIME * 1000:.0f} ms "
+        f"(capacity {capacity:.0f} req/s, admission queue {QUEUE_LIMIT})"
+    )
+    print(
+        f"{'offered':>9s} {'goodput':>9s} {'eff':>6s} {'p50':>9s} {'p99':>9s} "
+        f"{'p999':>9s} {'rejected':>9s} {'retried':>8s}"
+    )
+    points = _run_curve(duration)
+    for point in points:
+        latency = point["latency"]
+        efficiency = point["goodput"] / point["measured_offered"]
+        print(
+            f"{point['measured_offered']:7.0f}/s {point['goodput']:7.0f}/s "
+            f"{efficiency:6.1%} {latency['p50'] * 1000:7.2f}ms "
+            f"{latency['p99'] * 1000:7.2f}ms {latency['p999'] * 1000:7.2f}ms "
+            f"{point['rejected']:9d} {point['calls_retried']:8d}"
+        )
+    knee = detect_knee(points, efficiency=KNEE_EFFICIENCY)
+    ok = _curve_holds(points, knee)
+    write_bench_json(
+        "load",
+        {
+            "transport": TRANSPORT,
+            "workers": WORKERS,
+            "service_time": SERVICE_TIME,
+            "queue_limit": QUEUE_LIMIT,
+            "capacity": capacity,
+            "duration": duration,
+            "knee_efficiency": KNEE_EFFICIENCY,
+            "low_load_efficiency_floor": LOW_LOAD_EFFICIENCY_FLOOR,
+            "load_points": [_point_row(point) for point in points],
+            "knee": knee,
+            "ok": ok,
+        },
+    )
+    if knee is None:
+        print("no saturation knee found within the swept range  FAIL")
+    else:
+        print(
+            f"saturation knee at {knee['measured_offered']:.0f} req/s offered "
+            f"({knee['efficiency']:.1%} efficiency)"
+        )
+    print("ok" if ok else "the load curve lost its expected shape  FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

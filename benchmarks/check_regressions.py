@@ -12,7 +12,11 @@ fails (exit 1) when a tracked ratio drops below its floor:
   orders on the kill-a-shard run, with at least one failover exercised;
 * caching — cached vs uncached per-call speedup >= 5x at 90% reads on every
   transport, with zero stale reads observed after committed writes (steady
-  state and across the primary kill, which must exercise a failover).
+  state and across the primary kill, which must exercise a failover);
+* load — the open-loop sweep keeps up below capacity (goodput >= 99% of the
+  measured offered load at the lowest point), saturates above it (goodput
+  plateaus within 5% of capacity while p99 latency inflates monotonically),
+  and exhibits a detected knee within the swept range.
 
 A tracked file that is missing is itself a failure: the gate must not pass
 vacuously because a smoke run silently stopped emitting its artifact.
@@ -33,6 +37,10 @@ from pathlib import Path
 BATCHING_FLOOR = 3.0
 PIPELINING_FLOOR = 2.0
 CACHING_FLOOR = 5.0
+
+#: The open-loop sweep's under-capacity completion floor and plateau slack.
+LOAD_LOW_EFFICIENCY_FLOOR = 0.99
+LOAD_PLATEAU_SLACK = 1.05
 
 
 def _load(directory: Path, name: str, problems: list) -> dict | None:
@@ -149,11 +157,52 @@ def check_caching(data: dict, problems: list) -> None:
             )
 
 
+def check_load(data: dict, problems: list) -> None:
+    """The open-loop sweep must keep up below capacity and bend above it.
+
+    Every tracked key must be present and the curve must carry at least
+    three load points — fewer cannot show linear-then-plateau — with a
+    detected knee, >=99% completion efficiency at the lowest point, goodput
+    plateauing within 5% of capacity at the highest point, and p99 latency
+    no lower saturated than idle.
+    """
+    points = data.get("load_points") or []
+    capacity = data.get("capacity") or 0.0
+    if len(points) < 3 or capacity <= 0.0:
+        problems.append(
+            "load: artifact needs a positive capacity and at least three "
+            f"load points (got {len(points)})"
+        )
+        return
+    points = sorted(points, key=lambda point: point["offered_load"])
+    low, high = points[0], points[-1]
+    if not data.get("knee"):
+        problems.append("load: no saturation knee detected within the swept range")
+    offered = low.get("measured_offered", low["offered_load"])
+    if low["goodput"] < LOAD_LOW_EFFICIENCY_FLOOR * offered:
+        problems.append(
+            f"load: goodput {low['goodput']:.1f}/s at the lowest point covers "
+            f"only {low['goodput'] / offered:.1%} of the {offered:.1f}/s offered "
+            f"(floor {LOAD_LOW_EFFICIENCY_FLOOR:.0%})"
+        )
+    if high["goodput"] > capacity * LOAD_PLATEAU_SLACK:
+        problems.append(
+            f"load: saturated goodput {high['goodput']:.1f}/s exceeds capacity "
+            f"{capacity:.1f}/s — the bound stopped binding"
+        )
+    if high["p99"] < low["p99"]:
+        problems.append(
+            f"load: p99 fell from {low['p99'] * 1000:.2f}ms idle to "
+            f"{high['p99'] * 1000:.2f}ms saturated — queueing is not being charged"
+        )
+
+
 CHECKS = {
     "batching": check_batching,
     "pipelining": check_pipelining,
     "replication": check_replication,
     "caching": check_caching,
+    "load": check_load,
 }
 
 

@@ -370,8 +370,11 @@ class Session:
         monitors and moves).  The session supplies the measured signals the
         heuristic amortises by: every shared pipeline scheduler is connected
         as it appears (:meth:`~repro.policy.adaptive.AdaptiveDistributionManager.connect_pipeline`,
-        most recent wins) and the session's cache manager feeds the hit-rate
-        discount (:meth:`~repro.policy.adaptive.AdaptiveDistributionManager.connect_cache`).
+        most recent wins), the session's cache manager feeds the hit-rate
+        discount (:meth:`~repro.policy.adaptive.AdaptiveDistributionManager.connect_cache`),
+        and the cluster's network feeds the measured queueing-delay weight
+        (:meth:`~repro.policy.adaptive.AdaptiveDistributionManager.connect_network`)
+        so congested traffic argues more strongly for moving objects.
         ``attach_existing`` monitors every handle the application has already
         produced; ``interval`` additionally starts :meth:`auto_adapt`.
         Returns the manager.
@@ -392,6 +395,7 @@ class Session:
             manager.connect_pipeline(scheduler)
         if self._cache_manager is not None:
             manager.connect_cache(self._cache_manager)
+        manager.connect_network(self.cluster.network)
         if attach_existing:
             manager.attach_all()
         if interval is not None:

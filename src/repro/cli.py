@@ -50,6 +50,13 @@ leases|invalidate|write_through] [--lease-ms L] [--kill]``
     additionally replicates the shards and crashes the write-hot primary
     mid-run, asserting coherence holds across the failover.
 
+``repro bench-load [--transport t] [--loads 0.5,0.9,1.5,2.5] [--duration D]
+[--workers K] [--queue-limit Q] [--service-time S] [--keys N] [--zipf s]``
+    Sweep open-loop Poisson traffic (Zipf-skewed keys) across multiples of a
+    bounded server's capacity (``workers / service_time``) and report the
+    goodput-vs-offered-load curve with p50/p99/p999 latency, rejections and
+    the saturation knee.
+
 Run ``python -m repro --help`` for the full syntax.
 """
 
@@ -401,6 +408,91 @@ def command_bench_caching(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def command_bench_load(args: argparse.Namespace, out) -> int:
+    from repro.runtime.cluster import Cluster, default_transport_registry
+    from repro.workloads.open_loop import detect_knee, run_open_loop_scenario
+
+    known = default_transport_registry().names()
+    if args.transport not in known:
+        print(f"unknown transport: {args.transport}", file=out)
+        return 1
+    factors = []
+    for token in _split_csv(args.loads) or ["0.5", "0.9", "1.5", "2.5"]:
+        try:
+            factor = float(token)
+        except ValueError:
+            print(f"--loads must be numbers, got {token!r}", file=out)
+            return 1
+        if factor <= 0:
+            print("--loads factors must be positive", file=out)
+            return 1
+        factors.append(factor)
+    if args.workers < 1:
+        print("--workers must be at least 1", file=out)
+        return 1
+    if args.queue_limit < 0:
+        print("--queue-limit must be non-negative", file=out)
+        return 1
+    if args.service_time <= 0:
+        print("--service-time must be positive", file=out)
+        return 1
+    if args.duration <= 0:
+        print("--duration must be positive", file=out)
+        return 1
+    if args.keys < 1:
+        print("--keys must be at least 1", file=out)
+        return 1
+    if args.zipf < 0:
+        print("--zipf must be non-negative", file=out)
+        return 1
+
+    capacity = args.workers / args.service_time
+    print(
+        f"open-loop sweep on {args.transport}: {args.workers} workers x "
+        f"{args.service_time * 1000:g} ms (capacity {capacity:.0f} req/s, "
+        f"queue {args.queue_limit}), {args.duration:g} s per point",
+        file=out,
+    )
+    print(
+        f"{'offered':>9s} {'goodput':>9s} {'eff':>7s} {'p50':>9s} {'p99':>9s} "
+        f"{'p999':>9s} {'rejected':>9s}",
+        file=out,
+    )
+    points = []
+    for factor in sorted(factors):
+        point = run_open_loop_scenario(
+            Cluster(("client", "server")),
+            transport=args.transport,
+            offered_load=factor * capacity,
+            duration=args.duration,
+            keys=args.keys,
+            zipf_exponent=args.zipf,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            service_time=args.service_time,
+        )
+        points.append(point)
+        latency = point["latency"]
+        efficiency = point["goodput"] / point["measured_offered"]
+        print(
+            f"{point['measured_offered']:7.0f}/s {point['goodput']:7.0f}/s "
+            f"{efficiency:7.1%} {latency['p50'] * 1000:7.2f}ms "
+            f"{latency['p99'] * 1000:7.2f}ms {latency['p999'] * 1000:7.2f}ms "
+            f"{point['rejected']:9d}",
+            file=out,
+        )
+    knee = detect_knee(points)
+    if knee is None:
+        print("no saturation knee within the swept range", file=out)
+    else:
+        print(
+            f"saturation knee at {knee['measured_offered']:.0f} req/s offered "
+            f"({knee['efficiency']:.1%} efficiency)",
+            file=out,
+        )
+    return 0
+
+
 def command_policy_template(args: argparse.Namespace, out) -> int:
     classes = _split_csv(args.classes)
     nodes = _split_csv(args.nodes)
@@ -506,6 +598,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="replicate the shards and crash the write-hot primary mid-run",
     )
     caching.set_defaults(handler=command_bench_caching)
+
+    load = subparsers.add_parser(
+        "bench-load",
+        help="sweep open-loop offered load against a bounded server and find the knee",
+    )
+    load.add_argument("--transport", default="rmi", help="transport to drive (one)")
+    load.add_argument(
+        "--loads",
+        help="comma-separated offered-load multiples of capacity (default: 0.5,0.9,1.5,2.5)",
+    )
+    load.add_argument("--duration", type=float, default=1.0)
+    load.add_argument("--workers", type=int, default=2)
+    load.add_argument("--queue-limit", type=int, default=16)
+    load.add_argument("--service-time", type=float, default=0.002)
+    load.add_argument("--keys", type=int, default=32)
+    load.add_argument("--zipf", type=float, default=1.1)
+    load.set_defaults(handler=command_bench_load)
 
     return parser
 

@@ -120,6 +120,12 @@ class MessageDroppedError(NetworkError):
     """The message was dropped by the configured loss model."""
 
 
+class AdmissionError(NetworkError):
+    """A bounded service pool refused the request: every worker was busy and
+    the admission queue was already full.  Transient by nature — the caller
+    may retry after a backoff once the pool has drained."""
+
+
 class TransportError(ReproError):
     """A transport could not encode, decode or deliver an invocation."""
 

@@ -5,10 +5,17 @@ aggregated network-wide.  The benchmark harness uses them to report message
 counts, bytes on the wire and per-transport overhead — the quantities behind
 the paper's comparative claims (wrapper overhead, transport interchange,
 redistribution benefit).
+
+Since links gained finite capacity (FIFO transmission queueing in
+:mod:`repro.network.simnet`), the per-link counters also track how long
+messages waited for the wire and how deep the transmission queue grew, and
+:class:`LatencyHistogram` summarises per-request latency distributions
+(p50/p99/p999) for the load benchmarks.
 """
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Tuple
@@ -22,11 +29,26 @@ class LinkMetrics:
     bytes_sent: int = 0
     drops: int = 0
     total_latency: float = 0.0
+    #: Messages that found the link busy and had to wait for the wire.
+    queued_messages: int = 0
+    #: Total time messages spent waiting for the link, in seconds.
+    queue_delay_total: float = 0.0
+    #: Deepest transmission backlog observed on this link.
+    max_queue_depth: int = 0
 
     def record(self, size: int, latency: float) -> None:
         self.messages += 1
         self.bytes_sent += size
         self.total_latency += latency
+
+    def record_queueing(self, delay: float, depth: int) -> None:
+        """Account one message's wait for the wire (``delay`` seconds behind
+        ``depth`` earlier transmissions)."""
+        if delay > 0.0:
+            self.queued_messages += 1
+            self.queue_delay_total += delay
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
 
     def record_drop(self) -> None:
         self.drops += 1
@@ -59,6 +81,12 @@ class NetworkMetrics:
     def record_drop(self, source: str, destination: str) -> None:
         self.link(source, destination).record_drop()
 
+    def record_queueing(
+        self, source: str, destination: str, delay: float, depth: int
+    ) -> None:
+        """Account one message's wait for the ``source -> destination`` wire."""
+        self.link(source, destination).record_queueing(delay, depth)
+
     # -- aggregates -----------------------------------------------------------
 
     @property
@@ -72,6 +100,28 @@ class NetworkMetrics:
     @property
     def total_drops(self) -> int:
         return sum(link.drops for link in self._links.values())
+
+    @property
+    def total_latency(self) -> float:
+        """Sum of every message's one-way latency (queueing included)."""
+        return sum(link.total_latency for link in self._links.values())
+
+    @property
+    def total_queue_delay(self) -> float:
+        """Total time messages spent waiting for busy links, in seconds."""
+        return sum(link.queue_delay_total for link in self._links.values())
+
+    @property
+    def total_queued_messages(self) -> int:
+        """Messages that found their link busy and had to wait."""
+        return sum(link.queued_messages for link in self._links.values())
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest transmission backlog observed on any link."""
+        return max(
+            (link.max_queue_depth for link in self._links.values()), default=0
+        )
 
     def messages_from(self, source: str) -> int:
         return sum(
@@ -93,12 +143,95 @@ class NetworkMetrics:
             "messages": self.total_messages,
             "bytes": self.total_bytes,
             "drops": self.total_drops,
+            "queued_messages": self.total_queued_messages,
+            "queue_delay": round(self.total_queue_delay, 6),
+            "max_queue_depth": self.max_queue_depth,
             "links": {
                 f"{src}->{dst}": {
                     "messages": link.messages,
                     "bytes": link.bytes_sent,
                     "mean_latency": round(link.mean_latency, 6),
+                    "queued_messages": link.queued_messages,
+                    "queue_delay": round(link.queue_delay_total, 6),
+                    "max_queue_depth": link.max_queue_depth,
                 }
                 for (src, dst), link in sorted(self._links.items())
             },
+        }
+
+
+class LatencyHistogram:
+    """A fixed-memory, log-bucketed latency distribution.
+
+    Samples land in exponentially sized buckets (``resolution * growth**i``),
+    so percentiles are read with a bounded relative error of ``growth - 1``
+    (4% at the default) regardless of how many requests are recorded — the
+    open-loop load generator records millions of per-request latencies
+    without keeping them all.  Count, sum, minimum and maximum are exact.
+    """
+
+    def __init__(self, resolution: float = 1e-6, growth: float = 1.04) -> None:
+        if resolution <= 0.0:
+            raise ValueError("resolution must be positive")
+        if growth <= 1.0:
+            raise ValueError("growth must be greater than 1")
+        self._resolution = resolution
+        self._log_growth = math.log(growth)
+        self._buckets: Dict[int, int] = defaultdict(int)
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (negative samples are clamped to zero)."""
+        value = seconds if seconds > 0.0 else 0.0
+        if value <= self._resolution:
+            index = 0
+        else:
+            index = int(math.ceil(math.log(value / self._resolution) / self._log_growth))
+        self._buckets[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of the recorded samples (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def percentile(self, fraction: float) -> float:
+        """Latency at quantile ``fraction`` (e.g. ``0.99`` for p99).
+
+        Returns the upper bound of the bucket holding the sample, clamped to
+        the exact observed extremes; 0.0 when no samples were recorded.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(fraction * self.count)
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= target:
+                upper = self._resolution * math.exp(index * self._log_growth)
+                return min(max(upper, self.min_value), self.max_value)
+        return self.max_value
+
+    def summary(self) -> dict:
+        """Plain-data digest: count, mean, p50/p99/p999 and extremes."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min_value if self.count else 0.0,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
+            "max": self.max_value,
         }

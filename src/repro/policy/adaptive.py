@@ -57,6 +57,19 @@ then supersedes the configured value) discounts the observed window by
 ``1 - r`` — the same direction as batch amortisation: traffic that is cheap
 because it is cached no longer justifies moving an object.
 
+Congestion-awareness
+--------------------
+
+With link capacity modelled (FIFO transmission queueing in
+:mod:`repro.network.simnet`), a message on a congested link costs more than
+its idle-network delay: it also waits for the wire.  A manager connected to
+the live network via :meth:`AdaptiveDistributionManager.connect_network`
+weighs the observed window by ``1 + queue_delay / total_latency`` — the
+measured share of time traffic spent queueing — so calls crossing saturated
+links count as proportionally stronger evidence for moving the callee next
+to its dominant caller.  On an idle network the factor is exactly ``1.0``
+and decisions are unchanged.
+
 Replication-awareness
 ---------------------
 
@@ -193,6 +206,9 @@ class AdaptiveDistributionManager:
         #: A live cache whose measured hit rate supersedes the configured
         #: ``cache_hit_ratio`` (see :meth:`connect_cache`).
         self._cache_source: Optional[Any] = None
+        #: A live network whose measured queueing delay weighs the window
+        #: (see :meth:`connect_network`).
+        self._network_source: Optional[Any] = None
         self._monitors: dict[int, AccessMonitor] = {}
         self.history: list[AdaptationRecord] = []
 
@@ -260,6 +276,38 @@ class AdaptiveDistributionManager:
         """
         self._cache_source = cache
 
+    def connect_network(self, network: Any) -> None:
+        """Feed the network's *measured* queueing delay into the heuristic.
+
+        ``network`` is anything exposing a ``metrics`` attribute with
+        ``total_latency`` and ``total_queue_delay`` (in practice the
+        :class:`~repro.network.simnet.SimulatedNetwork` carrying the
+        monitored traffic), or such a metrics object directly.  Once
+        connected, :meth:`effective_congestion_factor` weighs the observed
+        window by how much of the traffic's latency was spent waiting for
+        busy links, so congested traffic argues more strongly for moving
+        objects next to their callers.  Pass ``None`` to disconnect.
+        """
+        self._network_source = network
+
+    def effective_congestion_factor(self) -> float:
+        """The congestion weight the heuristic actually uses (``>= 1.0``).
+
+        ``1 + total_queue_delay / total_latency`` measured on the connected
+        network — between ``1.0`` (idle network, decisions unchanged) and
+        ``2.0`` (latency entirely queueing).  ``1.0`` when no network is
+        connected or no traffic has flowed yet.
+        """
+        source = self._network_source
+        if source is None:
+            return 1.0
+        metrics = getattr(source, "metrics", source)
+        total_latency = getattr(metrics, "total_latency", 0.0)
+        queue_delay = getattr(metrics, "total_queue_delay", 0.0)
+        if total_latency <= 0.0 or queue_delay <= 0.0:
+            return 1.0
+        return 1.0 + min(queue_delay / total_latency, 1.0)
+
     def effective_cache_hit_ratio(self) -> float:
         """The hit ratio the discount actually uses (measured when possible).
 
@@ -300,17 +348,28 @@ class AdaptiveDistributionManager:
         replication amplifies each served write into ``replication_factor``
         messages, and a result cache removes the hit fraction of the traffic
         entirely (measured when a cache is connected via
-        :meth:`connect_cache`) — so the quantity compared against
-        ``min_calls`` is
-        ``n * replication_factor * (1 - hit_ratio) / (batch_size * depth)``.
+        :meth:`connect_cache`).  Congestion pushes the other way: traffic
+        that queued on busy links cost more than its idle-network delay, so
+        the window is additionally weighted by the measured
+        :meth:`effective_congestion_factor` when a network is connected via
+        :meth:`connect_network`.  The quantity compared against
+        ``min_calls`` is therefore
+        ``n * replication_factor * congestion * (1 - hit_ratio)
+        / (batch_size * depth)``.
         With every factor neutral this is exactly ``monitor.total_calls``.
         """
         weight = self.batch_size * self.effective_pipeline_depth()
         amplification = self.replication_factor
         discount = 1.0 - self.effective_cache_hit_ratio()
-        if weight <= 1 and amplification <= 1 and discount >= 1.0:
+        congestion = self.effective_congestion_factor()
+        if (
+            weight <= 1
+            and amplification <= 1
+            and discount >= 1.0
+            and congestion <= 1.0
+        ):
             return float(monitor.total_calls)
-        return monitor.total_calls * amplification * discount / weight
+        return monitor.total_calls * amplification * congestion * discount / weight
 
     def suggest_for(self, handle: Any) -> Optional[RedistributionSuggestion]:
         """Apply the affinity heuristic to one monitored handle."""

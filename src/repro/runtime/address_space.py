@@ -123,6 +123,27 @@ class AddressSpace:
         network.register(node_id, self._handle_message)
 
     # ------------------------------------------------------------------
+    # Serving capacity
+    # ------------------------------------------------------------------
+
+    def install_service_pool(self, pool: Any) -> None:
+        """Bound this node's request-serving capacity.
+
+        Installs a :class:`~repro.network.simnet.ServicePool` on the
+        network for this node: delivered messages wait for one of the
+        pool's workers (holding it for the pool's service time) and are
+        refused with :class:`~repro.errors.AdmissionError` once the pool
+        saturates.  Passing ``None`` removes the bound and restores the
+        idealised unbounded-concurrency model.
+        """
+        self.network.set_service_pool(self.node_id, pool)
+
+    @property
+    def service_pool(self) -> Any:
+        """This node's installed service pool, or ``None`` when unbounded."""
+        return self.network.service_pool(self.node_id)
+
+    # ------------------------------------------------------------------
     # Object table
     # ------------------------------------------------------------------
 

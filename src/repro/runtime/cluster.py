@@ -13,7 +13,7 @@ from typing import Dict, Iterable, Optional, Sequence
 from repro.network.clock import SimClock
 from repro.network.failures import FailureModel
 from repro.network.metrics import NetworkMetrics
-from repro.network.simnet import LinkConfig, SimulatedNetwork
+from repro.network.simnet import LinkConfig, ServicePool, SimulatedNetwork
 from repro.runtime.address_space import AddressSpace
 from repro.runtime.naming import NamingService
 from repro.transports.base import TransportRegistry
@@ -91,6 +91,32 @@ class Cluster:
 
     def __len__(self) -> int:
         return len(self._spaces)
+
+    def set_service_pool(
+        self,
+        node_id: str,
+        pool: Optional[ServicePool] = None,
+        *,
+        workers: int = 1,
+        queue_limit: int = 16,
+        service_time: float = 0.0,
+    ) -> Optional[ServicePool]:
+        """Bound ``node_id``'s serving capacity and return the pool.
+
+        Pass a ready-made :class:`~repro.network.simnet.ServicePool`, or let
+        the keyword arguments build one (``workers`` parallel servers, an
+        admission queue of ``queue_limit``, each request holding a worker for
+        ``service_time`` simulated seconds).  ``pool=None`` with default
+        keywords still installs a fresh pool; call
+        ``space(node_id).install_service_pool(None)`` to remove a bound.
+        """
+        space = self.space(node_id)  # validates the node exists
+        if pool is None:
+            pool = ServicePool(
+                workers=workers, queue_limit=queue_limit, service_time=service_time
+            )
+        space.install_service_pool(pool)
+        return pool
 
     # ------------------------------------------------------------------
 

@@ -25,6 +25,7 @@ from typing import Any, Callable, Optional
 
 from repro.core.metaobject import Interceptor, Invocation, Metaobject, metaobject_of
 from repro.errors import (
+    AdmissionError,
     MessageDroppedError,
     NetworkError,
     NodeUnreachableError,
@@ -32,8 +33,10 @@ from repro.errors import (
     RedistributionError,
 )
 
-#: Failure classes considered *transient*: a retry may succeed.
-TRANSIENT_FAILURES = (MessageDroppedError,)
+#: Failure classes considered *transient*: a retry may succeed.  Admission
+#: rejections are transient by construction — the destination's service pool
+#: was momentarily full, and a backoff gives it time to drain.
+TRANSIENT_FAILURES = (MessageDroppedError, AdmissionError)
 
 #: Failure classes considered *fatal* for the current topology: retrying
 #: without operator/adaptation intervention will not help.

@@ -10,6 +10,12 @@ from repro.workloads.figure1 import A, B, C, Figure1Result, run_figure1_scenario
 from repro.workloads.shared_cache import Cache, CacheClient, CacheStats, run_cache_workload
 from repro.workloads.pipeline import Buffer, Consumer, Producer, run_pipeline
 from repro.workloads.bulk_orders import OrderIntake, run_bulk_order_scenario
+from repro.workloads.open_loop import (
+    KeyValueCatalog,
+    detect_knee,
+    run_open_loop_scenario,
+    zipf_weights,
+)
 from repro.workloads.pipelined_orders import run_sharded_order_scenario
 from repro.workloads.orders import (
     Catalog,
@@ -30,13 +36,17 @@ __all__ = [
     "Consumer",
     "CustomerSession",
     "Figure1Result",
+    "KeyValueCatalog",
     "OrderIntake",
     "OrderStore",
     "Producer",
+    "detect_knee",
     "run_bulk_order_scenario",
     "run_cache_workload",
     "run_figure1_scenario",
+    "run_open_loop_scenario",
     "run_order_phase",
     "run_pipeline",
     "run_sharded_order_scenario",
+    "zipf_weights",
 ]
