@@ -16,7 +16,11 @@ fails (exit 1) when a tracked ratio drops below its floor:
 * load — the open-loop sweep keeps up below capacity (goodput >= 99% of the
   measured offered load at the lowest point), saturates above it (goodput
   plateaus within 5% of capacity while p99 latency inflates monotonically),
-  and exhibits a detected knee within the swept range.
+  and exhibits a detected knee within the swept range;
+* middleware — the full interceptor chain costs <= 10% simulated time per
+  call versus the bare pipe at window 32, and per-tenant rate limiting keeps
+  the polite tenant >= 40% of its offered goodput (and better off than the
+  unlimited contention baseline) while a hog floods the shared pool.
 
 A tracked file that is missing is itself a failure: the gate must not pass
 vacuously because a smoke run silently stopped emitting its artifact.
@@ -41,6 +45,11 @@ CACHING_FLOOR = 5.0
 #: The open-loop sweep's under-capacity completion floor and plateau slack.
 LOAD_LOW_EFFICIENCY_FLOOR = 0.99
 LOAD_PLATEAU_SLACK = 1.05
+
+#: Ceiling on the interceptor chain's per-call simulated-time overhead and
+#: floor on the rate-limited polite tenant's completed/offered fraction.
+MIDDLEWARE_OVERHEAD_CEILING = 1.10
+MIDDLEWARE_FAIRNESS_FLOOR = 0.40
 
 
 def _load(directory: Path, name: str, problems: list) -> dict | None:
@@ -197,12 +206,56 @@ def check_load(data: dict, problems: list) -> None:
         )
 
 
+def check_middleware(data: dict, problems: list) -> None:
+    """The interceptor chain must stay cheap and the rate limiter fair.
+
+    Every tracked key must be present — a smoke-run edit that renames or
+    drops one must fail the gate, not skip its check vacuously.  The
+    chained-vs-plain per-call ratio must stay under the 1.10x ceiling, the
+    rate-limited polite tenant must keep >= 40% of its offered goodput,
+    and limiting must beat the unlimited contention baseline.
+    """
+    overhead = data.get("overhead")
+    fairness = data.get("fairness")
+    missing = []
+    if not overhead:
+        missing.append("overhead")
+    if not isinstance(fairness, dict) or not fairness:
+        missing.append("fairness")
+    elif any(key not in fairness for key in ("limited", "unlimited")):
+        missing.append("fairness.limited/unlimited")
+    if missing:
+        problems.append(
+            f"middleware: artifact is missing tracked key(s): {', '.join(missing)}"
+        )
+        return
+    if overhead > MIDDLEWARE_OVERHEAD_CEILING:
+        problems.append(
+            f"middleware: chained per-call time is {overhead:.3f}x the bare "
+            f"pipe's, above the {MIDDLEWARE_OVERHEAD_CEILING}x ceiling"
+        )
+    limited = fairness["limited"]
+    unlimited = fairness["unlimited"]
+    if limited < MIDDLEWARE_FAIRNESS_FLOOR:
+        problems.append(
+            f"middleware: rate-limited polite tenant completed only "
+            f"{limited:.1%} of its offered calls "
+            f"(floor {MIDDLEWARE_FAIRNESS_FLOOR:.0%})"
+        )
+    if limited <= unlimited:
+        problems.append(
+            f"middleware: rate limiting did not help the polite tenant "
+            f"({limited:.1%} limited vs {unlimited:.1%} unlimited)"
+        )
+
+
 CHECKS = {
     "batching": check_batching,
     "pipelining": check_pipelining,
     "replication": check_replication,
     "caching": check_caching,
     "load": check_load,
+    "middleware": check_middleware,
 }
 
 

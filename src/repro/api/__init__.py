@@ -24,10 +24,25 @@ plain method calls::
         session.drain()
         ids = [f.result() for f in futures]
 
+Cross-cutting concerns — deadlines, per-tenant rate limits, metrics — hang
+on the same policy via :mod:`repro.api.middleware`::
+
+    policy = policy.with_middleware(
+        DeadlineInterceptor(0.5), MetricsInterceptor(),
+    ).with_tenant("analytics")
+
 See ``docs/MIGRATION.md`` for the mapping from the old hand-wired stacks to
 policy fields.
 """
 
+from repro.api.middleware import (
+    CallContext,
+    DeadlineInterceptor,
+    Interceptor,
+    InterceptorChain,
+    MetricsInterceptor,
+    RateLimitInterceptor,
+)
 from repro.api.policy import ServicePolicy
 from repro.api.service import FutureView, Service
 from repro.api.session import Session
@@ -36,7 +51,13 @@ from repro.runtime.caching import CachePolicy
 
 __all__ = [
     "CachePolicy",
+    "CallContext",
+    "DeadlineInterceptor",
     "FutureView",
+    "Interceptor",
+    "InterceptorChain",
+    "MetricsInterceptor",
+    "RateLimitInterceptor",
     "Service",
     "ServicePolicy",
     "Session",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.api.middleware import CallContext, InterceptorChain
 from repro.errors import InvocationError
 from repro.runtime.batching import _InternalBatcher
 from repro.runtime.pipelining import InvocationFuture, PipelineScheduler
@@ -55,7 +56,9 @@ class DirectPipe:
     def __init__(self, service: Any) -> None:
         self._service = service
 
-    def enqueue(self, member: str, args: tuple, kwargs: dict) -> InvocationFuture:
+    def enqueue(
+        self, member: str, args: tuple, kwargs: dict, context: Optional[dict] = None
+    ) -> InvocationFuture:
         """Invoke now; return the (already completed) future."""
         service = self._service
         session = service.session
@@ -79,6 +82,7 @@ class DirectPipe:
                     dict(kwargs),
                     transport=service.policy.transport,
                     space=session.space,
+                    context=context,
                 )
             else:
                 value = session.space.invoke_remote(
@@ -87,6 +91,7 @@ class DirectPipe:
                     tuple(args),
                     dict(kwargs),
                     transport=service.policy.transport,
+                    context=context,
                 )
         except Exception as exc:  # noqa: BLE001 - carried by the future
             error: Optional[BaseException] = exc
@@ -163,10 +168,12 @@ class BatchPipe:
             self._batcher = batcher
         return batcher
 
-    def enqueue(self, member: str, args: tuple, kwargs: dict) -> InvocationFuture:
+    def enqueue(
+        self, member: str, args: tuple, kwargs: dict, context: Optional[dict] = None
+    ) -> InvocationFuture:
         """Buffer one call; auto-flushes at the policy's batch window."""
         self._service.session._ensure_open()
-        return self._engine().call(member, *args, **kwargs)
+        return self._engine().call_with_context(member, tuple(args), dict(kwargs), context)
 
     def flush(self) -> None:
         """Ship the buffered window now."""
@@ -219,10 +226,14 @@ class StreamPipe:
         self.scheduler = scheduler
         self._outstanding = 0
 
-    def enqueue(self, member: str, args: tuple, kwargs: dict) -> InvocationFuture:
+    def enqueue(
+        self, member: str, args: tuple, kwargs: dict, context: Optional[dict] = None
+    ) -> InvocationFuture:
         """Submit one call to the shared pipeline; returns its future."""
         self._service.session._ensure_open()
-        future = self.scheduler.submit(self._service.reference, member, *args, **kwargs)
+        future = self.scheduler.submit_with_context(
+            self._service.reference, member, tuple(args), dict(kwargs), context
+        )
         # The scheduler is shared across services, so per-service accounting
         # lives here: one up on submit, one down when the future settles.
         self._outstanding += 1
@@ -253,3 +264,98 @@ class StreamPipe:
     def stop(self) -> None:
         """Nothing pipe-local to retire: the owning session stops the shared
         scheduler itself (it may carry other services' traffic too)."""
+
+
+class ChainedPipe:
+    """A pipe wrapper running every call through an interceptor chain.
+
+    Built by the session when a policy carries ``middleware``; wraps any of
+    the three pipes.  Every enqueue builds one
+    :class:`~repro.api.middleware.CallContext`, opens the chain's bracket
+    (``begin`` in registration order) and — because a future transitions
+    pending→done exactly once — settles it exactly once when the future
+    resolves (``end``) or fails (``abort``), whatever dispatch path the
+    inner pipe took.  A ``begin`` rejection fails the call locally: nothing
+    ships, and the returned future already carries the typed error.
+
+    The context's wire form (call id, tenant, deadline) rides the request,
+    so the serving space's chains observe the same control fields.
+    """
+
+    def __init__(self, service: Any, inner: Any, chain: InterceptorChain) -> None:
+        self._service = service
+        #: The wrapped pipe doing the actual dispatch.
+        self.inner = inner
+        #: The client-side chain bracketing this service's calls.
+        self.chain = chain
+
+    def enqueue(
+        self, member: str, args: tuple, kwargs: dict, context: Optional[dict] = None
+    ) -> InvocationFuture:
+        """Open the call's bracket, dispatch through the inner pipe, settle on done."""
+        service = self._service
+        session = service.session
+        clock = session.space.network.clock
+        ctx = CallContext(
+            service=service.name,
+            member=member,
+            args=tuple(args),
+            kwargs=dict(kwargs),
+            tenant=service.policy.tenant,
+            side="client",
+            clock=clock,
+        )
+        try:
+            bracket = self.chain.open(ctx)
+        except Exception as error:  # noqa: BLE001 - rejection becomes the future's error
+            future = InvocationFuture(member)
+            future.submitted_at = clock.now
+            future.completed_at = clock.now
+            future._fail(error)
+            return future
+        try:
+            future = self.inner.enqueue(member, args, kwargs, context=ctx.to_wire())
+        except BaseException as error:
+            # Synchronous dispatch failures (DirectPipe round trips, a full
+            # window auto-flush failing) must still settle the bracket.
+            bracket.fail(error)
+            raise
+
+        def _settle(done: InvocationFuture) -> None:
+            # The future's attempt count is final by the time it settles;
+            # expose it to end/abort hooks (1 for never-retried calls).
+            ctx.attempt = max(1, done.attempts)
+            if done.ok:
+                bracket.close(done._value)
+            else:
+                bracket.fail(done._error)
+
+        future.add_done_callback(_settle)
+        return future
+
+    def flush(self) -> None:
+        """Ship whatever the inner pipe has buffered."""
+        self.inner.flush()
+
+    def drain(self) -> None:
+        """Drain the inner pipe (every settled future settles its bracket)."""
+        self.inner.drain()
+
+    def stop(self) -> None:
+        """Retire the inner pipe; abandoned calls abort their brackets."""
+        self.inner.stop()
+
+    @property
+    def pending(self) -> int:
+        """Buffered calls awaiting a flush, per the inner pipe."""
+        return self.inner.pending
+
+    @property
+    def scheduler(self) -> Optional[PipelineScheduler]:
+        """The shared scheduler behind the inner pipe (``None`` if unpipelined)."""
+        return getattr(self.inner, "scheduler", None)
+
+    @property
+    def batches_flushed(self) -> int:
+        """Batch messages the inner pipe shipped (0 for non-batching pipes)."""
+        return getattr(self.inner, "batches_flushed", 0)

@@ -1,0 +1,493 @@
+"""First-class interceptor chain on the dispatch path.
+
+Production traffic needs cross-cutting concerns — deadlines, per-tenant
+quotas, metrics, tracing — and before this module the composition order of
+the dispatch path was hard-coded in :mod:`repro.api.dispatch`'s pipes, with
+no seam to hang them on.  An :class:`InterceptorChain` is that seam: an
+ordered list of :class:`Interceptor` objects bracketing every call with
+``begin(ctx)`` / ``end(ctx, result)`` / ``abort(ctx, error)``, applied
+
+* on the **client stack** — :class:`~repro.api.policy.ServicePolicy`
+  ``.with_middleware(...)`` wraps the policy's pipe in a
+  :class:`~repro.api.dispatch.ChainedPipe`, so every enqueue opens a
+  bracket and every future's settlement closes it (exactly once); and
+* on the **serving** :class:`~repro.runtime.address_space.AddressSpace` —
+  the server-side chain runs inside dispatch, before/after the target
+  method, batch-aware: one framed batch message brackets its N calls
+  individually.
+
+The bracket guarantees (pinned by ``tests/test_middleware_chain.py``):
+
+* ``begin`` runs in registration order, ``end``/``abort`` in reverse;
+* every begun call sees exactly one of ``end`` or ``abort``, never both;
+* a ``begin`` that raises aborts the already-begun interceptors (reverse
+  order) and short-circuits the later ones' ``begin`` entirely — the call
+  fails without shipping;
+* an ``end``/``abort`` that raises is isolated (counted in
+  :attr:`InterceptorChain.callback_failures`), so one misbehaving
+  interceptor cannot corrupt its batch's other calls.
+
+Three production interceptors ship as proof: :class:`DeadlineInterceptor`
+(absolute simulated-time deadlines propagated on the wire, so failover
+retries consume the *remaining* budget), :class:`RateLimitInterceptor`
+(per-tenant token bucket on the simulated clock, typed retryable-or-not
+rejections, retry-safe charging) and :class:`MetricsInterceptor` (per-member
+call/error/latency counters surfaced via
+:meth:`~repro.api.session.Session.metrics`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DeadlineExceededError,
+    PolicyError,
+    RateLimitError,
+    ThrottledError,
+)
+
+#: Deterministic per-process sequence behind :attr:`CallContext.call_id` —
+#: unique across every session and service in one process, so server-side
+#: retry-deduplication (e.g. the rate limiter's charged-call memory) never
+#: confuses two tenants' calls.
+_CALL_SEQ = itertools.count()
+
+
+class CallContext:
+    """Everything the interceptors of one call get to see and annotate.
+
+    One context is built per logical call (client side at enqueue, server
+    side at dispatch) and handed to every interceptor's ``begin`` / ``end``
+    / ``abort``.  Retries and failover re-ships of the same logical call
+    reuse the same wire context, which is how absolute deadlines keep their
+    remaining budget and rate limiters recognise already-charged calls.
+    """
+
+    __slots__ = (
+        "service",
+        "member",
+        "args",
+        "kwargs",
+        "tenant",
+        "deadline",
+        "attempt",
+        "side",
+        "call_id",
+        "clock",
+        "state",
+    )
+
+    def __init__(
+        self,
+        *,
+        service: str = "",
+        member: str = "",
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        tenant: Optional[str] = None,
+        deadline: Optional[float] = None,
+        attempt: int = 1,
+        side: str = "client",
+        call_id: Optional[str] = None,
+        clock: Any = None,
+    ) -> None:
+        #: The façade service name (client side) or interface name (server
+        #: side) the call targets.
+        self.service = service
+        #: The member (method name) being invoked.
+        self.member = member
+        #: Positional arguments, as the caller passed them (client side) or
+        #: in wire form (server side).
+        self.args = tuple(args)
+        #: Keyword arguments (same caveat as :attr:`args`).
+        self.kwargs = dict(kwargs or {})
+        #: The calling tenant, from the policy's ``tenant`` field (``None``
+        #: when the caller did not identify itself).
+        self.tenant = tenant
+        #: Absolute simulated-time instant after which the call is dead
+        #: (``None`` = no deadline).  Absolute on purpose: a failover retry
+        #: carries the original instant, not a fresh budget.
+        self.deadline = deadline
+        #: Which dispatch attempt this bracket observes (>= 1).
+        self.attempt = attempt
+        #: ``"client"`` or ``"server"`` — which end of the wire the chain
+        #: bracketing this context runs on.
+        self.side = side
+        #: Process-unique identifier of the logical call, stable across
+        #: retries and failover re-ships.
+        self.call_id = call_id if call_id is not None else f"c{next(_CALL_SEQ)}"
+        #: The simulated clock of the issuing/serving space (``None`` in
+        #: clockless unit-test spaces).
+        self.clock = clock
+        #: Per-call scratch space for interceptors (e.g. latency start
+        #: stamps); keyed by interceptor, never serialized.
+        self.state: Dict[Any, Any] = {}
+
+    # -- time ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """The current simulated time (``0.0`` on a clockless space)."""
+        return self.clock.now if self.clock is not None else 0.0
+
+    def remaining(self) -> Optional[float]:
+        """Simulated seconds left until the deadline (``None`` = no deadline)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.now()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline has passed (always False without one)."""
+        return self.deadline is not None and self.now() >= self.deadline
+
+    # -- wire form -------------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """The control fields that travel on the wire with the request.
+
+        Only wire-safe primitives, only non-defaults, single-letter keys
+        (``i``\\ d, ``t``\\ enant, ``d``\\ eadline) — control fields ride
+        *every* intercepted call, so their framing overhead is what the
+        chain-overhead benchmark ceiling is spent on.  An empty dict means
+        the request carries no ``ctx`` field at all, keeping chain-free
+        traffic byte-identical to the pre-middleware wire format.
+        """
+        wire: dict = {"i": self.call_id}
+        if self.tenant is not None:
+            wire["t"] = self.tenant
+        if self.deadline is not None:
+            wire["d"] = float(self.deadline)
+        return wire
+
+    @classmethod
+    def from_wire(
+        cls,
+        wire: Optional[dict],
+        *,
+        service: str = "",
+        member: str = "",
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        clock: Any = None,
+    ) -> "CallContext":
+        """Rebuild the server-side context from a request's ``ctx`` field."""
+        wire = wire or {}
+        return cls(
+            service=service,
+            member=member,
+            args=args,
+            kwargs=kwargs,
+            tenant=wire.get("t"),
+            deadline=wire.get("d"),
+            side="server",
+            call_id=wire.get("i"),
+            clock=clock,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CallContext {self.side} {self.service!r}.{self.member} "
+            f"id={self.call_id} tenant={self.tenant!r}>"
+        )
+
+
+class Interceptor:
+    """Base class for chain interceptors; every hook defaults to a no-op.
+
+    Subclass and override any of the three brackets.  ``begin`` may raise to
+    *reject* the call (typed errors preferred — see
+    :class:`~repro.errors.ThrottledError` /
+    :class:`~repro.errors.DeadlineExceededError`); the call then never
+    ships (client side) or never executes (server side), already-begun
+    interceptors are aborted in reverse order, and later interceptors'
+    ``begin`` is short-circuited.
+    """
+
+    def begin(self, ctx: CallContext) -> None:
+        """Called before the call ships (client) or executes (server)."""
+
+    def end(self, ctx: CallContext, result: Any) -> None:
+        """Called exactly once when the call completed successfully."""
+
+    def abort(self, ctx: CallContext, error: BaseException) -> None:
+        """Called exactly once when the call failed (any error path)."""
+
+
+class _Bracket:
+    """One opened call bracket: the entered interceptors awaiting settlement.
+
+    Returned by :meth:`InterceptorChain.open`; exactly one of
+    :meth:`close` or :meth:`fail` fires the matching ``end`` / ``abort``
+    hooks (reverse registration order) — later settlements are no-ops, so a
+    future's single pending→done transition maps onto a single bracket
+    settlement even if bookkeeping code runs twice.
+    """
+
+    __slots__ = ("_chain", "_ctx", "_entered", "_settled")
+
+    def __init__(
+        self, chain: "InterceptorChain", ctx: CallContext, entered: List[Interceptor]
+    ) -> None:
+        self._chain = chain
+        self._ctx = ctx
+        self._entered = entered
+        self._settled = False
+
+    @property
+    def settled(self) -> bool:
+        """Whether this bracket has already seen its ``end`` or ``abort``."""
+        return self._settled
+
+    def close(self, result: Any) -> None:
+        """Settle successfully: run every entered ``end`` in reverse order."""
+        if self._settled:
+            return
+        self._settled = True
+        for interceptor in reversed(self._entered):
+            try:
+                interceptor.end(self._ctx, result)
+            except Exception:  # noqa: BLE001 - isolation, see callback_failures
+                self._chain.callback_failures += 1
+
+    def fail(self, error: BaseException) -> None:
+        """Settle with an error: run every entered ``abort`` in reverse order."""
+        if self._settled:
+            return
+        self._settled = True
+        for interceptor in reversed(self._entered):
+            try:
+                interceptor.abort(self._ctx, error)
+            except Exception:  # noqa: BLE001 - isolation, see callback_failures
+                self._chain.callback_failures += 1
+
+
+class InterceptorChain:
+    """An ordered interceptor list applied around every call.
+
+    Built from a policy's ``middleware`` tuple (client side) or installed on
+    a serving space via
+    :meth:`~repro.runtime.address_space.AddressSpace.use_middleware`
+    (server side).  :meth:`open` runs every ``begin`` in registration order
+    and returns the bracket whose ``close``/``fail`` settles the call.
+    """
+
+    def __init__(self, interceptors: Sequence[Interceptor] = ()) -> None:
+        for interceptor in interceptors:
+            if not (
+                callable(getattr(interceptor, "begin", None))
+                and callable(getattr(interceptor, "end", None))
+                and callable(getattr(interceptor, "abort", None))
+            ):
+                raise PolicyError(
+                    f"{interceptor!r} is not an interceptor: it needs "
+                    "begin(ctx), end(ctx, result) and abort(ctx, error)"
+                )
+        #: The interceptors, in registration (= begin) order.
+        self.interceptors: Tuple[Interceptor, ...] = tuple(interceptors)
+        #: ``end``/``abort`` hooks that raised and were isolated.
+        self.callback_failures = 0
+
+    def __len__(self) -> int:
+        return len(self.interceptors)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the chain has no interceptors (open/settle are no-ops)."""
+        return not self.interceptors
+
+    def open(self, ctx: CallContext) -> _Bracket:
+        """Run every ``begin`` in order; returns the bracket to settle.
+
+        A ``begin`` that raises rejects the call: the interceptors already
+        begun are aborted in *reverse* order with the rejection error, the
+        later interceptors never see their ``begin``, and the error
+        propagates to the caller (who fails the call without dispatching
+        it).
+        """
+        entered: List[Interceptor] = []
+        for interceptor in self.interceptors:
+            try:
+                interceptor.begin(ctx)
+            except BaseException as error:
+                for begun in reversed(entered):
+                    try:
+                        begun.abort(ctx, error)
+                    except Exception:  # noqa: BLE001 - isolation
+                        self.callback_failures += 1
+                raise
+            entered.append(interceptor)
+        return _Bracket(self, ctx, entered)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(type(i).__name__ for i in self.interceptors)
+        return f"<InterceptorChain [{names}]>"
+
+
+# ---------------------------------------------------------------------------
+# Production interceptors
+# ---------------------------------------------------------------------------
+
+
+class DeadlineInterceptor(Interceptor):
+    """Stamp, propagate and enforce per-call deadlines.
+
+    Client side, ``begin`` stamps calls that carry no deadline yet with
+    ``now + timeout`` — an *absolute* simulated-time instant that travels on
+    the wire, so retries and failover re-ships of the same logical call
+    consume the remaining budget rather than restarting it.  On both sides,
+    an already-expired deadline raises
+    :class:`~repro.errors.DeadlineExceededError`: client-side the call
+    aborts without shipping, server-side it aborts before the target method
+    executes (the typed rejection travels back as the error response).
+    """
+
+    def __init__(self, timeout: float) -> None:
+        if timeout <= 0:
+            raise PolicyError("deadline timeout must be positive")
+        #: Simulated seconds granted to calls that arrive without a deadline.
+        self.timeout = timeout
+        #: Calls this interceptor rejected as expired.
+        self.expired_calls = 0
+
+    def begin(self, ctx: CallContext) -> None:
+        """Stamp a missing deadline (client side); reject expired calls."""
+        if ctx.deadline is None:
+            if ctx.side != "client":
+                return  # no deadline was propagated; nothing to enforce
+            ctx.deadline = ctx.now() + self.timeout
+        if ctx.expired:
+            self.expired_calls += 1
+            raise DeadlineExceededError(
+                f"deadline for {ctx.member!r} expired "
+                f"{ctx.now() - ctx.deadline:.6f}s ago ({ctx.side}-side)"
+            )
+
+
+class RateLimitInterceptor(Interceptor):
+    """Per-tenant token-bucket rate limiting on the simulated clock.
+
+    Each tenant gets a bucket of ``burst`` tokens refilled at ``rate``
+    tokens per simulated second; ``begin`` spends one token per *logical*
+    call and raises a typed rejection when the bucket is empty —
+    :class:`~repro.errors.ThrottledError` (a transient
+    :class:`~repro.errors.AdmissionError`, so retry policies back off and
+    try again) when ``retryable``, terminal
+    :class:`~repro.errors.RateLimitError` otherwise.
+
+    Charging is retry-safe: the bucket remembers the call ids it charged
+    (bounded LRU memory), so a retry or failover re-ship of an
+    already-charged call passes free instead of being double-charged, while
+    a call that was *rejected* and later retried gets a fresh admission
+    decision.
+    """
+
+    #: Bound on the charged-call-id memory (oldest ids forgotten first).
+    _CHARGED_MEMORY = 4096
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 1.0,
+        *,
+        retryable: bool = True,
+        default_tenant: str = "default",
+    ) -> None:
+        if rate <= 0:
+            raise PolicyError("rate must be positive (tokens per simulated second)")
+        if burst < 1:
+            raise PolicyError("burst must be at least 1 token")
+        #: Tokens refilled per simulated second, per tenant.
+        self.rate = rate
+        #: Bucket capacity (momentary burst allowance), per tenant.
+        self.burst = burst
+        #: Whether rejections are retryable (:class:`~repro.errors.ThrottledError`)
+        #: or terminal (:class:`~repro.errors.RateLimitError`).
+        self.retryable = retryable
+        #: Bucket key for calls whose context names no tenant.
+        self.default_tenant = default_tenant
+        #: tenant → (tokens, last refill time).
+        self._buckets: Dict[str, Tuple[float, float]] = {}
+        #: Call ids already charged, oldest first (retry double-charge guard).
+        self._charged_order: deque = deque()
+        self._charged: set = set()
+        #: Calls admitted (token spent), per tenant.
+        self.admitted: Dict[str, int] = {}
+        #: Calls rejected (bucket empty), per tenant.
+        self.rejected: Dict[str, int] = {}
+
+    def _remember(self, call_id: str) -> None:
+        self._charged.add(call_id)
+        self._charged_order.append(call_id)
+        while len(self._charged_order) > self._CHARGED_MEMORY:
+            self._charged.discard(self._charged_order.popleft())
+
+    def begin(self, ctx: CallContext) -> None:
+        """Spend one token for the call's tenant, or raise the typed rejection."""
+        if ctx.call_id in self._charged:
+            return  # a retry of an already-admitted call rides free
+        tenant = ctx.tenant if ctx.tenant is not None else self.default_tenant
+        now = ctx.now()
+        tokens, last = self._buckets.get(tenant, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        if tokens >= 1.0:
+            self._buckets[tenant] = (tokens - 1.0, now)
+            self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+            self._remember(ctx.call_id)
+            return
+        self._buckets[tenant] = (tokens, now)
+        self.rejected[tenant] = self.rejected.get(tenant, 0) + 1
+        message = (
+            f"tenant {tenant!r} is over its rate limit "
+            f"({self.rate:g}/s, burst {self.burst:g}) for {ctx.member!r}"
+        )
+        if self.retryable:
+            raise ThrottledError(message)
+        raise RateLimitError(message)
+
+
+class MetricsInterceptor(Interceptor):
+    """Per-member call, error and latency counters.
+
+    ``begin`` stamps the call's start on the context, ``end``/``abort``
+    accumulate one completed (or failed) call and its simulated latency
+    into the member's row.  :meth:`snapshot` returns a plain-dict copy;
+    :meth:`~repro.api.session.Session.metrics` merges the snapshots of
+    every metrics interceptor a session's policies carry.
+    """
+
+    def __init__(self) -> None:
+        #: member → ``{"calls", "errors", "total_latency"}`` (mutated in place).
+        self._members: Dict[str, Dict[str, float]] = {}
+
+    def _row(self, member: str) -> Dict[str, float]:
+        row = self._members.get(member)
+        if row is None:
+            row = {"calls": 0, "errors": 0, "total_latency": 0.0}
+            self._members[member] = row
+        return row
+
+    def begin(self, ctx: CallContext) -> None:
+        """Count the call and stamp its start time on the context."""
+        ctx.state[self] = ctx.now()
+        self._row(ctx.member)["calls"] += 1
+
+    def end(self, ctx: CallContext, result: Any) -> None:
+        """Accumulate the completed call's simulated latency."""
+        started = ctx.state.pop(self, None)
+        if started is not None:
+            self._row(ctx.member)["total_latency"] += ctx.now() - started
+
+    def abort(self, ctx: CallContext, error: BaseException) -> None:
+        """Count the failure (latency still accumulates for the attempt)."""
+        row = self._row(ctx.member)
+        row["errors"] += 1
+        started = ctx.state.pop(self, None)
+        if started is not None:
+            row["total_latency"] += ctx.now() - started
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A copy of every member's counters (safe to mutate)."""
+        return {member: dict(row) for member, row in self._members.items()}

@@ -75,6 +75,17 @@ class ServicePolicy:
     #: (``None`` = every read pays its round trip).  See
     #: :class:`~repro.runtime.caching.CachePolicy` for the knobs.
     cache: Optional[CachePolicy] = None
+    #: Client-side interceptors (:class:`~repro.api.middleware.Interceptor`)
+    #: bracketing every call this service enqueues, in registration order.
+    #: Empty = the pipes run bare, byte-identical to the pre-middleware path.
+    middleware: Tuple = ()
+    #: Server-side interceptors installed on the hosting address space(s) at
+    #: deploy time, bracketing every dispatched call before/after the target
+    #: method.  Only meaningful when the session deploys an implementation.
+    server_middleware: Tuple = ()
+    #: Tenant label stamped into every call's wire context (rate limiters
+    #: key their buckets on it).  ``None`` = untagged traffic.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cache is not None and not isinstance(self.cache, CachePolicy):
@@ -97,6 +108,10 @@ class ServicePolicy:
             raise PolicyError("max_failover_attempts must be at least 1")
         if not isinstance(self.readonly, tuple):
             object.__setattr__(self, "readonly", tuple(self.readonly))
+        if not isinstance(self.middleware, tuple):
+            object.__setattr__(self, "middleware", tuple(self.middleware))
+        if not isinstance(self.server_middleware, tuple):
+            object.__setattr__(self, "server_middleware", tuple(self.server_middleware))
 
     # ------------------------------------------------------------------
     # fluent builder
@@ -180,9 +195,38 @@ class ServicePolicy:
             )
         return replace(self, cache=policy)
 
+    def with_middleware(
+        self, *interceptors, server: Optional[Sequence] = None
+    ) -> "ServicePolicy":
+        """A copy whose calls run through ``interceptors``, in order.
+
+        Positional ``interceptors`` replace the client-side chain (each
+        call's begin/end/abort brackets run around the enqueue → settle
+        lifecycle); ``server=[...]`` additionally replaces the server-side
+        chain installed on the hosting space at deploy time::
+
+            policy.with_middleware(
+                DeadlineInterceptor(0.5), MetricsInterceptor(),
+                server=[RateLimitInterceptor(rate=200.0)],
+            )
+        """
+        updated = replace(self, middleware=tuple(interceptors))
+        if server is not None:
+            updated = replace(updated, server_middleware=tuple(server))
+        return updated
+
+    def with_tenant(self, tenant: Optional[str]) -> "ServicePolicy":
+        """A copy whose calls are stamped with ``tenant`` on the wire."""
+        return replace(self, tenant=tenant)
+
     # ------------------------------------------------------------------
     # derived views the façade consumes
     # ------------------------------------------------------------------
+
+    @property
+    def intercepted(self) -> bool:
+        """Whether calls run through a client-side interceptor chain."""
+        return bool(self.middleware)
 
     @property
     def batched(self) -> bool:

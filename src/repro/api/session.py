@@ -28,7 +28,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.api.dispatch import BatchPipe, DirectPipe, StreamPipe, _SessionScheduler
+from repro.api.dispatch import (
+    BatchPipe,
+    ChainedPipe,
+    DirectPipe,
+    StreamPipe,
+    _SessionScheduler,
+)
+from repro.api.middleware import InterceptorChain, MetricsInterceptor
 from repro.api.policy import ServicePolicy
 from repro.api.service import Service
 from repro.core.interfaces import cacheable_members
@@ -68,6 +75,9 @@ class Session:
         #: ``(name, group, host node, reference)`` of every deployment this
         #: session made, consumed by :meth:`dismantle`.
         self._deployments: List[tuple] = []
+        #: ``(chain, spaces)`` of every server-side middleware install this
+        #: session made at deploy time, removed again on :meth:`close`.
+        self._server_chains: List[tuple] = []
         self._closed = False
         cluster.naming.on_rebind(self._on_rebind)
 
@@ -118,7 +128,17 @@ class Session:
             )
         group = None
         host: Optional[str] = None
+        #: Nodes hosting the implementation (primary + backups when
+        #: replicated) — where server-side middleware installs.
+        host_nodes: List[str] = []
         if impl is None:
+            if policy.server_middleware:
+                raise PolicyError(
+                    "server_middleware only applies when this session deploys "
+                    "the implementation (pass impl=...); attaching to an "
+                    "existing name cannot reconfigure its hosting node's "
+                    "dispatch path"
+                )
             if policy.replicated:
                 raise PolicyError(
                     "replication_factor only applies when this session deploys "
@@ -153,10 +173,22 @@ class Session:
                 sync=policy.sync,
             )
             reference = group.primary_ref
+            host_nodes = [primary, *backups]
         else:
             host = node if node is not None else self._pick_host()
             reference = self.cluster.space(host).export(impl)
             self.cluster.naming.rebind(name, reference)
+            host_nodes = [host]
+        if policy.server_middleware and host_nodes:
+            # One chain INSTANCE shared by every hosting space: a replica
+            # group's primary and backups then share interceptor state, so
+            # a failover re-ship neither double-charges a rate-limit bucket
+            # nor resets accumulated metrics.
+            chain = InterceptorChain(policy.server_middleware)
+            spaces = [self.cluster.space(host_node) for host_node in host_nodes]
+            for space in spaces:
+                space.use_middleware(chain)
+            self._server_chains.append((chain, spaces))
         cache = None
         cacheable: frozenset = frozenset()
         if policy.cached:
@@ -178,6 +210,34 @@ class Session:
     def services(self) -> List[Service]:
         """Every service created through this session, in creation order."""
         return list(self._services.values())
+
+    def metrics(self) -> Dict[str, Dict[str, float]]:
+        """Merged per-member counters from every metrics interceptor in play.
+
+        Scans the client (``middleware``) and server (``server_middleware``)
+        chains of every service this session created for
+        :class:`~repro.api.middleware.MetricsInterceptor` instances and sums
+        their snapshots per member: ``{"member": {"calls", "errors",
+        "total_latency"}}``.  An interceptor shared by several policies is
+        counted once.
+        """
+        merged: Dict[str, Dict[str, float]] = {}
+        seen: set = set()
+        for service in self._services.values():
+            chains = service.policy.middleware + service.policy.server_middleware
+            for interceptor in chains:
+                if not isinstance(interceptor, MetricsInterceptor):
+                    continue
+                if id(interceptor) in seen:
+                    continue
+                seen.add(id(interceptor))
+                for member, row in interceptor.snapshot().items():
+                    into = merged.setdefault(
+                        member, {"calls": 0, "errors": 0, "total_latency": 0.0}
+                    )
+                    for key, value in row.items():
+                        into[key] = into.get(key, 0) + value
+        return merged
 
     # ------------------------------------------------------------------
     # shared machinery (internal, used by the pipes)
@@ -212,13 +272,23 @@ class Session:
             self._cache_manager.flush_reference(reference)
 
     def _build_pipe(self, service: Service):
-        """Choose and build the dispatch pipe a service's policy calls for."""
+        """Choose and build the dispatch pipe a service's policy calls for.
+
+        A policy carrying ``middleware`` gets its pipe wrapped in a
+        :class:`~repro.api.dispatch.ChainedPipe`, so every enqueue runs
+        through the client-side interceptor chain whatever dispatch shape
+        (direct, batched, pipelined) the other knobs picked.
+        """
         policy = service.policy
         if policy.pipelined:
-            return StreamPipe(service, self._scheduler_for(policy))
-        if policy.batched:
-            return BatchPipe(service)
-        return DirectPipe(service)
+            pipe = StreamPipe(service, self._scheduler_for(policy))
+        elif policy.batched:
+            pipe = BatchPipe(service)
+        else:
+            pipe = DirectPipe(service)
+        if policy.intercepted:
+            pipe = ChainedPipe(service, pipe, InterceptorChain(policy.middleware))
+        return pipe
 
     def _scheduler_for(self, policy: ServicePolicy) -> _SessionScheduler:
         """The shared scheduler for one policy shape (created on first use)."""
@@ -237,7 +307,9 @@ class Session:
             self._schedulers[key] = scheduler
             if self._adaptive is not None:
                 # Keep the adaptive heuristic fed with *measured* pipeline
-                # depth: the most recently created shared scheduler wins.
+                # depth from EVERY session-owned scheduler: the manager
+                # aggregates its sources traffic-weighted, so a second
+                # policy shape adds a signal instead of replacing the first.
                 self._adaptive.connect_pipeline(scheduler)
         return scheduler
 
@@ -370,7 +442,8 @@ class Session:
         monitors and moves).  The session supplies the measured signals the
         heuristic amortises by: every shared pipeline scheduler is connected
         as it appears (:meth:`~repro.policy.adaptive.AdaptiveDistributionManager.connect_pipeline`,
-        most recent wins), the session's cache manager feeds the hit-rate
+        aggregated traffic-weighted across all of them), the session's cache
+        manager feeds the hit-rate
         discount (:meth:`~repro.policy.adaptive.AdaptiveDistributionManager.connect_cache`),
         and the cluster's network feeds the measured queueing-delay weight
         (:meth:`~repro.policy.adaptive.AdaptiveDistributionManager.connect_network`)
@@ -499,6 +572,13 @@ class Session:
                 # Detach the invalidation listener from the (long-lived)
                 # address space and drop every cached entry.
                 self._cache_manager.close()
+            # Uninstall the server-side chains this session deployed: the
+            # hosting spaces outlive the session, and a later session's
+            # traffic must not be billed to a dead session's rate limiters.
+            server_chains, self._server_chains = self._server_chains, []
+            for chain, spaces in server_chains:
+                for space in spaces:
+                    space.remove_middleware(chain)
             # Cancel any auto-adapt loop: pending ticks become no-ops.
             self._adapt_epoch += 1
             self.cluster.naming.off_rebind(self._on_rebind)

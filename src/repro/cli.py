@@ -57,6 +57,13 @@ leases|invalidate|write_through] [--lease-ms L] [--kill]``
     goodput-vs-offered-load curve with p50/p99/p999 latency, rejections and
     the saturation knee.
 
+``repro bench-middleware [--transport t] [--duration D] [--hog-rate H]
+[--polite-rate P] [--limit-rate L] [--burst B] [--workers K]
+[--queue-limit Q] [--service-time S]``
+    Pit a hogging tenant against a polite one on a shared bounded service,
+    with and without per-tenant rate limiting on the interceptor chain, and
+    report each tenant's completed/throttled/shed counts per run.
+
 Run ``python -m repro --help`` for the full syntax.
 """
 
@@ -493,6 +500,70 @@ def command_bench_load(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def command_bench_middleware(args: argparse.Namespace, out) -> int:
+    from repro.runtime.cluster import Cluster, default_transport_registry
+    from repro.workloads.multi_tenant import run_multi_tenant_scenario
+
+    known = default_transport_registry().names()
+    if args.transport not in known:
+        print(f"unknown transport: {args.transport}", file=out)
+        return 1
+    if args.duration <= 0:
+        print("--duration must be positive", file=out)
+        return 1
+    if args.hog_rate <= 0 or args.polite_rate <= 0:
+        print("offered rates must be positive", file=out)
+        return 1
+    if args.limit_rate is not None and args.limit_rate <= 0:
+        print("--limit-rate must be positive", file=out)
+        return 1
+    if args.workers < 1:
+        print("--workers must be at least 1", file=out)
+        return 1
+    if args.service_time <= 0:
+        print("--service-time must be positive", file=out)
+        return 1
+
+    kwargs = dict(
+        transport=args.transport,
+        duration=args.duration,
+        hog_rate=args.hog_rate,
+        polite_rate=args.polite_rate,
+        burst=args.burst,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        service_time=args.service_time,
+    )
+    runs = [("unlimited", None)]
+    if args.limit_rate is not None:
+        runs.append(("limited", args.limit_rate))
+    capacity = args.workers / args.service_time
+    print(
+        f"multi-tenant contention on {args.transport}: hog "
+        f"{args.hog_rate:g}/s vs polite {args.polite_rate:g}/s at a "
+        f"{capacity:.0f}/s pool, {args.duration:g} s",
+        file=out,
+    )
+    print(
+        f"{'run':>9s} {'tenant':>7s} {'offered':>8s} {'done':>6s} "
+        f"{'throttled':>9s} {'shed':>6s} {'ratio':>7s}",
+        file=out,
+    )
+    for label, limit in runs:
+        outcome = run_multi_tenant_scenario(
+            Cluster(("hog", "polite", "server")), limit_rate=limit, **kwargs
+        )
+        for tenant in ("hog", "polite"):
+            row = outcome[tenant]
+            print(
+                f"{label:>9s} {tenant:>7s} {row['offered']:8d} "
+                f"{row['completed']:6d} {row['throttled']:9d} "
+                f"{row['shed']:6d} {row['completion_ratio']:7.1%}",
+                file=out,
+            )
+    return 0
+
+
 def command_policy_template(args: argparse.Namespace, out) -> int:
     classes = _split_csv(args.classes)
     nodes = _split_csv(args.nodes)
@@ -615,6 +686,27 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--keys", type=int, default=32)
     load.add_argument("--zipf", type=float, default=1.1)
     load.set_defaults(handler=command_bench_load)
+
+    middleware = subparsers.add_parser(
+        "bench-middleware",
+        help="pit a hogging tenant against a polite one, with and without "
+        "per-tenant rate limiting on the interceptor chain",
+    )
+    middleware.add_argument("--transport", default="rmi", help="transport to drive (one)")
+    middleware.add_argument("--duration", type=float, default=0.5)
+    middleware.add_argument("--hog-rate", type=float, default=8000.0)
+    middleware.add_argument("--polite-rate", type=float, default=400.0)
+    middleware.add_argument(
+        "--limit-rate",
+        type=float,
+        default=600.0,
+        help="per-tenant client-side grant in calls/s for the limited run",
+    )
+    middleware.add_argument("--burst", type=float, default=32.0)
+    middleware.add_argument("--workers", type=int, default=2)
+    middleware.add_argument("--queue-limit", type=int, default=8)
+    middleware.add_argument("--service-time", type=float, default=0.002)
+    middleware.set_defaults(handler=command_bench_middleware)
 
     return parser
 

@@ -126,6 +126,38 @@ class AdmissionError(NetworkError):
     may retry after a backoff once the pool has drained."""
 
 
+class ThrottledError(AdmissionError):
+    """A per-tenant rate limiter rejected this call, retryably.
+
+    The typed rejection of a
+    :class:`~repro.api.middleware.RateLimitInterceptor` configured with
+    ``retryable=True`` (the default).  Subclassing
+    :class:`AdmissionError` keeps it in the transient-failure family, so
+    retry policies back off and try again exactly as they do for a full
+    service pool."""
+
+
+class DeadlineExceededError(ReproError):
+    """A call's propagated deadline expired before (or while) it executed.
+
+    Raised client-side by a
+    :class:`~repro.api.middleware.DeadlineInterceptor` when the deadline has
+    already passed at enqueue time (the call is aborted without shipping),
+    and server-side when the deadline expired in flight (the call is aborted
+    before the target method runs).  Deadlines are absolute simulated-time
+    instants, so retries and failover re-ships consume the *remaining*
+    budget rather than getting a fresh one."""
+
+
+class RateLimitError(ReproError):
+    """A per-tenant rate limiter rejected this call, non-retryably.
+
+    The typed, terminal rejection of a
+    :class:`~repro.api.middleware.RateLimitInterceptor` configured with
+    ``retryable=False``: the caller is over quota and backing off will not
+    be attempted on its behalf."""
+
+
 class TransportError(ReproError):
     """A transport could not encode, decode or deliver an invocation."""
 
@@ -154,3 +186,35 @@ class PolicyError(ReproError):
 
 class CorpusError(ReproError):
     """The synthetic class corpus could not be generated or analysed."""
+
+
+# ---------------------------------------------------------------------------
+# Remote-error rehydration
+# ---------------------------------------------------------------------------
+
+#: Control-plane rejections that travel typed: when a server-side
+#: interceptor rejects a call, the error *type name* in the response is
+#: rehydrated into the matching local class, so client retry policies can
+#: classify the rejection (``ThrottledError`` is transient and retried,
+#: ``RateLimitError`` and ``DeadlineExceededError`` are terminal).
+#: Application errors keep travelling as
+#: :class:`RemoteInvocationError` — only these names are special.
+_CONTROL_PLANE_ERRORS = {
+    "DeadlineExceededError": DeadlineExceededError,
+    "RateLimitError": RateLimitError,
+    "ThrottledError": ThrottledError,
+}
+
+
+def remote_error(remote_type: str, message: str) -> ReproError:
+    """The exception to raise for a remote error response.
+
+    Control-plane rejections (deadline expiry, rate limiting) come back as
+    their typed local classes so the retry taxonomy applies to them; every
+    other remote error type stays a :class:`RemoteInvocationError` carrying
+    the remote type name and message verbatim.
+    """
+    cls = _CONTROL_PLANE_ERRORS.get(remote_type)
+    if cls is not None:
+        return cls(message)
+    return RemoteInvocationError(remote_type, message)

@@ -200,9 +200,10 @@ class AdaptiveDistributionManager:
         #: client-side result cache (no network traffic); ``0.0`` models
         #: uncached callers, larger values discount the observed window.
         self.cache_hit_ratio = cache_hit_ratio
-        #: A live scheduler whose measured window depth supersedes the
-        #: configured ``pipeline_depth`` (see :meth:`connect_pipeline`).
-        self._pipeline_source: Optional[Any] = None
+        #: Live schedulers whose measured window depths supersede the
+        #: configured ``pipeline_depth`` (see :meth:`connect_pipeline`);
+        #: aggregated traffic-weighted across all of them.
+        self._pipeline_sources: list = []
         #: A live cache whose measured hit rate supersedes the configured
         #: ``cache_hit_ratio`` (see :meth:`connect_cache`).
         self._cache_source: Optional[Any] = None
@@ -257,10 +258,20 @@ class AdaptiveDistributionManager:
         :meth:`effective_pipeline_depth` prefers the depth the pipeline
         actually achieved over the statically configured ``pipeline_depth``,
         closing the "configured, not measured" gap: a window that traffic
-        never fills no longer over-discounts the observed calls.  Pass
-        ``None`` to disconnect.
+        never fills no longer over-discounts the observed calls.
+
+        May be called once per scheduler: a session with several policy
+        shapes connects each shared scheduler as it appears, and the
+        effective depth aggregates all of them weighted by how many batches
+        each actually shipped — connecting a second scheduler adds a signal
+        instead of silently replacing the first.  Pass ``None`` to
+        disconnect every source.
         """
-        self._pipeline_source = scheduler
+        if scheduler is None:
+            self._pipeline_sources = []
+            return
+        if scheduler not in self._pipeline_sources:
+            self._pipeline_sources.append(scheduler)
 
     def connect_cache(self, cache: Any) -> None:
         """Feed a cache's *measured* hit rate into the heuristic.
@@ -328,13 +339,22 @@ class AdaptiveDistributionManager:
     def effective_pipeline_depth(self) -> float:
         """The pipeline depth the amortisation actually uses.
 
-        The connected scheduler's :attr:`observed_pipeline_depth` when one is
-        connected and has shipped at least one batch; the configured
-        ``pipeline_depth`` otherwise.
+        The traffic-weighted mean of every connected scheduler's
+        :attr:`observed_pipeline_depth` (weighted by its ``depth_samples``,
+        i.e. batches actually shipped), over the schedulers that shipped at
+        least one batch; the configured ``pipeline_depth`` when none have.
+        With a single active source this is exactly that source's observed
+        depth, so one-scheduler sessions behave as before.
         """
-        source = self._pipeline_source
-        if source is not None and getattr(source, "depth_samples", 0) > 0:
-            return max(1.0, float(source.observed_pipeline_depth))
+        weighted = 0.0
+        samples = 0
+        for source in self._pipeline_sources:
+            count = getattr(source, "depth_samples", 0)
+            if count > 0:
+                weighted += float(source.observed_pipeline_depth) * count
+                samples += count
+        if samples > 0:
+            return max(1.0, weighted / samples)
         return float(self.pipeline_depth)
 
     def amortised_call_count(self, monitor: AccessMonitor) -> float:

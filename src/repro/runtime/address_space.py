@@ -23,9 +23,9 @@ from repro.core.interfaces import cacheable_members
 from repro.errors import (
     InvocationError,
     NetworkError,
-    RemoteInvocationError,
     TransportError,
     UnknownObjectError,
+    remote_error,
 )
 from repro.network.simnet import SimulatedNetwork
 from repro.runtime.batching import BatchResult
@@ -56,7 +56,9 @@ from repro.transports.base import (
     split_invalidations,
 )
 
-#: One call of a batch: (reference, member, positional args, keyword args).
+#: One call of a batch: (reference, member, positional args, keyword args),
+#: optionally extended with a fifth element — the call's wire-context dict
+#: (call id, tenant, deadline; see :class:`~repro.api.middleware.CallContext`).
 BatchCall = Tuple[RemoteRef, str, tuple, dict]
 
 
@@ -83,6 +85,9 @@ class AddressSpace:
         self._exported_refs: Dict[int, RemoteRef] = {}
         self._allocator = ObjectIdAllocator(node_id)
         self._dispatch_hooks: list[Any] = []
+        #: Server-side interceptor chains (see :meth:`use_middleware`),
+        #: bracketing every dispatched request in installation order.
+        self._middleware_chains: list[Any] = []
         self._batch_scope_depth = 0
         self._batch_commit_hooks: list[Any] = []
         #: Cache-coherence state (server side): object id → {node → lease
@@ -209,6 +214,47 @@ class AddressSpace:
     def remove_dispatch_hook(self, hook: Any) -> None:
         if hook in self._dispatch_hooks:
             self._dispatch_hooks.remove(hook)
+
+    # ------------------------------------------------------------------
+    # Server-side middleware (see repro.api.middleware)
+    # ------------------------------------------------------------------
+
+    def use_middleware(self, chain: Any) -> Any:
+        """Install an interceptor chain around every request this space serves.
+
+        ``chain`` is an :class:`~repro.api.middleware.InterceptorChain` (or a
+        sequence of interceptors, wrapped into one).  The chain runs inside
+        dispatch — after the request is decoded, before/after the target
+        method — and is batch-aware: one framed batch message brackets its N
+        calls individually.  A ``begin`` rejection (deadline expired, tenant
+        over quota) aborts the call before it executes and travels back as a
+        typed error response.  Several chains may be installed (e.g. by
+        different sessions deploying onto the same node); they nest in
+        installation order.  Returns the installed chain (the handle for
+        :meth:`remove_middleware`).
+
+        The same chain *instance* may be installed on several spaces — a
+        replica group's primary and backups share interceptor state that
+        way, so a failover does not reset rate-limit buckets or metrics.
+        """
+        from repro.api.middleware import Interceptor, InterceptorChain
+
+        if isinstance(chain, (list, tuple)):
+            chain = InterceptorChain(chain)
+        elif isinstance(chain, Interceptor):
+            chain = InterceptorChain((chain,))
+        if chain not in self._middleware_chains:
+            self._middleware_chains.append(chain)
+        return chain
+
+    def remove_middleware(self, chain: Any) -> None:
+        """Uninstall a chain installed by :meth:`use_middleware` (idempotent)."""
+        if chain in self._middleware_chains:
+            self._middleware_chains.remove(chain)
+
+    def middleware_chain_count(self) -> int:
+        """How many server-side chains are installed (leak checks)."""
+        return len(self._middleware_chains)
 
     # ------------------------------------------------------------------
     # Batch-dispatch scope (amortisation hooks for server-side observers)
@@ -459,13 +505,21 @@ class AddressSpace:
         args: tuple = (),
         kwargs: Optional[dict] = None,
         transport: Optional[str] = None,
+        context: Optional[dict] = None,
     ) -> Any:
         """Invoke ``member`` on the object behind ``reference``.
 
         When the reference points at this very space the call short-circuits
         to a direct local invocation — remote and non-remote versions of an
         object are interchangeable, so a proxy that finds itself co-located
-        with its target behaves like the local version.
+        with its target behaves like the local version.  (The short-circuit
+        bypasses the wire *and* the serving space's middleware chain — a
+        co-located caller is trusted like local code.)
+
+        ``context`` is the call's wire-context dict (call id, tenant,
+        deadline); it rides the request as a ``ctx`` control field and is
+        rebuilt into the server-side
+        :class:`~repro.api.middleware.CallContext`.
         """
 
         kwargs = kwargs or {}
@@ -491,6 +545,7 @@ class AddressSpace:
             member=member,
             args=wire_args,
             kwargs=wire_kwargs,
+            context=dict(context or {}),
         )
         body = transport_impl.encode_request(request.to_dict())
         self.network.clock.advance(transport_impl.processing_overhead)
@@ -511,7 +566,7 @@ class AddressSpace:
             response_transport.decode_response(response_body)
         )
         if response.is_error:
-            raise RemoteInvocationError(response.error_type, response.error_message or "")
+            raise remote_error(response.error_type, response.error_message or "")
         return self.marshaller.from_wire(response.result)
 
     def invoke_remote_many(
@@ -534,14 +589,11 @@ class AddressSpace:
         :meth:`invoke_remote`.
         """
 
-        normalized: list[tuple[RemoteRef, str, tuple, dict]] = []
-        for call in calls:
-            reference, member, args, kwargs = call
-            normalized.append((reference, member, tuple(args), dict(kwargs or {})))
+        normalized = self._normalize_calls(calls)
         if not normalized:
             return []
 
-        destinations = {reference.node_id for reference, _, _, _ in normalized}
+        destinations = {reference.node_id for reference, _, _, _, _ in normalized}
         if len(destinations) > 1:
             raise InvocationError(
                 f"a batch must target one address space, got {sorted(destinations)}"
@@ -582,15 +634,12 @@ class AddressSpace:
         calling this directly.
         """
 
-        normalized: list[tuple[RemoteRef, str, tuple, dict]] = []
-        for call in calls:
-            reference, member, args, kwargs = call
-            normalized.append((reference, member, tuple(args), dict(kwargs or {})))
+        normalized = self._normalize_calls(calls)
         if not normalized:
             self.network.events.schedule(0.0, lambda: on_results([]))
             return
 
-        destinations = {reference.node_id for reference, _, _, _ in normalized}
+        destinations = {reference.node_id for reference, _, _, _, _ in normalized}
         if len(destinations) > 1:
             raise InvocationError(
                 f"a batch must target one address space, got {sorted(destinations)}"
@@ -617,15 +666,35 @@ class AddressSpace:
 
         self.network.post(self.node_id, destination, payload, complete, on_error)
 
+    @staticmethod
+    def _normalize_calls(
+        calls: Sequence[BatchCall],
+    ) -> list[tuple[RemoteRef, str, tuple, dict, dict]]:
+        """Copy batch calls into uniform 5-tuples (context defaulting empty)."""
+        normalized: list[tuple[RemoteRef, str, tuple, dict, dict]] = []
+        for call in calls:
+            reference, member, args, kwargs, *rest = call
+            context = rest[0] if rest else None
+            normalized.append(
+                (reference, member, tuple(args), dict(kwargs or {}), dict(context or {}))
+            )
+        return normalized
+
     def _encode_batch_payload(
         self,
-        normalized: Sequence[tuple[RemoteRef, str, tuple, dict]],
+        normalized: Sequence[tuple[RemoteRef, str, tuple, dict, dict]],
         transport: Optional[str],
     ) -> bytes:
-        """Marshal and frame N calls as one batch message, charging encode cost."""
+        """Marshal and frame N calls as one batch message, charging encode cost.
+
+        Accepts 4-tuples too (context defaulting empty) so callers holding
+        pre-middleware call shapes keep working without normalizing first.
+        """
         transport_impl = self.transports.get(transport or self.default_transport)
         batch = InvocationBatch()
-        for reference, member, args, kwargs in normalized:
+        for reference, member, args, kwargs, context in self._normalize_calls(
+            normalized
+        ):
             wire_args, wire_kwargs = self.marshaller.marshal_arguments(args, kwargs)
             batch.requests.append(
                 InvocationRequest(
@@ -634,6 +703,7 @@ class AddressSpace:
                     member=member,
                     args=wire_args,
                     kwargs=wire_kwargs,
+                    context=context,
                 )
             )
         body = transport_impl.encode_batch_request(batch.to_dicts())
@@ -671,7 +741,7 @@ class AddressSpace:
                 results.append(
                     BatchResult(
                         index=index,
-                        error=RemoteInvocationError(
+                        error=remote_error(
                             response.error_type, response.error_message or ""
                         ),
                     )
@@ -683,13 +753,13 @@ class AddressSpace:
         return results
 
     def _invoke_batch_locally(
-        self, calls: Sequence[tuple[RemoteRef, str, tuple, dict]]
+        self, calls: Sequence[tuple[RemoteRef, str, tuple, dict, dict]]
     ) -> List[BatchResult]:
         results: list[BatchResult] = []
         mutated: set[str] = set()
         self._enter_batch_scope()
         try:
-            for index, (reference, member, args, kwargs) in enumerate(calls):
+            for index, (reference, member, args, kwargs, _context) in enumerate(calls):
                 try:
                     target = self.lookup_local_object(reference.object_id)
                     if self._cache_subscribers and self._mutates_subscribed_object(
@@ -778,39 +848,98 @@ class AddressSpace:
         for hook in self._dispatch_hooks:
             hook.before_dispatch(self)
         try:
-            try:
-                target = self.lookup_local_object(request.target_id)
-            except UnknownObjectError as exc:
-                return InvocationResponse.for_exception(exc)
-            try:
-                member = getattr(target, request.member)
-            except AttributeError as exc:
-                return InvocationResponse.for_exception(
-                    InvocationError(
-                        f"object {request.target_id!r} has no member {request.member!r}"
-                    )
-                )
-            if self._cache_subscribers and self._mutates_subscribed_object(
-                request.target_id, target, request.member
-            ):
-                # Recorded before execution: a write that raises may still
-                # have mutated state, so subscribers are invalidated either
-                # way (conservative, never stale).
-                self._pending_invalidations.add(request.target_id)
-            args, kwargs = self.marshaller.unmarshal_arguments(
-                request.args, request.kwargs
-            )
-            try:
-                result = member(*args, **kwargs)
-            except Exception as exc:  # noqa: BLE001 - application errors travel back
-                return InvocationResponse.for_exception(exc)
-            try:
-                return InvocationResponse.for_result(self.marshaller.to_wire(result))
-            except Exception as exc:  # noqa: BLE001 - marshalling errors travel back
-                return InvocationResponse.for_exception(exc)
+            if not self._middleware_chains:
+                response, _ = self._serve_request(request)
+                return response
+            return self._dispatch_intercepted(request)
         finally:
             for hook in reversed(self._dispatch_hooks):
                 hook.after_dispatch(self)
+
+    def _dispatch_intercepted(self, request: InvocationRequest) -> InvocationResponse:
+        """Serve one request inside every installed interceptor chain.
+
+        Chains nest in installation order: the first installed chain's
+        ``begin`` runs first and its ``end``/``abort`` runs last.  A
+        ``begin`` rejection aborts the call before the target method runs
+        and travels back as a typed error response; the chains already
+        opened are failed in reverse so their brackets stay balanced.
+        Batches need no special handling here — the batch loop dispatches
+        each framed call individually, so N calls get N brackets.
+        """
+        from repro.api.middleware import CallContext
+
+        ctx = CallContext.from_wire(
+            request.context,
+            service=request.interface_name,
+            member=request.member,
+            args=tuple(request.args),
+            kwargs=dict(request.kwargs),
+            clock=self.network.clock,
+        )
+        brackets = []
+        for chain in list(self._middleware_chains):
+            try:
+                brackets.append(chain.open(ctx))
+            except Exception as exc:  # noqa: BLE001 - typed rejection travels back
+                for bracket in reversed(brackets):
+                    bracket.fail(exc)
+                return InvocationResponse.for_exception(exc)
+        try:
+            response, error = self._serve_request(request)
+        except BaseException as exc:
+            # Unmarshalling failures propagate (the whole message is bad),
+            # but the opened brackets must still settle exactly once.
+            for bracket in reversed(brackets):
+                bracket.fail(exc)
+            raise
+        if error is None:
+            for bracket in reversed(brackets):
+                bracket.close(response.result)
+        else:
+            for bracket in reversed(brackets):
+                bracket.fail(error)
+        return response
+
+    def _serve_request(
+        self, request: InvocationRequest
+    ) -> tuple[InvocationResponse, Optional[BaseException]]:
+        """Execute one decoded request against the local object table.
+
+        Returns ``(response, error)`` where ``error`` is the exception
+        instance the response describes (``None`` on success) — the
+        middleware layer needs the live instance for its ``abort`` hooks,
+        not just the marshalled error text.
+        """
+        try:
+            target = self.lookup_local_object(request.target_id)
+        except UnknownObjectError as exc:
+            return InvocationResponse.for_exception(exc), exc
+        try:
+            member = getattr(target, request.member)
+        except AttributeError:
+            error = InvocationError(
+                f"object {request.target_id!r} has no member {request.member!r}"
+            )
+            return InvocationResponse.for_exception(error), error
+        if self._cache_subscribers and self._mutates_subscribed_object(
+            request.target_id, target, request.member
+        ):
+            # Recorded before execution: a write that raises may still
+            # have mutated state, so subscribers are invalidated either
+            # way (conservative, never stale).
+            self._pending_invalidations.add(request.target_id)
+        args, kwargs = self.marshaller.unmarshal_arguments(
+            request.args, request.kwargs
+        )
+        try:
+            result = member(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - application errors travel back
+            return InvocationResponse.for_exception(exc), exc
+        try:
+            return InvocationResponse.for_result(self.marshaller.to_wire(result)), None
+        except Exception as exc:  # noqa: BLE001 - marshalling errors travel back
+            return InvocationResponse.for_exception(exc), exc
 
     # ------------------------------------------------------------------
 

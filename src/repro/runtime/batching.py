@@ -85,6 +85,9 @@ class _QueuedCall:
     args: tuple
     kwargs: dict
     pending: PendingCall = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Wire-context dict (call id, tenant, deadline) riding with the call;
+    #: empty for calls issued without middleware.
+    context: dict = field(default_factory=dict)
 
 
 class BatchingProxy:
@@ -220,6 +223,22 @@ class BatchingProxy:
 
     def call(self, member: str, *args: Any, **kwargs: Any) -> PendingCall:
         """Queue one invocation; returns its placeholder immediately."""
+        return self.call_with_context(member, args, kwargs)
+
+    def call_with_context(
+        self,
+        member: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        context: Optional[dict] = None,
+    ) -> PendingCall:
+        """Queue one invocation carrying a wire-context dict.
+
+        The middleware-aware entry point: ``context`` (call id, tenant,
+        deadline — see :class:`~repro.api.middleware.CallContext`) ships
+        with the call inside its batch message, so the serving space's
+        chains see the same control fields the client chain stamped.
+        """
         pending = PendingCall(self, member)
         # Fill the same future bookkeeping the pipelined scheduler provides,
         # so latency/attempt statistics work whatever dispatch path a policy
@@ -227,7 +246,9 @@ class BatchingProxy:
         clock = getattr(getattr(self._space, "network", None), "clock", None)
         if clock is not None:
             pending.submitted_at = clock.now
-        self._queue.append(_QueuedCall(member, args, kwargs, pending))
+        self._queue.append(
+            _QueuedCall(member, tuple(args), dict(kwargs or {}), pending, dict(context or {}))
+        )
         self.calls_enqueued += 1
         if len(self._queue) >= self.max_batch:
             self.flush()
@@ -264,7 +285,10 @@ class BatchingProxy:
             return []
         window, self._queue = self._queue, []
         reference = self._refresh_reference()
-        calls = [(reference, item.member, item.args, item.kwargs) for item in window]
+        calls = [
+            (reference, item.member, item.args, item.kwargs, item.context)
+            for item in window
+        ]
         for item in window:
             item.pending.attempts += 1
         # The invoker re-ships the whole window internally on retry, writing

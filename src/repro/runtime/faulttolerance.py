@@ -172,12 +172,16 @@ class FaultTolerantInvoker:
         kwargs: Optional[dict] = None,
         transport: Optional[str] = None,
         space=None,
+        context: Optional[dict] = None,
     ) -> Any:
         """Invoke ``member`` with retries according to the policy.
 
         ``space`` selects which address space issues the call (so traffic is
         attributed to the node the calling code actually runs on); it defaults
-        to the space the invoker was constructed with.
+        to the space the invoker was constructed with.  ``context`` is the
+        call's wire-context dict (call id, tenant, deadline); the *same*
+        dict rides every retry and failover hop, so a promoted replica sees
+        the call's remaining deadline budget, not a fresh one.
         """
 
         calling_space = space if space is not None else self.space
@@ -187,7 +191,8 @@ class FaultTolerantInvoker:
             attempt += 1
             try:
                 return calling_space.invoke_remote(
-                    reference, member, args, kwargs or {}, transport=transport
+                    reference, member, args, kwargs or {}, transport=transport,
+                    context=context,
                 )
             except NetworkError as error:
                 retry = self.policy.should_retry(error, attempt)
@@ -237,7 +242,8 @@ class FaultTolerantInvoker:
         :class:`~repro.runtime.batching.BatchResult` slots and are **not**
         retried — they are deterministic outcomes, not network weather.
 
-        ``calls`` uses the ``(reference, member, args, kwargs)`` shape of
+        ``calls`` uses the ``(reference, member, args, kwargs[, context])``
+        shape of
         :meth:`~repro.runtime.address_space.AddressSpace.invoke_remote_many`.
         For per-call retries with out-of-order completion, use
         :class:`~repro.runtime.pipelining.PipelineScheduler`, which requeues
@@ -259,10 +265,10 @@ class FaultTolerantInvoker:
                     redirected = self._redirect_calls(calls, hops)
                     if redirected is not None:
                         retry = True
-                for _, member, _, _ in calls:
+                for call in calls:
                     self.log.record(
                         FailureRecord(
-                            member=member,
+                            member=call[1],
                             error_type=type(error).__name__,
                             attempt=attempt,
                             recovered=retry,
@@ -275,7 +281,7 @@ class FaultTolerantInvoker:
                     calls = redirected
                     hops += 1
                     attempt = 0
-                    destinations = {ref.node_id for ref, _, _, _ in calls}
+                    destinations = {call[0].node_id for call in calls}
                     if len(destinations) > 1:
                         # Different groups promoted to different nodes: hand
                         # the batch to the split path, which gives every
@@ -325,7 +331,8 @@ class FaultTolerantInvoker:
         if self.replica_manager is None or hops >= self.max_failover_hops:
             return None
         targets: dict = {}
-        for reference, _, _, _ in calls:
+        for call in calls:
+            reference = call[0]
             if reference in targets:
                 continue
             # _failover_target only ever yields a *different* reference (a
@@ -335,10 +342,9 @@ class FaultTolerantInvoker:
             if target is None:
                 return None
             targets[reference] = target
-        return [
-            (targets[reference], member, args, kwargs)
-            for reference, member, args, kwargs in calls
-        ]
+        # Calls keep whatever trailing elements they carried (the optional
+        # wire-context dict) — a redirect must not strip a call's deadline.
+        return [(targets[call[0]], *call[1:]) for call in calls]
 
 
 class _RetryingTarget:

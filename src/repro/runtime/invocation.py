@@ -19,22 +19,33 @@ from repro.errors import TransportError
 
 @dataclass
 class InvocationRequest:
-    """One remote member invocation, in marshalled (wire-value) form."""
+    """One remote member invocation, in marshalled (wire-value) form.
+
+    ``context`` carries the call's control fields (call id, tenant,
+    deadline — see :class:`~repro.api.middleware.CallContext`); it is
+    serialized as a ``ctx`` key only when non-empty, so requests issued
+    without middleware stay byte-identical to the pre-middleware wire
+    format.
+    """
 
     target_id: str
     interface_name: str
     member: str
     args: list = field(default_factory=list)
     kwargs: dict = field(default_factory=dict)
+    context: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "target": self.target_id,
             "interface": self.interface_name,
             "member": self.member,
             "args": list(self.args),
             "kwargs": dict(self.kwargs),
         }
+        if self.context:
+            payload["ctx"] = dict(self.context)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "InvocationRequest":
@@ -44,6 +55,7 @@ class InvocationRequest:
             member=payload.get("member", ""),
             args=list(payload.get("args", [])),
             kwargs=dict(payload.get("kwargs", {})),
+            context=dict(payload.get("ctx") or {}),
         )
 
 

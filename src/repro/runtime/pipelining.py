@@ -189,6 +189,10 @@ class _ScheduledCall:
     args: tuple
     kwargs: dict
     future: InvocationFuture = field(repr=False, default=None)  # type: ignore[assignment]
+    #: Wire-context dict (call id, tenant, deadline); empty without
+    #: middleware.  Retries reuse the same :class:`_ScheduledCall`, so the
+    #: context — absolute deadline included — rides every re-ship unchanged.
+    context: dict = field(default_factory=dict)
 
 
 class PipelineScheduler:
@@ -299,6 +303,25 @@ class PipelineScheduler:
         different nodes ship independently, so one submission stream fans
         out (shards) across the cluster.
         """
+        return self.submit_with_context(target, member, args, kwargs)
+
+    def submit_with_context(
+        self,
+        target: Any,
+        member: str,
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        context: Optional[dict] = None,
+    ) -> InvocationFuture:
+        """Queue one invocation carrying a wire-context dict.
+
+        The middleware-aware entry point behind :meth:`submit`: ``context``
+        (call id, tenant, deadline — see
+        :class:`~repro.api.middleware.CallContext`) ships inside the call's
+        batch message and — because retries and failover re-ships reuse the
+        same scheduled-call record — rides every re-ship unchanged, so a
+        promoted replica sees the call's *remaining* deadline budget.
+        """
         if self._stopped:
             # Mirror the _ship guard: accepting the call would strand its
             # future silently, violating stop()'s no-pending guarantee.
@@ -320,7 +343,12 @@ class PipelineScheduler:
         self.calls_submitted += 1
         self._outstanding += 1
         buffer = self._buffers.setdefault(reference.node_id, [])
-        buffer.append(_ScheduledCall(reference, member, tuple(args), dict(kwargs), future))
+        buffer.append(
+            _ScheduledCall(
+                reference, member, tuple(args), dict(kwargs or {}), future,
+                dict(context or {}),
+            )
+        )
         if len(buffer) >= self.max_batch:
             self._ship(self._buffers.pop(reference.node_id))
         return future
@@ -479,7 +507,10 @@ class PipelineScheduler:
         self.depth_samples += 1
         try:
             self.space.invoke_remote_many_async(
-                [(call.reference, call.member, call.args, call.kwargs) for call in calls],
+                [
+                    (call.reference, call.member, call.args, call.kwargs, call.context)
+                    for call in calls
+                ],
                 on_results=lambda results, calls=calls: self._on_results(calls, results),
                 on_error=lambda error, calls=calls: self._on_error(calls, error),
                 transport=self.transport,

@@ -160,12 +160,18 @@ class SoapTransport(Transport):
             keyword = _value_to_element(value, "keyword")
             _set_attr(keyword, "name", key)
             keywords.append(keyword)
+        # Call-control fields (deadline, tenant, call id) travel as one
+        # struct-typed header element; omitted entirely when absent, so
+        # chain-free messages keep the historical envelope shape.
+        context = request.get("ctx")
+        if context:
+            invoke.append(_value_to_element(context, "context"))
 
     @staticmethod
     def _invoke_element_to_dict(invoke: ET.Element) -> dict:
         arguments_element = invoke.find("arguments")
         keywords_element = invoke.find("keywords")
-        return {
+        request = {
             "target": _get_attr(invoke, "target"),
             "interface": _get_attr(invoke, "interface"),
             "member": _get_attr(invoke, "member"),
@@ -178,6 +184,10 @@ class SoapTransport(Transport):
                 for child in (keywords_element if keywords_element is not None else [])
             },
         }
+        context_element = invoke.find("context")
+        if context_element is not None:
+            request["ctx"] = _element_to_value(context_element)
+        return request
 
     def encode_request(self, request: dict) -> bytes:
         envelope = ET.Element(_ENVELOPE)

@@ -16,6 +16,7 @@ from repro.workloads.open_loop import (
     run_open_loop_scenario,
     zipf_weights,
 )
+from repro.workloads.multi_tenant import TenantLedger, run_multi_tenant_scenario
 from repro.workloads.pipelined_orders import run_sharded_order_scenario
 from repro.workloads.orders import (
     Catalog,
@@ -40,10 +41,12 @@ __all__ = [
     "OrderIntake",
     "OrderStore",
     "Producer",
+    "TenantLedger",
     "detect_knee",
     "run_bulk_order_scenario",
     "run_cache_workload",
     "run_figure1_scenario",
+    "run_multi_tenant_scenario",
     "run_open_loop_scenario",
     "run_order_phase",
     "run_pipeline",
