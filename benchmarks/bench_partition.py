@@ -1,0 +1,218 @@
+"""Quorum-replication safety under asymmetric partitions.
+
+Drives the four-cell partition matrix of
+:mod:`repro.workloads.partitioned_orders` on every transport and checks the
+two safety properties majority quorums with epoch fencing are supposed to
+buy (see the workload module for the cell definitions):
+
+* **No acknowledged write is ever lost.**  Every client-acked order must be
+  present in the surviving primary's state after the heal — across
+  promotions (cells A, D), vetoed promotions (B) and isolated-primary
+  windows (C, D).
+* **No cached read is ever stale.**  A reader session watching the ledger
+  through a lease cache must never observe less than the acknowledged
+  state — across fencing failovers and the epoch-stamped invalidation
+  broadcast that follows them.
+
+Plus the split-brain invariants: exactly one primary holds the highest
+epoch in every cell, a blinded monitor's promotion is vetoed (B), and a
+fenced ex-primary's divergent unacknowledged ops are discarded at
+partition-heal reconciliation (D).
+
+Run standalone for a quick smoke check (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_partition.py
+"""
+
+from __future__ import annotations
+
+from _helpers import record_simulation, write_bench_json
+
+from repro.runtime.cluster import Cluster
+from repro.workloads.partitioned_orders import (
+    PARTITION_CELLS,
+    run_partitioned_order_scenario,
+)
+
+NODES = ("monitor", "client", "reader", "p0", "p1", "p2")
+TRANSPORTS = ("inproc", "rmi", "corba", "soap")
+
+#: Control-plane outcome each cell must produce (see the workload docstring).
+CELL_EXPECTATIONS = {
+    "A": {"failovers": 1, "epoch": 1, "vetoed": False, "reconciled": False},
+    "B": {"failovers": 0, "epoch": 0, "vetoed": True, "reconciled": False},
+    "C": {"failovers": 0, "epoch": 0, "vetoed": False, "reconciled": False},
+    "D": {"failovers": 1, "epoch": 1, "vetoed": False, "reconciled": True},
+}
+
+
+def _run(transport: str, cell: str) -> dict:
+    cluster = Cluster(NODES)
+    outcome = run_partitioned_order_scenario(cluster, transport=transport, cell=cell)
+    outcome["cluster"] = cluster
+    return outcome
+
+
+def _cell_ok(outcome: dict) -> bool:
+    """Whether one matrix cell met both safety gates and its expected outcome."""
+    expected = CELL_EXPECTATIONS[outcome["cell"]]
+    checks = (
+        outcome["acked_lost"] == 0,
+        outcome["stale_reads"] == 0,
+        outcome["outstanding_refused"] == 0,
+        outcome["single_highest_epoch_primary"],
+        outcome["stale_primaries_remaining"] == 0,
+        outcome["failovers"] == expected["failovers"],
+        outcome["epoch"] == expected["epoch"],
+        (outcome["promotions_vetoed"] >= 1) == expected["vetoed"],
+        (outcome["reconciliations"] >= 1 and outcome["ops_discarded"] >= 1)
+        == expected["reconciled"],
+        outcome["fenced_probe"] == (expected["failovers"] >= 1),
+    )
+    return all(checks)
+
+
+def _extra(outcome: dict) -> dict:
+    return {
+        "transport": outcome["transport"],
+        "cell": outcome["cell"],
+        "acked": outcome["acked"],
+        "acked_lost": outcome["acked_lost"],
+        "stale_reads": outcome["stale_reads"],
+        "failovers": outcome["failovers"],
+        "promotions_vetoed": outcome["promotions_vetoed"],
+        "epoch": outcome["epoch"],
+        "ops_discarded": outcome["ops_discarded"],
+    }
+
+
+# -- per-cell benchmarks -------------------------------------------------------
+
+
+def bench_partition_blinded_monitor_promotes_by_vote(benchmark):
+    """Cell A: the monitor only lost the primary; the majority elects epoch 1."""
+    outcome = benchmark.pedantic(lambda: _run("rmi", "A"), rounds=1, iterations=1)
+    assert _cell_ok(outcome)
+    record_simulation(benchmark, outcome["cluster"], **_extra(outcome))
+
+
+def bench_partition_fully_blinded_monitor_is_vetoed(benchmark):
+    """Cell B: a monitor that sees nobody cannot mint a second primary."""
+    outcome = benchmark.pedantic(lambda: _run("rmi", "B"), rounds=1, iterations=1)
+    assert _cell_ok(outcome)
+    record_simulation(benchmark, outcome["cluster"], **_extra(outcome))
+
+
+def bench_partition_isolated_primary_refuses_writes(benchmark):
+    """Cell C: writes fail visibly while the quorum is short, recover on heal."""
+    outcome = benchmark.pedantic(lambda: _run("rmi", "C"), rounds=1, iterations=1)
+    assert _cell_ok(outcome)
+    assert outcome["quorum_failures"] >= 1
+    record_simulation(benchmark, outcome["cluster"], **_extra(outcome))
+
+
+def bench_partition_heal_reconciles_divergent_primary(benchmark):
+    """Cell D: the fenced ex-primary's unacked ops are discarded on heal."""
+    outcome = benchmark.pedantic(lambda: _run("rmi", "D"), rounds=1, iterations=1)
+    assert _cell_ok(outcome)
+    record_simulation(benchmark, outcome["cluster"], **_extra(outcome))
+
+
+# -- the safety claim ----------------------------------------------------------
+
+
+def bench_partition_matrix_all_transports(benchmark):
+    """Every cell on every transport: zero acked losses, zero stale reads."""
+
+    def run():
+        return [
+            _run(transport, cell)
+            for transport in TRANSPORTS
+            for cell in PARTITION_CELLS
+        ]
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    for outcome in outcomes:
+        label = f"{outcome['transport']}/{outcome['cell']}"
+        assert outcome["acked_lost"] == 0, (
+            f"{label}: {outcome['acked_lost']} acknowledged writes lost"
+        )
+        assert outcome["stale_reads"] == 0, (
+            f"{label}: {outcome['stale_reads']} stale cache reads"
+        )
+        assert _cell_ok(outcome), f"{label}: control-plane expectations not met"
+    benchmark.extra_info["cells"] = len(outcomes)
+    benchmark.extra_info["transports"] = len(TRANSPORTS)
+
+
+# -- standalone smoke run ------------------------------------------------------
+
+
+def main() -> int:
+    print(
+        "partition matrix: cells "
+        + ", ".join(PARTITION_CELLS)
+        + " on "
+        + ", ".join(TRANSPORTS)
+    )
+    print(
+        f"{'transport':9s} {'cell':4s} {'acked':>6s} {'lost':>5s} {'stale':>6s} "
+        f"{'failovers':>10s} {'vetoed':>7s} {'epoch':>6s} {'discarded':>10s} "
+        f"{'hits':>5s}"
+    )
+    failures = 0
+    matrix = {}
+    for transport in TRANSPORTS:
+        for cell in PARTITION_CELLS:
+            outcome = _run(transport, cell)
+            ok = _cell_ok(outcome)
+            failures += 0 if ok else 1
+            matrix.setdefault(transport, {})[cell] = {
+                "acked": outcome["acked"],
+                "acked_lost": outcome["acked_lost"],
+                "stale_reads": outcome["stale_reads"],
+                "dirty_reads": outcome["dirty_reads"],
+                "refusals": outcome["refusals"],
+                "failovers": outcome["failovers"],
+                "promotion_votes": outcome["promotion_votes"],
+                "promotions_vetoed": outcome["promotions_vetoed"],
+                "epoch": outcome["epoch"],
+                "single_highest_epoch_primary": outcome[
+                    "single_highest_epoch_primary"
+                ],
+                "fenced_probe": outcome["fenced_probe"],
+                "fenced_calls": outcome["fenced_calls"],
+                "quorum_failures": outcome["quorum_failures"],
+                "ops_discarded": outcome["ops_discarded"],
+                "reconciliations": outcome["reconciliations"],
+                "cache_hits": outcome["cache_hits"],
+                "cache_misses": outcome["cache_misses"],
+                "simulated_seconds": round(outcome["simulated_seconds"], 9),
+                "messages": outcome["messages"],
+                "ok": ok,
+            }
+            print(
+                f"{transport:9s} {cell:4s} {outcome['acked']:6d} "
+                f"{outcome['acked_lost']:5d} {outcome['stale_reads']:6d} "
+                f"{outcome['failovers']:10d} {outcome['promotions_vetoed']:7d} "
+                f"{outcome['epoch']:6d} {outcome['ops_discarded']:10d} "
+                f"{outcome['cache_hits']:5d}{'' if ok else '  FAIL'}"
+            )
+    write_bench_json(
+        "partition",
+        {
+            "cells": list(PARTITION_CELLS),
+            "transports": list(TRANSPORTS),
+            "expectations": CELL_EXPECTATIONS,
+            "matrix": matrix,
+            "ok": failures == 0,
+        },
+    )
+    print("ok" if failures == 0 else f"{failures} matrix cell(s) failed the safety check")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

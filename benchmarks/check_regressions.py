@@ -20,7 +20,12 @@ fails (exit 1) when a tracked ratio drops below its floor:
 * middleware — the full interceptor chain costs <= 10% simulated time per
   call versus the bare pipe at window 32, and per-tenant rate limiting keeps
   the polite tenant >= 40% of its offered goodput (and better off than the
-  unlimited contention baseline) while a hog floods the shared pool.
+  unlimited contention baseline) while a hog floods the shared pool;
+* partition — the asymmetric-partition matrix (four cells x four
+  transports) shows zero lost acknowledged writes and zero stale cache
+  reads in every cell, exactly one primary holding the highest epoch, a
+  vetoed promotion for the fully-blinded monitor, and divergent
+  unacknowledged ops discarded at partition-heal reconciliation.
 
 A tracked file that is missing is itself a failure: the gate must not pass
 vacuously because a smoke run silently stopped emitting its artifact.
@@ -249,6 +254,51 @@ def check_middleware(data: dict, problems: list) -> None:
         )
 
 
+def check_partition(data: dict, problems: list) -> None:
+    """Every partition-matrix cell must hold both safety properties.
+
+    The matrix must actually cover every declared transport x cell pair — a
+    smoke-run edit that drops a transport or a cell must fail the gate, not
+    shrink the claim silently.  Per cell: zero lost acknowledged writes,
+    zero stale cache reads, no refused order left unretried, a single
+    highest-epoch primary, and the cell's own ``ok`` verdict (which folds in
+    the control-plane expectations: promotion vs veto, epoch, divergent-op
+    reconciliation).
+    """
+    transports = data.get("transports") or []
+    cells = data.get("cells") or []
+    matrix = data.get("matrix") or {}
+    if not transports or not cells or not matrix:
+        problems.append(
+            "partition: artifact is missing its transports, cells or matrix"
+        )
+        return
+    for transport in transports:
+        for cell in cells:
+            entry = (matrix.get(transport) or {}).get(cell)
+            label = f"partition: {transport}/{cell}"
+            if entry is None:
+                problems.append(f"{label} missing from the matrix")
+                continue
+            if entry.get("acked_lost", 1) != 0:
+                problems.append(
+                    f"{label} lost {entry.get('acked_lost')} acknowledged write(s)"
+                )
+            if entry.get("stale_reads", 1) != 0:
+                problems.append(
+                    f"{label} observed {entry.get('stale_reads')} stale cache read(s)"
+                )
+            if not entry.get("single_highest_epoch_primary", False):
+                problems.append(
+                    f"{label} ended with more than one highest-epoch primary"
+                )
+            if not entry.get("ok", False):
+                problems.append(
+                    f"{label} failed its control-plane expectations "
+                    "(promotion/veto/epoch/reconciliation)"
+                )
+
+
 CHECKS = {
     "batching": check_batching,
     "pipelining": check_pipelining,
@@ -256,6 +306,7 @@ CHECKS = {
     "caching": check_caching,
     "load": check_load,
     "middleware": check_middleware,
+    "partition": check_partition,
 }
 
 

@@ -45,7 +45,7 @@ from repro.core.transformer import (
     TransformedApplication,
     transform_application,
 )
-from repro.errors import (
+from repro._errors import (
     NetworkError,
     NotTransformableError,
     PolicyError,

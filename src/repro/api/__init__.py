@@ -35,6 +35,7 @@ See ``docs/MIGRATION.md`` for the mapping from the old hand-wired stacks to
 policy fields.
 """
 
+from repro.api import errors
 from repro.api.middleware import (
     CallContext,
     DeadlineInterceptor,
@@ -62,4 +63,5 @@ __all__ = [
     "ServicePolicy",
     "Session",
     "cacheable",
+    "errors",
 ]

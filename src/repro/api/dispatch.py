@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.api.middleware import CallContext, InterceptorChain
-from repro.errors import InvocationError
+from repro._errors import InvocationError
 from repro.runtime.batching import _InternalBatcher
 from repro.runtime.pipelining import InvocationFuture, PipelineScheduler
 

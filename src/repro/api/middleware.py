@@ -42,7 +42,7 @@ import itertools
 from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import (
+from repro._errors import (
     DeadlineExceededError,
     PolicyError,
     RateLimitError,
@@ -199,8 +199,8 @@ class Interceptor:
 
     Subclass and override any of the three brackets.  ``begin`` may raise to
     *reject* the call (typed errors preferred — see
-    :class:`~repro.errors.ThrottledError` /
-    :class:`~repro.errors.DeadlineExceededError`); the call then never
+    :class:`~repro.api.errors.ThrottledError` /
+    :class:`~repro.api.errors.DeadlineExceededError`); the call then never
     ships (client side) or never executes (server side), already-begun
     interceptors are aborted in reverse order, and later interceptors'
     ``begin`` is short-circuited.
@@ -339,7 +339,7 @@ class DeadlineInterceptor(Interceptor):
     the wire, so retries and failover re-ships of the same logical call
     consume the remaining budget rather than restarting it.  On both sides,
     an already-expired deadline raises
-    :class:`~repro.errors.DeadlineExceededError`: client-side the call
+    :class:`~repro.api.errors.DeadlineExceededError`: client-side the call
     aborts without shipping, server-side it aborts before the target method
     executes (the typed rejection travels back as the error response).
     """
@@ -372,10 +372,10 @@ class RateLimitInterceptor(Interceptor):
     Each tenant gets a bucket of ``burst`` tokens refilled at ``rate``
     tokens per simulated second; ``begin`` spends one token per *logical*
     call and raises a typed rejection when the bucket is empty —
-    :class:`~repro.errors.ThrottledError` (a transient
-    :class:`~repro.errors.AdmissionError`, so retry policies back off and
+    :class:`~repro.api.errors.ThrottledError` (a transient
+    :class:`~repro.api.errors.AdmissionError`, so retry policies back off and
     try again) when ``retryable``, terminal
-    :class:`~repro.errors.RateLimitError` otherwise.
+    :class:`~repro.api.errors.RateLimitError` otherwise.
 
     Charging is retry-safe: the bucket remembers the call ids it charged
     (bounded LRU memory), so a retry or failover re-ship of an
@@ -403,8 +403,8 @@ class RateLimitInterceptor(Interceptor):
         self.rate = rate
         #: Bucket capacity (momentary burst allowance), per tenant.
         self.burst = burst
-        #: Whether rejections are retryable (:class:`~repro.errors.ThrottledError`)
-        #: or terminal (:class:`~repro.errors.RateLimitError`).
+        #: Whether rejections are retryable (:class:`~repro.api.errors.ThrottledError`)
+        #: or terminal (:class:`~repro.api.errors.RateLimitError`).
         self.retryable = retryable
         #: Bucket key for calls whose context names no tenant.
         self.default_tenant = default_tenant

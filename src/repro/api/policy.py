@@ -30,10 +30,11 @@ policy field                  replaces
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
-from repro.errors import PolicyError
+from repro._errors import PolicyError
 from repro.runtime.caching import CachePolicy
 from repro.runtime.faulttolerance import RetryPolicy
 from repro.runtime.replication import SYNC_MODES
@@ -61,6 +62,14 @@ class ServicePolicy:
     #: Total copies of the service object (primary + backups); ``1`` means
     #: unreplicated, ``R`` keeps ``R - 1`` backups on distinct nodes.
     replication_factor: int = 1
+    #: Acks (counting the primary's local apply) a write needs before it is
+    #: acknowledged to the client; ``1`` is the legacy primary-only mode,
+    #: a majority turns the group into quorum replication.
+    quorum: int = 1
+    #: Whether epochs are enforced on replication frames: a stale primary's
+    #: frames are rejected with ``FencedError`` and promotion requires a
+    #: majority of reachable voters (split-brain prevention).
+    fencing: bool = False
     #: Replica synchronization mode (``"eager"`` or ``"interval"``).
     sync: str = "eager"
     #: Members that never mutate state (not forwarded to backups).
@@ -98,6 +107,23 @@ class ServicePolicy:
             raise PolicyError("pipeline_depth must be at least 1")
         if self.replication_factor < 1:
             raise PolicyError("replication_factor must be at least 1")
+        if self.quorum < 1:
+            raise PolicyError("quorum must be at least 1")
+        if self.quorum > self.replication_factor:
+            raise PolicyError(
+                f"quorum {self.quorum} exceeds the {self.replication_factor} "
+                "replica(s) that could acknowledge it"
+            )
+        if self.fencing and self.replication_factor < 2:
+            raise PolicyError(
+                "fencing requires at least 2 replicas (an unreplicated "
+                "service has no epoch to fence against)"
+            )
+        if self.quorum > 1 and self.sync != "eager":
+            raise PolicyError(
+                "quorum commit requires sync='eager' (interval snapshots "
+                "cannot acknowledge writes against a majority)"
+            )
         if self.sync not in SYNC_MODES:
             raise PolicyError(f"unknown sync mode {self.sync!r} (use one of {SYNC_MODES})")
         if self.heartbeat_interval <= 0:
@@ -151,15 +177,71 @@ class ServicePolicy:
 
     def with_replication(
         self,
-        factor: int = 2,
+        replicas: Optional[int] = None,
+        quorum: Optional[Union[int, str]] = None,
+        fencing: Optional[bool] = None,
         *,
+        factor: Optional[int] = None,
         sync: Optional[str] = None,
         readonly: Optional[Sequence[str]] = None,
     ) -> "ServicePolicy":
-        """A copy keeping ``factor`` copies (primary + ``factor - 1`` backups)."""
+        """A copy replicating the service across ``replicas`` copies.
+
+        The recommended form names the commit rule explicitly::
+
+            policy.with_replication(3, quorum="majority", fencing=True)
+
+        ``quorum`` is the number of replicas (counting the primary) that
+        must acknowledge ``apply_ops`` before a write is acknowledged to
+        the client — ``"majority"`` resolves to ``replicas // 2 + 1``, an
+        int is used verbatim (``PolicyError`` when it exceeds
+        ``replicas``).  ``fencing`` (default ``True`` once a majority
+        quorum — ``quorum > 1`` — is named) stamps every replication
+        frame with the group's epoch:
+        stale primaries are rejected with
+        :class:`~repro.api.errors.FencedError` and promotion requires a
+        majority of reachable voters.  ``PolicyError`` when fencing is
+        requested with fewer than 2 replicas.
+
+        The legacy single-int call ``with_replication(n)`` keeps its PR 3
+        semantics — primary-only acks, promote-the-freshest failover
+        (``quorum=1, fencing=False``) — and emits a ``DeprecationWarning``
+        asking for an explicit quorum; spell those values out to opt into
+        the old mode silently.  See ``docs/MIGRATION.md`` for the mapping.
+        """
+        if factor is not None:
+            if replicas is not None:
+                raise PolicyError("pass either replicas or factor, not both")
+            replicas = factor
+        if replicas is None:
+            replicas = 2
+        if quorum is None and fencing is None:
+            warnings.warn(
+                "with_replication(factor) without an explicit quorum is "
+                'deprecated; pass quorum="majority" (recommended) or '
+                "quorum=1, fencing=False to keep the legacy "
+                "primary-ack mode",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if quorum == "majority":
+            resolved_quorum = replicas // 2 + 1
+        elif quorum is None:
+            resolved_quorum = 1
+        elif isinstance(quorum, int) and not isinstance(quorum, bool):
+            resolved_quorum = quorum
+        else:
+            raise PolicyError(f'quorum must be an int or "majority", not {quorum!r}')
+        if fencing is None:
+            # Fencing only auto-enables for a real majority quorum: a fenced
+            # group needs a majority of voters to elect, so quorum=1 (the
+            # legacy primary-ack mode) keeps promote-the-freshest failover.
+            fencing = quorum is not None and resolved_quorum > 1
         return replace(
             self,
-            replication_factor=factor,
+            replication_factor=replicas,
+            quorum=resolved_quorum,
+            fencing=bool(fencing),
             sync=sync if sync is not None else self.sync,
             readonly=tuple(readonly) if readonly is not None else self.readonly,
         )
@@ -242,6 +324,11 @@ class ServicePolicy:
     def replicated(self) -> bool:
         """Whether the service object keeps backup copies."""
         return self.replication_factor > 1
+
+    @property
+    def quorum_replicated(self) -> bool:
+        """Whether the group runs in quorum mode (majority acks or fencing)."""
+        return self.replicated and (self.quorum > 1 or self.fencing)
 
     @property
     def cached(self) -> bool:

@@ -76,7 +76,7 @@ class Service:
     ``scheduler``, ``reference``, ``cache``) — use the explicit forms
     ``svc.call("flush")`` / ``svc.future("flush")`` for those.  Dispatch
     through a closed session raises
-    :class:`~repro.errors.PolicyError`.
+    :class:`~repro.api.errors.PolicyError`.
     """
 
     def __init__(

@@ -39,7 +39,7 @@ from repro.api.middleware import InterceptorChain, MetricsInterceptor
 from repro.api.policy import ServicePolicy
 from repro.api.service import Service
 from repro.core.interfaces import cacheable_members
-from repro.errors import PolicyError
+from repro._errors import PolicyError
 from repro.network.heartbeat import HeartbeatDetector
 from repro.runtime.caching import CacheManager
 from repro.runtime.faulttolerance import NO_RETRY, FaultTolerantInvoker
@@ -171,6 +171,8 @@ class Session:
                 backup_nodes=backups,
                 readonly=policy.readonly,
                 sync=policy.sync,
+                quorum=policy.quorum,
+                fencing=policy.fencing,
             )
             reference = group.primary_ref
             host_nodes = [primary, *backups]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.errors import PolicyError
+from repro._errors import PolicyError
 
 _REMOTE_MARKER = "_javaparty_remote"
 

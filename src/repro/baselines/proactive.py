@@ -19,7 +19,7 @@ import random
 from collections import deque
 from typing import Any, Deque, Optional
 
-from repro.errors import InvocationError
+from repro._errors import InvocationError
 
 
 class Future:

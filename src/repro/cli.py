@@ -64,6 +64,13 @@ leases|invalidate|write_through] [--lease-ms L] [--kill]``
     with and without per-tenant rate limiting on the interceptor chain, and
     report each tenant's completed/throttled/shed counts per run.
 
+``repro bench-partition [--transports ...] [--cells A,B,C,D]``
+    Drive a majority-quorum replicated ledger through the asymmetric
+    partition matrix (monitor↔primary split, blinded monitor, quorum loss,
+    isolated divergent primary) and report per cell: acknowledged writes
+    lost (must be 0), stale cached reads (must be 0), failovers, vetoed
+    promotions, the final epoch and divergent ops discarded at heal.
+
 Run ``python -m repro --help`` for the full syntax.
 """
 
@@ -80,7 +87,7 @@ from repro.core.analyzer import TransformabilityAnalyzer
 from repro.core.classmodel import ClassUniverse
 from repro.core.introspect import class_model_from_python
 from repro.core.transformer import ApplicationTransformer
-from repro.errors import ReproError
+from repro._errors import ReproError
 from repro.policy.loader import policy_from_file, policy_to_dict
 from repro.policy.policy import all_local_policy, place_classes_on
 from repro.tools.report import application_report
@@ -564,6 +571,73 @@ def command_bench_middleware(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def command_bench_partition(args: argparse.Namespace, out) -> int:
+    from repro.runtime.cluster import Cluster, default_transport_registry
+    from repro.workloads.partitioned_orders import (
+        PARTITION_CELLS,
+        run_partitioned_order_scenario,
+    )
+
+    known = default_transport_registry().names()
+    transports = _split_csv(args.transports) or list(known)
+    unknown = [name for name in transports if name not in known]
+    if unknown:
+        print(f"unknown transports: {', '.join(unknown)}", file=out)
+        return 1
+    cells = [cell.upper() for cell in (_split_csv(args.cells) or PARTITION_CELLS)]
+    bad = [cell for cell in cells if cell not in PARTITION_CELLS]
+    if bad:
+        print(
+            f"unknown cells: {', '.join(bad)} "
+            f"(choose from {', '.join(PARTITION_CELLS)})",
+            file=out,
+        )
+        return 1
+
+    nodes = ("monitor", "client", "reader", "p0", "p1", "p2")
+    print(
+        "partition-safety matrix: cells "
+        + ", ".join(cells)
+        + " on "
+        + ", ".join(transports),
+        file=out,
+    )
+    print(
+        f"{'transport':9s} {'cell':4s} {'acked':>6s} {'lost':>5s} {'stale':>6s} "
+        f"{'refused':>8s} {'failovers':>10s} {'vetoed':>7s} {'epoch':>6s} "
+        f"{'discarded':>10s}",
+        file=out,
+    )
+    failures = 0
+    for transport in transports:
+        for cell in cells:
+            outcome = run_partitioned_order_scenario(
+                Cluster(nodes), transport=transport, cell=cell
+            )
+            safe = (
+                outcome["acked_lost"] == 0
+                and outcome["stale_reads"] == 0
+                and outcome["outstanding_refused"] == 0
+                and outcome["single_highest_epoch_primary"]
+                and outcome["stale_primaries_remaining"] == 0
+            )
+            failures += 0 if safe else 1
+            refused = sum(outcome["refusals"].values())
+            print(
+                f"{transport:9s} {cell:4s} {outcome['acked']:6d} "
+                f"{outcome['acked_lost']:5d} {outcome['stale_reads']:6d} "
+                f"{refused:8d} {outcome['failovers']:10d} "
+                f"{outcome['promotions_vetoed']:7d} {outcome['epoch']:6d} "
+                f"{outcome['ops_discarded']:10d}{'' if safe else '  FAIL'}",
+                file=out,
+            )
+    if failures:
+        print(f"{failures} matrix cell(s) violated a safety invariant", file=out)
+        return 1
+    print("every cell safe: zero acked losses, zero stale reads", file=out)
+    return 0
+
+
 def command_policy_template(args: argparse.Namespace, out) -> int:
     classes = _split_csv(args.classes)
     nodes = _split_csv(args.nodes)
@@ -707,6 +781,18 @@ def build_parser() -> argparse.ArgumentParser:
     middleware.add_argument("--queue-limit", type=int, default=8)
     middleware.add_argument("--service-time", type=float, default=0.002)
     middleware.set_defaults(handler=command_bench_middleware)
+
+    partition = subparsers.add_parser(
+        "bench-partition",
+        help="drive quorum replication through the asymmetric-partition "
+        "matrix and check the zero-loss / zero-stale-read safety gates",
+    )
+    partition.add_argument("--transports", help="comma-separated transports (default: all)")
+    partition.add_argument(
+        "--cells",
+        help="comma-separated partition cells from A,B,C,D (default: all)",
+    )
+    partition.set_defaults(handler=command_bench_partition)
 
     return parser
 

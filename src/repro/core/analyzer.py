@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.core.classmodel import ClassModel, ClassUniverse
-from repro.errors import NotTransformableError
+from repro._errors import NotTransformableError
 
 
 class NonTransformableReason(enum.Enum):

@@ -43,7 +43,7 @@ from repro.core.rewriter import (
     rewrite_expression,
     rewrite_method,
 )
-from repro.errors import RewriteError
+from repro._errors import RewriteError
 
 _INDENT = "    "
 

@@ -50,7 +50,7 @@ from repro.core.rewriter import (
     rewrite_expression,
     rewrite_method,
 )
-from repro.errors import GenerationError, RewriteError
+from repro._errors import GenerationError, RewriteError
 
 
 @dataclass

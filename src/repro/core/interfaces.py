@@ -34,7 +34,7 @@ from repro.core.classmodel import (
     TypeRef,
     VOID_TYPE,
 )
-from repro.errors import InterfaceExtractionError
+from repro._errors import InterfaceExtractionError
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, Optional
 
 from repro.core.generator import ClassArtifacts
-from repro.errors import UnknownClassError
+from repro._errors import UnknownClassError
 
 
 class TransformationRegistry:

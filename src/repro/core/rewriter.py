@@ -36,7 +36,7 @@ from repro.core.interfaces import (
     object_factory_name,
     setter_name,
 )
-from repro.errors import RewriteError
+from repro._errors import RewriteError
 
 
 @dataclass

@@ -41,7 +41,7 @@ from repro.core.interfaces import extract_class_interface, extract_instance_inte
 from repro.core.introspect import class_model_from_python
 from repro.core.metaobject import KIND_LOCAL, KIND_REMOTE, Metaobject
 from repro.core.registry import TransformationRegistry
-from repro.errors import TransformationError
+from repro._errors import TransformationError
 from repro.policy.policy import (
     DistributionPolicy,
     PlacementDecision,

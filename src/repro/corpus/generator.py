@@ -20,7 +20,7 @@ from repro.corpus.jdk_model import (
     JDK_1_4_1_PROFILES,
     PackageProfile,
 )
-from repro.errors import CorpusError
+from repro._errors import CorpusError
 
 
 @dataclass

@@ -1,220 +1,44 @@
-"""Exception hierarchy for the RAFDA reproduction.
+"""Deprecated import path for the error hierarchy — use :mod:`repro.api.errors`.
 
-Every error raised by the library derives from :class:`ReproError`, so
-applications embedding the framework can catch a single base class.  The
-hierarchy mirrors the subsystems described in DESIGN.md: transformation,
-runtime/distribution, networking, policy and the class corpus study.
+Historically every caller imported the typed exceptions from here.  The
+public home is now :mod:`repro.api.errors` (part of the service façade);
+the implementation lives in the private module :mod:`repro._errors`.  This
+module remains as a compatibility shim: every name still resolves to the
+*same* class objects (``isinstance`` checks and ``except`` clauses keep
+working across the move), but each access emits a :class:`DeprecationWarning`
+pointing at the new path.
+
+Deprecated::
+
+    from repro.errors import NodeUnreachableError   # DeprecationWarning
+
+Supported::
+
+    from repro.api.errors import NodeUnreachableError
 """
 
 from __future__ import annotations
 
-
-class ReproError(Exception):
-    """Base class for all errors raised by the ``repro`` library."""
-
-
-# ---------------------------------------------------------------------------
-# Transformation (repro.core)
-# ---------------------------------------------------------------------------
-
-class TransformationError(ReproError):
-    """A class could not be transformed into its componentised form."""
-
-
-class NotTransformableError(TransformationError):
-    """Raised when a transformation is requested for a non-transformable class.
-
-    The §2.4 rules (native methods, special classes, inheritance and
-    reference constraints) determine which classes fall in this category.
-    """
-
-    def __init__(self, class_name: str, reasons=()):
-        self.class_name = class_name
-        self.reasons = tuple(reasons)
-        detail = ", ".join(str(reason) for reason in self.reasons) or "unknown reason"
-        super().__init__(f"class {class_name!r} is not transformable: {detail}")
-
-
-class InterfaceExtractionError(TransformationError):
-    """An instance or class interface could not be extracted."""
-
-
-class RewriteError(TransformationError):
-    """A method body could not be rewritten to use interface types."""
-
-
-class GenerationError(TransformationError):
-    """A generated artifact (local, proxy or factory) could not be built."""
-
-
-class UnknownClassError(TransformationError):
-    """A transformed-class artifact was requested for an unknown class."""
-
-    def __init__(self, class_name: str):
-        self.class_name = class_name
-        super().__init__(f"no transformation artifacts registered for class {class_name!r}")
-
-
-# ---------------------------------------------------------------------------
-# Distributed runtime (repro.runtime)
-# ---------------------------------------------------------------------------
-
-class RuntimeLayerError(ReproError):
-    """Base class for errors raised by the distributed object layer."""
-
-
-class SerializationError(RuntimeLayerError):
-    """A value could not be marshalled to, or unmarshalled from, wire form."""
-
-
-class InvocationError(RuntimeLayerError):
-    """A remote invocation failed before reaching application code."""
-
-
-class RemoteInvocationError(RuntimeLayerError):
-    """The remote application method raised; carries the remote error text."""
-
-    def __init__(self, remote_type: str, message: str):
-        self.remote_type = remote_type
-        self.remote_message = message
-        super().__init__(f"remote {remote_type}: {message}")
-
-
-class UnknownObjectError(RuntimeLayerError):
-    """A remote reference does not resolve to an object in the target space."""
-
-
-class MigrationError(RuntimeLayerError):
-    """An object could not be migrated between address spaces."""
-
-
-class RedistributionError(RuntimeLayerError):
-    """A distribution-boundary change could not be applied."""
-
-
-class NamingError(RuntimeLayerError):
-    """A name could not be bound or resolved in the naming service."""
-
-
-class ReplicationError(RuntimeLayerError):
-    """A replica group could not be created, synchronized or failed over."""
-
-
-# ---------------------------------------------------------------------------
-# Simulated network (repro.network) and transports (repro.transports)
-# ---------------------------------------------------------------------------
-
-class NetworkError(ReproError):
-    """Base class for simulated-network failures."""
-
-
-class NodeUnreachableError(NetworkError):
-    """The destination node is not registered on the network."""
-
-
-class PartitionError(NetworkError):
-    """The source and destination nodes are on different sides of a partition."""
-
-
-class MessageDroppedError(NetworkError):
-    """The message was dropped by the configured loss model."""
-
-
-class AdmissionError(NetworkError):
-    """A bounded service pool refused the request: every worker was busy and
-    the admission queue was already full.  Transient by nature — the caller
-    may retry after a backoff once the pool has drained."""
-
-
-class ThrottledError(AdmissionError):
-    """A per-tenant rate limiter rejected this call, retryably.
-
-    The typed rejection of a
-    :class:`~repro.api.middleware.RateLimitInterceptor` configured with
-    ``retryable=True`` (the default).  Subclassing
-    :class:`AdmissionError` keeps it in the transient-failure family, so
-    retry policies back off and try again exactly as they do for a full
-    service pool."""
-
-
-class DeadlineExceededError(ReproError):
-    """A call's propagated deadline expired before (or while) it executed.
-
-    Raised client-side by a
-    :class:`~repro.api.middleware.DeadlineInterceptor` when the deadline has
-    already passed at enqueue time (the call is aborted without shipping),
-    and server-side when the deadline expired in flight (the call is aborted
-    before the target method runs).  Deadlines are absolute simulated-time
-    instants, so retries and failover re-ships consume the *remaining*
-    budget rather than getting a fresh one."""
-
-
-class RateLimitError(ReproError):
-    """A per-tenant rate limiter rejected this call, non-retryably.
-
-    The typed, terminal rejection of a
-    :class:`~repro.api.middleware.RateLimitInterceptor` configured with
-    ``retryable=False``: the caller is over quota and backing off will not
-    be attempted on its behalf."""
-
-
-class TransportError(ReproError):
-    """A transport could not encode, decode or deliver an invocation."""
-
-
-class UnknownTransportError(TransportError):
-    """The requested transport name is not registered."""
-
-    def __init__(self, name: str, available=()):
-        self.name = name
-        self.available = tuple(available)
-        listing = ", ".join(sorted(self.available)) or "none"
-        super().__init__(f"unknown transport {name!r} (available: {listing})")
-
-
-# ---------------------------------------------------------------------------
-# Policy (repro.policy)
-# ---------------------------------------------------------------------------
-
-class PolicyError(ReproError):
-    """A distribution policy is invalid or could not produce a decision."""
-
-
-# ---------------------------------------------------------------------------
-# Corpus study (repro.corpus)
-# ---------------------------------------------------------------------------
-
-class CorpusError(ReproError):
-    """The synthetic class corpus could not be generated or analysed."""
-
-
-# ---------------------------------------------------------------------------
-# Remote-error rehydration
-# ---------------------------------------------------------------------------
-
-#: Control-plane rejections that travel typed: when a server-side
-#: interceptor rejects a call, the error *type name* in the response is
-#: rehydrated into the matching local class, so client retry policies can
-#: classify the rejection (``ThrottledError`` is transient and retried,
-#: ``RateLimitError`` and ``DeadlineExceededError`` are terminal).
-#: Application errors keep travelling as
-#: :class:`RemoteInvocationError` — only these names are special.
-_CONTROL_PLANE_ERRORS = {
-    "DeadlineExceededError": DeadlineExceededError,
-    "RateLimitError": RateLimitError,
-    "ThrottledError": ThrottledError,
-}
-
-
-def remote_error(remote_type: str, message: str) -> ReproError:
-    """The exception to raise for a remote error response.
-
-    Control-plane rejections (deadline expiry, rate limiting) come back as
-    their typed local classes so the retry taxonomy applies to them; every
-    other remote error type stays a :class:`RemoteInvocationError` carrying
-    the remote type name and message verbatim.
-    """
-    cls = _CONTROL_PLANE_ERRORS.get(remote_type)
-    if cls is not None:
-        return cls(message)
-    return RemoteInvocationError(remote_type, message)
+import warnings
+
+from repro import _errors
+
+
+def __getattr__(name: str):
+    """Resolve ``name`` against :mod:`repro._errors`, warning on the old path."""
+    try:
+        value = getattr(_errors, name)
+    except AttributeError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    warnings.warn(
+        f"importing {name} from repro.errors is deprecated; "
+        "use repro.api.errors instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return value
+
+
+def __dir__():
+    """Expose the full hierarchy for introspection despite the lazy shim."""
+    return sorted(set(dir(_errors)))

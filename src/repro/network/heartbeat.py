@@ -66,8 +66,12 @@ class HeartbeatDetector:
     monitor_node:
         The registered node the probes are sent *from* (its links to the
         watched nodes determine probe latency; a partition that separates
-        the monitor from a healthy node is — correctly — indistinguishable
-        from that node crashing).
+        the monitor from a healthy node is — to this detector alone —
+        indistinguishable from that node crashing.  Quorum-replicated
+        groups close that gap above the detector: promotion additionally
+        requires a majority of the group's voters to acknowledge the new
+        epoch over the wire, and :meth:`quorum_view` lets callers precheck
+        how much of a voter set this monitor can even see).
     interval:
         Simulated seconds between probe rounds.
     miss_threshold:
@@ -160,6 +164,21 @@ class HeartbeatDetector:
     def down_nodes(self) -> list[str]:
         """Every watched node currently declared down."""
         return [node for node, record in self._health.items() if record.down]
+
+    def quorum_view(self, voters: "List[str]") -> int:
+        """How many of ``voters`` this monitor currently believes are alive.
+
+        The monitor itself counts when it is a voter; unwatched nodes count
+        as alive (no evidence against them).  Promotion logic compares this
+        against the voter majority: a monitor that cannot even *see* a
+        majority is more likely the partitioned party than an arbiter, and
+        its promotion attempt is vetoed before any votes are solicited.
+        """
+        return sum(
+            1
+            for node in voters
+            if node == self.monitor_node or not self.is_down(node)
+        )
 
     # ------------------------------------------------------------------
     # the probe loop

@@ -23,7 +23,7 @@ wait is accounted per link in :class:`~repro.network.metrics.NetworkMetrics`
 (propagation still overlaps).  Nodes can additionally be bounded by a
 :class:`ServicePool` (``workers``/``queue_limit``/``service_time``); a
 saturated pool refuses requests with
-:class:`~repro.errors.AdmissionError`.  Pass ``queueing=False`` to restore
+:class:`~repro.api.errors.AdmissionError`.  Pass ``queueing=False`` to restore
 the idealised infinite-capacity model.
 """
 
@@ -36,7 +36,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import (
+from repro._errors import (
     AdmissionError,
     MessageDroppedError,
     NodeUnreachableError,
@@ -110,7 +110,7 @@ class ServicePool:
     ``AddressSpace.install_service_pool``) makes delivered messages wait for
     a free worker, occupy it for ``service_time`` simulated seconds, and —
     when all workers are busy and the queue is full — be refused with a
-    typed :class:`~repro.errors.AdmissionError` that fault-tolerant callers
+    typed :class:`~repro.api.errors.AdmissionError` that fault-tolerant callers
     retry with backoff.  Sustainable capacity is ``workers / service_time``
     requests per simulated second.
     """
@@ -156,7 +156,7 @@ class ServicePool:
 
         Returns the simulated time service will start — ``now`` when a
         worker is free, later when the request must queue.  Raises
-        :class:`~repro.errors.AdmissionError` when all workers are busy and
+        :class:`~repro.api.errors.AdmissionError` when all workers are busy and
         the admission queue is full; a rejected request consumes no
         capacity.
         """
@@ -267,7 +267,7 @@ class SimulatedNetwork:
         With a pool installed, every message delivered to the node must be
         admitted: it waits for one of the pool's workers, holds it for the
         pool's service time, and is refused with
-        :class:`~repro.errors.AdmissionError` when the pool is saturated.
+        :class:`~repro.api.errors.AdmissionError` when the pool is saturated.
         Nodes without a pool keep the idealised unbounded-concurrency model.
         """
         if pool is None:
@@ -319,9 +319,9 @@ class SimulatedNetwork:
         wait for the link to free up), the handler runs behind the node's
         service pool if one is installed (its own nested sends advance time
         further), and time advances again for the response's one-way delay.
-        Failures raise subclasses of :class:`~repro.errors.NetworkError`; a
+        Failures raise subclasses of :class:`~repro.api.errors.NetworkError`; a
         saturated destination pool raises
-        :class:`~repro.errors.AdmissionError` synchronously.
+        :class:`~repro.api.errors.AdmissionError` synchronously.
         """
 
         if source == destination:
@@ -388,7 +388,7 @@ class SimulatedNetwork:
 
         Failure semantics mirror the synchronous path: unreachable or
         partitioned destinations and dropped messages surface through
-        ``on_error`` as :class:`~repro.errors.NetworkError` subclasses (the
+        ``on_error`` as :class:`~repro.api.errors.NetworkError` subclasses (the
         sender is modelled as detecting loss immediately — a negative-ack
         model; retry backoff supplies any recovery delay).  Errors are
         reported through the event queue too, so completion order stays

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from repro.core.metaobject import metaobject_of, unwrap
-from repro.errors import SerializationError
+from repro._errors import SerializationError
 
 #: Wire-level tag marking a reference to another snapshotted object.
 _REF_KEY = "__persisted_ref__"

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from repro.errors import SerializationError
+from repro._errors import SerializationError
 from repro.persistence.snapshot import GraphSnapshot, snapshot_from_json, snapshot_to_json
 
 

@@ -92,7 +92,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.core.metaobject import Interceptor, Invocation, metaobject_of
-from repro.errors import RedistributionError
+from repro._errors import RedistributionError
 
 
 class AccessMonitor(Interceptor):

@@ -22,7 +22,7 @@ import json
 from pathlib import Path
 from typing import Mapping, Union
 
-from repro.errors import PolicyError
+from repro._errors import PolicyError
 from repro.policy.policy import (
     ClassPolicy,
     DistributionPolicy,

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional
 
-from repro.errors import PolicyError
+from repro._errors import PolicyError
 
 #: Placement kinds understood by the factories.
 KIND_LOCAL = "local"

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.interfaces import cacheable_members
-from repro.errors import (
+from repro._errors import (
     InvocationError,
     NetworkError,
     TransportError,
@@ -51,7 +51,7 @@ from repro.transports.base import (
     is_subscription,
     parse_frame,
     parse_heartbeat,
-    parse_invalidation,
+    parse_invalidation_body,
     parse_subscription,
     split_invalidations,
 )
@@ -103,6 +103,9 @@ class AddressSpace:
         #: Cache-coherence state (client side): listeners fed every ``!inv``
         #: frame (standalone or piggybacked) that reaches this space.
         self._invalidation_listeners: list[Any] = []
+        #: Highest replication epoch seen per object id on epoch-stamped
+        #: ``!inv`` frames; frames claiming an older epoch are rejected.
+        self._invalidation_epoch_floor: Dict[str, int] = {}
 
         #: Number of invocation requests served by this space's dispatcher.
         self.invocations_served = 0
@@ -124,6 +127,9 @@ class AddressSpace:
         self.invalidations_piggybacked = 0
         #: Invalidation deliveries applied at this space (as a client).
         self.invalidations_received = 0
+        #: Epoch-stamped ``!inv`` frames rejected for claiming an epoch older
+        #: than one already seen for the object (fenced ex-primary traffic).
+        self.stale_invalidations_rejected = 0
 
         network.register(node_id, self._handle_message)
 
@@ -137,7 +143,7 @@ class AddressSpace:
         Installs a :class:`~repro.network.simnet.ServicePool` on the
         network for this node: delivered messages wait for one of the
         pool's workers (holding it for the pool's service time) and are
-        refused with :class:`~repro.errors.AdmissionError` once the pool
+        refused with :class:`~repro.api.errors.AdmissionError` once the pool
         saturates.  Passing ``None`` removes the bound and restores the
         idealised unbounded-concurrency model.
         """
@@ -375,14 +381,19 @@ class AddressSpace:
         return self._cache_subscribers.pop(object_id, {})
 
     def send_cache_invalidations(
-        self, object_ids: Sequence[str], nodes: Sequence[str]
+        self,
+        object_ids: Sequence[str],
+        nodes: Sequence[str],
+        epoch: Optional[int] = None,
     ) -> int:
         """Send one ``!inv`` frame for ``object_ids`` to each of ``nodes``.
 
         Unreachable subscribers are skipped (their caches self-expire or
-        re-key); returns how many frames were delivered.
+        re-key); returns how many frames were delivered.  ``epoch`` stamps
+        the frame with the sender's replication epoch so recipients can
+        reject invalidations minted by a fenced ex-primary.
         """
-        payload = frame_invalidation(object_ids)
+        payload = frame_invalidation(object_ids, epoch)
         delivered = 0
         for node in sorted(set(nodes)):
             try:
@@ -795,7 +806,21 @@ class AddressSpace:
             # Cache control frames bypass the codecs like heartbeats do.
             return self._handle_subscription(payload)
         if is_invalidation(payload):
-            object_ids = parse_invalidation(payload)
+            object_ids, epoch = parse_invalidation_body(payload)
+            if epoch is not None:
+                # Epoch-stamped frames are fenced: an invalidation claiming
+                # an epoch older than one already seen for the object came
+                # from a superseded primary and must not flush (or, worse,
+                # re-prime) the local caches.
+                accepted = []
+                for object_id in object_ids:
+                    floor = self._invalidation_epoch_floor.get(object_id, -1)
+                    if epoch < floor:
+                        self.stale_invalidations_rejected += 1
+                        continue
+                    self._invalidation_epoch_floor[object_id] = epoch
+                    accepted.append(object_id)
+                object_ids = accepted
             self._deliver_invalidations(object_ids)
             return frame_invalidation_ack(len(object_ids))
         # Mutations of subscribed objects collect per served message, so one

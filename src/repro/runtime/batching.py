@@ -41,7 +41,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
-from repro.errors import InvocationError
+from repro._errors import InvocationError
 from repro.runtime.faulttolerance import FaultTolerantInvoker, RetryPolicy
 from repro.runtime.pipelining import InvocationFuture
 from repro.runtime.remote_ref import RemoteRef, reference_of

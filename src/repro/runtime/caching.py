@@ -50,7 +50,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import NetworkError, PolicyError
+from repro._errors import NetworkError, PolicyError
 from repro.runtime.pipelining import InvocationFuture
 from repro.runtime.remote_ref import RemoteRef
 from repro.transports.base import frame_subscription
@@ -554,12 +554,17 @@ class CacheManager:
         """Drop every cached entry held against ``reference``.
 
         Used by the failover path: leases held against a demoted primary are
-        flushed rather than left to expire.
+        flushed rather than left to expire.  The flush also bumps the
+        object's version so a fill already in flight against the demoted
+        primary is voided at :meth:`ResultCache.store` time — without the
+        bump it would re-prime the cache with a pre-failover value right
+        after the flush emptied it.
         """
         self._subscriptions.pop(reference.object_id, None)
         dropped = 0
         for cache in self._caches:
             dropped += cache.flush_reference(reference)
+        self.bump_version(reference.object_id)
         return dropped
 
     def _on_invalidation(self, object_ids: List[str]) -> None:

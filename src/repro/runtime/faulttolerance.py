@@ -13,7 +13,7 @@ to a LAN; this module provides the mechanisms such applications need:
   ``invoke_remote_many``) with a retry policy and failure accounting;
 * :class:`guard_handle` — installs fault tolerance on a rebindable handle, so
   transient message loss is retried and permanent partition failures surface
-  as :class:`~repro.errors.NetworkError` to the application;
+  as :class:`~repro.api.errors.NetworkError` to the application;
 * :class:`FailureLog` — a record of every failure observed, for tests,
   reports and the benchmarks that study behaviour under failure injection.
 """
@@ -24,14 +24,23 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.core.metaobject import Interceptor, Invocation, Metaobject, metaobject_of
-from repro.errors import (
+from repro._errors import (
     AdmissionError,
+    FencedError,
     MessageDroppedError,
     NetworkError,
     NodeUnreachableError,
     PartitionError,
+    QuorumLostError,
     RedistributionError,
 )
+
+#: Replication refusals that re-route instead of retrying blindly: the
+#: target either fenced itself (a newer epoch holds the primaryship) or
+#: could not gather a write quorum.  Both re-resolve against the current
+#: epoch's primary — a blind retry at the same reference would re-execute
+#: the write on a superseded or quorum-less primary.
+REPLICATION_REFUSALS = (FencedError, QuorumLostError)
 
 #: Failure classes considered *transient*: a retry may succeed.  Admission
 #: rejections are transient by construction — the destination's service pool
@@ -123,8 +132,8 @@ class FaultTolerantInvoker:
     being fatal for replicated targets: the invoker waits out the failure
     detector (pumping the event queue for up to ``failover_wait`` simulated
     seconds per hop) and retries against the promoted replica instead of
-    surfacing :class:`~repro.errors.PartitionError` /
-    :class:`~repro.errors.NodeUnreachableError` to the application.
+    surfacing :class:`~repro.api.errors.PartitionError` /
+    :class:`~repro.api.errors.NodeUnreachableError` to the application.
     ``max_failover_hops`` bounds how many successive promotions one logical
     call will chase.
     """
@@ -221,6 +230,26 @@ class FaultTolerantInvoker:
                     continue
                 # Charge the backoff to simulated time before the next attempt.
                 calling_space.network.clock.advance(self.policy.backoff_for_attempt(attempt))
+            except REPLICATION_REFUSALS as error:
+                # A fenced or quorum-less primary refused the call.  Never
+                # retry the same reference (the refusal is deterministic
+                # until the topology changes); re-resolve against the
+                # current epoch's primary and try there, once per hop.
+                target = self._failover_target(reference, hops)
+                self.log.record(
+                    FailureRecord(
+                        member=member,
+                        error_type=type(error).__name__,
+                        attempt=attempt,
+                        recovered=target is not None,
+                        simulated_time=calling_space.network.clock.now,
+                    )
+                )
+                if target is None:
+                    raise
+                reference = target
+                hops += 1
+                attempt = 0
 
     def invoke_many(
         self,

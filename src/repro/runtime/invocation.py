@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional
 
-from repro.errors import TransportError
+from repro._errors import TransportError
 
 
 @dataclass

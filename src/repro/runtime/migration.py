@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.core.metaobject import metaobject_of
-from repro.errors import MigrationError
+from repro._errors import MigrationError
 from repro.runtime.address_space import AddressSpace
 from repro.runtime.remote_ref import RemoteRef, reference_of
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import NamingError
+from repro._errors import NamingError
 from repro.runtime.remote_ref import RemoteRef
 
 #: A rebind listener: ``(name, old reference or None, new reference)``.

@@ -47,10 +47,11 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.errors import InvocationError
+from repro._errors import InvocationError
 from repro.runtime.faulttolerance import (
     FATAL_FAILURES,
     NO_RETRY,
+    REPLICATION_REFUSALS,
     FailureLog,
     FailureRecord,
     RetryPolicy,
@@ -154,7 +155,7 @@ class InvocationFuture:
         this future, it is this call's outcome and comes back as the return
         value).  Only errors that leave the future pending (a stalled
         pipeline) propagate, and a future that cannot resolve at all raises
-        :class:`~repro.errors.InvocationError` exactly like :meth:`result`.
+        :class:`~repro.api.errors.InvocationError` exactly like :meth:`result`.
         """
         if not self.done and self._on_wait is not None:
             try:
@@ -531,14 +532,45 @@ class PipelineScheduler:
     def _on_results(self, calls: List[_ScheduledCall], results: List[Any]) -> None:
         """Resolve one batch's futures from its ordered per-call results."""
         self._in_flight -= 1
+        requeued: List[_ScheduledCall] = []
         for call, result in zip(calls, results):
             if result.ok:
                 call.future._resolve(result.value)
+            elif (
+                self.replica_manager is not None
+                and isinstance(result.error, REPLICATION_REFUSALS)
+                and call.future.attempts <= self.max_failover_attempts
+                and self.replica_manager.has_failover_target(call.reference)
+            ):
+                # A fenced or quorum-less primary refused this slot.  Unlike
+                # ordinary application errors it is worth requeueing: ship
+                # time re-resolves the reference, so the retry lands on the
+                # current epoch's primary instead of the refusing one.
+                self.failure_log.record(
+                    FailureRecord(
+                        member=call.member,
+                        error_type=type(result.error).__name__,
+                        attempt=call.future.attempts,
+                        recovered=True,
+                        simulated_time=self._clock.now,
+                    )
+                )
+                self.calls_redirected += 1
+                requeued.append(call)
+                continue
             else:
                 # Application errors inside a successful batch stay isolated
                 # per slot, exactly like the synchronous batch path.
                 call.future._fail(result.error)
             self._complete(call.future)
+        if requeued:
+            backoff = max(
+                self.retry_policy.backoff_for_attempt(
+                    max(call.future.attempts for call in requeued)
+                ),
+                self.replica_manager.suggested_backoff(),
+            )
+            self._events.schedule(backoff, lambda: self._ship(requeued))
 
     def _on_error(self, calls: List[_ScheduledCall], error: Exception) -> None:
         """Handle a transport-level failure of one in-flight batch.
@@ -561,7 +593,7 @@ class PipelineScheduler:
             if (
                 not retry
                 and self.replica_manager is not None
-                and isinstance(error, FATAL_FAILURES)
+                and isinstance(error, FATAL_FAILURES + REPLICATION_REFUSALS)
                 and call.future.attempts <= self.max_failover_attempts
                 and self.replica_manager.has_failover_target(call.reference)
             ):

@@ -24,7 +24,7 @@ gap with primary/backup replication:
   :class:`~repro.runtime.faulttolerance.FaultTolerantInvoker` (built with
   ``replica_manager=``) waits out the detection window and retries against
   the promoted replica instead of surfacing
-  :class:`~repro.errors.PartitionError`/:class:`~repro.errors.NodeUnreachableError`
+  :class:`~repro.api.errors.PartitionError`/:class:`~repro.api.errors.NodeUnreachableError`
   as fatal, and :class:`~repro.runtime.pipelining.PipelineScheduler` requeues
   the failed sub-batch and re-resolves every reference at ship time.
 
@@ -36,14 +36,41 @@ durability for write cost: a crash loses at most one interval's writes on the
 backup.  Operations must be deterministic (same call, same state change) for
 operation-shipping to keep replicas equal; mark non-mutating members
 ``readonly`` so reads are not forwarded at all.
+
+Quorum mode (``quorum > 1`` with ``fencing=True``) hardens eager replication
+against asymmetric partitions:
+
+* A write is acknowledged only after a **majority** of replicas applied it
+  (the primary's local apply counts as one vote); short of quorum the caller
+  gets :class:`~repro.api.errors.QuorumLostError` and the write is recorded
+  as *divergent* — it is discarded, not replayed, if the primary is later
+  fenced.
+* Every replication frame (``apply_op``/``apply_ops``/``apply_state``)
+  carries the group **epoch**; a :class:`ReplicaEndpoint` that has adopted a
+  newer epoch rejects older frames with
+  :class:`~repro.api.errors.FencedError`.
+* Promotion is a **vote**: the failure monitor's node sends ``adopt_epoch``
+  to every backup endpoint and may promote only when a majority of the
+  group's voters acknowledged the new epoch — a monitor blinded by a
+  partition collects no votes and cannot mint a second primary.
+* A superseded primary *retires itself*: its wrapper compares the epoch it
+  was exported under against the group's current epoch on every call and
+  raises :class:`~repro.api.errors.FencedError` (reads included, so a stale
+  primary can never serve a cache fill) instead of acking doomed writes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.errors import NetworkError, RemoteInvocationError, ReplicationError
+from repro._errors import (
+    FencedError,
+    NetworkError,
+    QuorumLostError,
+    RemoteInvocationError,
+    ReplicationError,
+)
 from repro.runtime.migration import capture_state, restore_state
 from repro.runtime.remote_ref import RemoteRef
 
@@ -97,23 +124,77 @@ class ReplicaEndpoint:
     Because these arrive as ordinary remote invocations, replication traffic
     is charged, metered and failure-injected exactly like application
     traffic.
+
+    Fencing endpoints additionally track the group **epoch**: every
+    replication frame carries the sender's epoch, a frame claiming an older
+    epoch than one already adopted is rejected with
+    :class:`~repro.api.errors.FencedError`, and :meth:`adopt_epoch` doubles
+    as the promotion *vote* — acknowledging it commits this replica to the
+    new epoch, after which the superseded primary's frames bounce.
     """
 
-    def __init__(self, impl: Any, application: Any = None) -> None:
+    def __init__(
+        self,
+        impl: Any,
+        application: Any = None,
+        *,
+        fencing: bool = False,
+        epoch: int = 0,
+    ) -> None:
         self._impl = impl
         self._application = application
+        #: Whether frames are epoch-checked (quorum/fencing groups).
+        self.fencing = fencing
+        #: Highest epoch this replica has adopted.
+        self.epoch = epoch
         #: Mutating operations replayed onto this copy.
         self.ops_applied = 0
         #: State snapshots applied to this copy.
         self.snapshots_applied = 0
+        #: Frames rejected for carrying a superseded epoch.
+        self.fenced_rejections = 0
 
-    def apply_op(self, member: str, args: list, kwargs: dict) -> Any:
+    def _check_epoch(self, epoch: Optional[int]) -> None:
+        """Fence one incoming frame: adopt newer epochs, reject older ones."""
+        if epoch is None or not self.fencing:
+            return
+        if epoch < self.epoch:
+            self.fenced_rejections += 1
+            raise FencedError(
+                f"frame from epoch {epoch} rejected: replica is at epoch {self.epoch}",
+                stale_epoch=epoch,
+                current_epoch=self.epoch,
+            )
+        self.epoch = epoch
+
+    def adopt_epoch(self, epoch: int) -> int:
+        """Vote for a promotion by committing this replica to ``epoch``.
+
+        The acknowledgement *is* the vote: a promotion proceeds only when a
+        majority of voters adopted the new epoch.  An epoch at or below the
+        one already adopted is a superseded (or duplicate) promotion attempt
+        and is rejected with :class:`~repro.api.errors.FencedError`.
+        """
+        if self.fencing and epoch <= self.epoch:
+            self.fenced_rejections += 1
+            raise FencedError(
+                f"cannot adopt epoch {epoch}: replica already at epoch {self.epoch}",
+                stale_epoch=epoch,
+                current_epoch=self.epoch,
+            )
+        self.epoch = epoch
+        return epoch
+
+    def apply_op(
+        self, member: str, args: list, kwargs: dict, epoch: Optional[int] = None
+    ) -> Any:
         """Replay one operation on the backup copy; returns its result."""
+        self._check_epoch(epoch)
         result = getattr(self._impl, member)(*args, **kwargs)
         self.ops_applied += 1
         return result
 
-    def apply_ops(self, ops: list) -> int:
+    def apply_ops(self, ops: list, epoch: Optional[int] = None) -> int:
         """Replay a list of ``(member, args, kwargs)`` operations in order.
 
         The batched form of :meth:`apply_op`: when the primary serves a
@@ -121,13 +202,15 @@ class ReplicaEndpoint:
         this backup as **one** message instead of one per write.  Returns the
         number of operations applied.
         """
+        self._check_epoch(epoch)
         for member, args, kwargs in ops:
             getattr(self._impl, member)(*args, **kwargs)
             self.ops_applied += 1
         return len(ops)
 
-    def apply_state(self, state: dict) -> int:
+    def apply_state(self, state: dict, epoch: Optional[int] = None) -> int:
         """Overwrite the copy's state with a snapshot; returns fields written."""
+        self._check_epoch(epoch)
         written = apply_state(self._impl, state, self._application)
         self.snapshots_applied += 1
         return written
@@ -152,6 +235,40 @@ class ReplicaRecord:
 
 
 @dataclass
+class StalePrimary:
+    """A superseded primary a fencing failover could not reach to retire.
+
+    Fencing failovers never reach across a partition to unexport the old
+    primary (the partition is exactly why they cannot trust that path);
+    instead the superseded wrapper is recorded here, left to fence itself on
+    its next call, and reconciled — divergent unacknowledged ops discarded,
+    export retired — when its node heals.
+    """
+
+    node_id: str
+    ref: RemoteRef
+    #: The epoch the wrapper was exported under (now superseded).
+    epoch: int
+    #: The superseded :class:`ReplicatedObject` (holds the divergent ops).
+    wrapper: Any
+    #: True once the wrapper has rejected a call with ``FencedError``.
+    retired: bool = False
+
+
+@dataclass
+class ReconciliationRecord:
+    """What one partition-heal reconciliation of a fenced ex-primary did."""
+
+    group_name: str
+    node_id: str
+    #: The superseded epoch the ex-primary was fenced at.
+    epoch: int
+    #: Divergent unacknowledged ops discarded (never replayed anywhere).
+    ops_discarded: int
+    simulated_time: float
+
+
+@dataclass
 class FailoverRecord:
     """What one completed failover did."""
 
@@ -162,6 +279,8 @@ class FailoverRecord:
     new_reference: RemoteRef
     epoch: int
     simulated_time: float
+    #: Promotion votes gathered (fencing groups; 0 for legacy promotion).
+    votes: int = 0
 
 
 @dataclass
@@ -195,6 +314,25 @@ class ReplicaGroup:
     commit_armed: bool = False
     #: Zero-argument constructor used to build (re-)seeded backup copies.
     factory: Optional[Callable[[], Any]] = None
+    #: Acks (primary's local apply included) required before a write is
+    #: acknowledged; 1 preserves the legacy fire-and-forget behaviour.
+    quorum: int = 1
+    #: Whether frames are epoch-stamped and stale primaries self-retire.
+    fencing: bool = False
+    #: The currently exported :class:`ReplicatedObject` wrapper.
+    primary_wrapper: Optional[Any] = None
+    #: Superseded primaries awaiting partition-heal reconciliation.
+    stale_primaries: List[StalePrimary] = field(default_factory=list)
+    #: Writes acknowledged with a full quorum of acks (quorum mode).
+    acked_writes: int = 0
+    #: Writes refused an ack because the quorum could not be gathered.
+    quorum_failures: int = 0
+    #: Calls rejected by a superseded wrapper fencing itself.
+    fenced_calls: int = 0
+    #: Promotions vetoed for lack of a majority of adoption votes.
+    promotions_vetoed: int = 0
+    #: Divergent unacknowledged ops discarded at reconciliation.
+    ops_discarded: int = 0
 
     def healthy_backups(self) -> List[ReplicaRecord]:
         """The backup records currently believed usable for promotion."""
@@ -215,11 +353,23 @@ class ReplicatedObject:
     acknowledged write is never lost by a failover.  In interval mode the
     group is merely marked dirty and the event-queue sync loop ships a state
     snapshot later.
+
+    In fencing groups the wrapper remembers the epoch it was exported under
+    and compares it against the group's current epoch on **every** call:
+    once a promotion has superseded it, it raises
+    :class:`~repro.api.errors.FencedError` instead of dispatching — reads
+    included, so a stale primary can never serve a cache fill — and writes
+    that executed locally but failed quorum are recorded as *divergent*, to
+    be discarded (never replayed) when the node reconciles after a heal.
     """
 
     def __init__(self, manager: "ReplicaManager", group: ReplicaGroup) -> None:
         self._manager = manager
         self._group = group
+        #: The group epoch at export time; fencing compares it per call.
+        self._epoch = group.epoch
+        #: Writes applied locally that never gathered a quorum of acks.
+        self._divergent_ops: List[tuple] = []
 
     @property
     def _repro_cache_target(self) -> Any:
@@ -236,9 +386,21 @@ class ReplicatedObject:
             raise AttributeError(member)
 
         def call(*args: Any, **kwargs: Any) -> Any:
-            result = getattr(self._group.primary_impl, member)(*args, **kwargs)
-            if member not in self._group.readonly:
-                self._manager._after_write(self._group, member, args, kwargs)
+            group = self._group
+            if group.fencing and self._epoch < group.epoch:
+                # Superseded: retire instead of acking doomed writes (or
+                # serving reads another epoch may have invalidated).
+                self._manager._reject_fenced(group, self)
+            result = getattr(group.primary_impl, member)(*args, **kwargs)
+            if member not in group.readonly:
+                try:
+                    self._manager._after_write(group, member, args, kwargs)
+                except QuorumLostError:
+                    # Applied locally, never acknowledged: divergent until a
+                    # reconciliation discards it (or a later quorum re-forms
+                    # around this primary, making the local apply canonical).
+                    self._divergent_ops.append((member, list(args), dict(kwargs)))
+                    raise
             return result
 
         call.__name__ = member
@@ -301,6 +463,8 @@ class ReplicaManager:
         self._redirects: Dict[RemoteRef, RemoteRef] = {}
         #: Every completed failover, in promotion order.
         self.failovers: List[FailoverRecord] = []
+        #: Every partition-heal reconciliation of a fenced ex-primary.
+        self.reconciliations: List[ReconciliationRecord] = []
         if detector is not None:
             detector.on_failure(self.handle_node_down)
             detector.on_recovery(self.handle_node_recovered)
@@ -319,6 +483,8 @@ class ReplicaManager:
         readonly: Sequence[str] = (),
         sync: Optional[str] = None,
         factory: Optional[Callable[[], Any]] = None,
+        quorum: int = 1,
+        fencing: bool = False,
     ) -> ReplicaGroup:
         """Create a replica group for ``impl`` and return it.
 
@@ -329,6 +495,12 @@ class ReplicaManager:
         each of ``backup_nodes`` by shipping a state snapshot over the
         network.  ``readonly`` names members that never mutate state and are
         therefore not forwarded to backups.
+
+        ``quorum`` is the number of replica acks (the primary's local apply
+        included) a write needs before it is acknowledged; ``quorum > 1``
+        requires eager sync.  ``fencing`` stamps every replication frame
+        with the group epoch, gates promotion on a majority of adoption
+        votes, and makes superseded primaries retire themselves.
         """
         if name in self._groups:
             raise ReplicationError(f"replica group {name!r} already exists")
@@ -342,6 +514,14 @@ class ReplicaManager:
             raise ReplicationError("backups must live on nodes distinct from the primary")
         if len(set(backup_nodes)) != len(backup_nodes):
             raise ReplicationError("backup nodes must be distinct")
+        if quorum < 1:
+            raise ReplicationError("quorum must be at least 1")
+        if quorum > 1 + len(backup_nodes):
+            raise ReplicationError(
+                f"quorum {quorum} exceeds the group's {1 + len(backup_nodes)} replicas"
+            )
+        if quorum > 1 and mode != "eager":
+            raise ReplicationError("quorum replication requires eager sync")
 
         primary_space = self.cluster.space(primary_node)
         interface_name = getattr(
@@ -355,8 +535,11 @@ class ReplicaManager:
             primary_impl=impl,
             sync=mode,
             readonly=frozenset(readonly),
+            quorum=quorum,
+            fencing=fencing,
         )
         wrapper = ReplicatedObject(self, group)
+        group.primary_wrapper = wrapper
         group.primary_ref = primary_space.export(wrapper, interface_name=interface_name)
         group.factory = factory if factory is not None else self._default_factory(impl)
 
@@ -392,14 +575,19 @@ class ReplicaManager:
     ) -> ReplicaRecord:
         """Create, export and state-sync one backup copy on ``node_id``."""
         copy = make_copy()
-        endpoint = ReplicaEndpoint(copy, self.application)
+        endpoint = ReplicaEndpoint(
+            copy, self.application, fencing=group.fencing, epoch=group.epoch
+        )
         endpoint_ref = self.cluster.space(node_id).export(
             endpoint, interface_name=f"{group.class_name}.replica"
         )
         record = ReplicaRecord(node_id=node_id, endpoint_ref=endpoint_ref, impl=copy)
         try:
             self._primary_space(group).invoke_remote(
-                endpoint_ref, "apply_state", (dict(state),), transport=self.transport
+                endpoint_ref,
+                "apply_state",
+                self._stamp(group, (dict(state),)),
+                transport=self.transport,
             )
             group.snapshots_shipped += 1
         except (NetworkError, RemoteInvocationError):
@@ -483,6 +671,30 @@ class ReplicaManager:
     # write synchronization
     # ------------------------------------------------------------------
 
+    def _stamp(self, group: ReplicaGroup, args: tuple) -> tuple:
+        """Append the group epoch to a replication frame's arguments.
+
+        Fencing groups put the epoch on the wire with every frame so a
+        replica that adopted a newer epoch rejects the sender; legacy groups
+        keep the original frame shape.
+        """
+        if group.fencing:
+            return args + (group.epoch,)
+        return args
+
+    def _reject_fenced(self, group: ReplicaGroup, wrapper: ReplicatedObject) -> None:
+        """Retire a superseded primary wrapper: count, mark, and raise."""
+        group.fenced_calls += 1
+        for stale in group.stale_primaries:
+            if stale.wrapper is wrapper:
+                stale.retired = True
+        raise FencedError(
+            f"replica group {group.name!r} primary from epoch {wrapper._epoch} "
+            f"was superseded by epoch {group.epoch}",
+            stale_epoch=wrapper._epoch,
+            current_epoch=group.epoch,
+        )
+
     def _after_write(self, group: ReplicaGroup, member: str, args: tuple, kwargs: dict) -> None:
         """React to one mutating call on the primary (from the wrapper).
 
@@ -492,9 +704,17 @@ class ReplicaManager:
         travel as one ``apply_ops`` message per backup (committed before the
         batch response leaves), cutting the write amplification from one
         message per write to one per dispatched batch.
+
+        Quorum groups instead commit each write individually — majority ack
+        before the response leaves — bypassing the batch deferral: deferring
+        past the batch response would acknowledge writes the quorum might
+        yet refuse.
         """
         if group.sync != "eager":
             group.dirty = True
+            return
+        if group.quorum > 1:
+            self._quorum_write(group, member, args, kwargs)
             return
         space = self._primary_space(group)
         if getattr(space, "in_batch_dispatch", False):
@@ -513,7 +733,7 @@ class ReplicaManager:
                 space.invoke_remote(
                     record.endpoint_ref,
                     "apply_op",
-                    (member, list(args), dict(kwargs)),
+                    self._stamp(group, (member, list(args), dict(kwargs))),
                     transport=self.transport,
                 )
                 group.writes_propagated += 1
@@ -525,6 +745,43 @@ class ReplicaManager:
                 # it; the primary's acknowledged write must not fail.
                 record.healthy = False
                 self._schedule_reseed(group, record.node_id)
+
+    def _quorum_write(self, group: ReplicaGroup, member: str, args: tuple, kwargs: dict) -> None:
+        """Commit one quorum-mode write: majority ack or no client ack.
+
+        The primary's local apply (already done by the wrapper) counts as
+        one ack; the call is then forwarded — epoch-stamped — to every live
+        backup.  Unreachable or failed backups are demoted and re-seeded
+        like eager forwards; a backup answering with
+        :class:`~repro.api.errors.FencedError` has adopted a newer epoch
+        (a partial promotion attempt) and is treated the same way.  When
+        fewer than ``group.quorum`` acks are gathered the write is refused
+        with :class:`~repro.api.errors.QuorumLostError` — the caller is not
+        acknowledged, and the wrapper records the local apply as divergent.
+        """
+        space = self._primary_space(group)
+        acks = 1  # the primary's own apply
+        for record in group.healthy_backups():
+            try:
+                space.invoke_remote(
+                    record.endpoint_ref,
+                    "apply_op",
+                    self._stamp(group, (member, list(args), dict(kwargs))),
+                    transport=self.transport,
+                )
+                acks += 1
+                group.writes_propagated += 1
+                group.forward_messages += 1
+            except (NetworkError, RemoteInvocationError, FencedError):
+                record.healthy = False
+                self._schedule_reseed(group, record.node_id)
+        if acks < group.quorum:
+            group.quorum_failures += 1
+            raise QuorumLostError(
+                f"write {member!r} on replica group {group.name!r} gathered "
+                f"{acks} of the {group.quorum} acknowledgements required"
+            )
+        group.acked_writes += 1
 
     def _flush_pending_ops(self, group: ReplicaGroup) -> None:
         """Ship the batch-deferred writes: one ``apply_ops`` per live backup."""
@@ -540,7 +797,7 @@ class ReplicaManager:
                 space.invoke_remote(
                     record.endpoint_ref,
                     "apply_ops",
-                    ([list(op) for op in ops],),
+                    self._stamp(group, ([list(op) for op in ops],)),
                     transport=self.transport,
                 )
                 group.writes_propagated += len(ops)
@@ -563,7 +820,7 @@ class ReplicaManager:
                 space.invoke_remote(
                     record.endpoint_ref,
                     "apply_state",
-                    (dict(state),),
+                    self._stamp(group, (dict(state),)),
                     transport=self.transport,
                 )
                 group.snapshots_shipped += 1
@@ -599,14 +856,32 @@ class ReplicaManager:
         lived there is failed over to its freshest backup (groups with no
         promotable backup are left as they are — traffic keeps failing until
         the node recovers).
+
+        Fencing groups treat the monitor's view as advisory for *promotion*
+        only: their backups are not demoted on a declaration alone, because
+        a monitor blinded by an asymmetric partition would otherwise poison
+        a perfectly healthy data plane — the primary demotes backups from
+        its own failed forwards, which it can actually observe.
         """
         for group in self._groups.values():
+            if group.fencing:
+                continue
             record = group.backups.get(node_id)
             if record is not None:
                 record.healthy = False
         for group in list(self._groups.values()):
             if group.primary_node == node_id and self._promotable(group):
-                self.failover(group)
+                if group.fencing:
+                    # A vetoed promotion (no majority of adoption votes —
+                    # e.g. the monitor is the partitioned party) is a normal
+                    # outcome, not an event-pump crash: the group simply
+                    # stays unpromoted until the view changes.
+                    try:
+                        self.failover(group)
+                    except ReplicationError:
+                        continue
+                else:
+                    self.failover(group)
 
     def handle_node_recovered(self, node_id: str, at_time: float = 0.0) -> None:
         """React to a declared-dead node answering again (heartbeat listener).
@@ -632,21 +907,67 @@ class ReplicaManager:
                 # Cannot seed from a dead primary; the primary's own recovery
                 # (branch above) re-enlists this slot when it returns.
                 continue
+            self._reconcile_stale_primary(group, node_id)
             self._reenlist(group, node_id)
             refreshed = group.backups.get(node_id)
             if refreshed is not None and not refreshed.healthy:
                 self._schedule_reseed(group, node_id)
 
+    def _reconcile_stale_primary(self, group: ReplicaGroup, node_id: str) -> None:
+        """Reconcile a healed node that was a fenced primary of ``group``.
+
+        The superseded wrapper's divergent ops — writes it applied locally
+        that never gathered a quorum and were never acknowledged — are
+        **discarded**, not replayed: the quorum that fenced this primary is
+        the canonical history, and the client was told those writes failed.
+        The stale export is then retired (the heal makes the node reachable
+        again, so the retirement that the partition blocked at failover time
+        can finally happen) before :meth:`_reenlist` re-seeds the node from
+        the current primary's state.
+        """
+        remaining: List[StalePrimary] = []
+        for stale in group.stale_primaries:
+            if stale.node_id != node_id:
+                remaining.append(stale)
+                continue
+            discarded = len(stale.wrapper._divergent_ops)
+            stale.wrapper._divergent_ops.clear()
+            group.ops_discarded += discarded
+            if node_id in self.cluster:
+                self.cluster.space(node_id).unexport(stale.ref)
+            self.reconciliations.append(
+                ReconciliationRecord(
+                    group_name=group.name,
+                    node_id=node_id,
+                    epoch=stale.epoch,
+                    ops_discarded=discarded,
+                    simulated_time=self.cluster.network.clock.now,
+                )
+            )
+        group.stale_primaries = remaining
+
     def _reenlist(self, group: ReplicaGroup, node_id: str) -> None:
-        """Re-seed ``node_id`` as a healthy backup of ``group``."""
+        """Re-seed ``node_id`` as a healthy backup of ``group``.
+
+        The existing record is replaced only once the fresh copy's seeding
+        snapshot actually landed.  When it fails (the node may still be
+        unreachable from the primary — e.g. mid-partition), the half-seeded
+        export is retired and the old record kept: a stale copy that a
+        fencing promotion can still elect by vote beats an empty husk that
+        would lose every acknowledged write if promoted.
+        """
         stale = group.backups.get(node_id)
+        make_copy = group.factory or self._default_factory(group.primary_impl)
+        state = snapshot_state(group.primary_impl, self.application)
+        fresh = self._seed_backup(group, node_id, make_copy, state)
+        if not fresh.healthy and stale is not None and stale.endpoint_ref is not None:
+            self.cluster.space(node_id).unexport(fresh.endpoint_ref)
+            return
         if stale is not None and stale.endpoint_ref is not None:
             # Retire the stale endpoint so crash/recover cycles do not leak
             # exports (or leave an out-of-date copy answering invocations).
             self.cluster.space(node_id).unexport(stale.endpoint_ref)
-        make_copy = group.factory or self._default_factory(group.primary_impl)
-        state = snapshot_state(group.primary_impl, self.application)
-        group.backups[node_id] = self._seed_backup(group, node_id, make_copy, state)
+        group.backups[node_id] = fresh
 
     def _schedule_reseed(
         self, group: ReplicaGroup, node_id: str, attempt: int = 1, max_attempts: int = 8
@@ -684,6 +1005,62 @@ class ReplicaManager:
 
         self.cluster.network.events.schedule(self.suggested_backoff() * attempt, tick)
 
+    def _majority(self, group: ReplicaGroup) -> int:
+        """Votes a promotion needs: a majority of the group's voters.
+
+        Voters are every replica slot — the (presumed-dead) primary plus all
+        enrolled backups — so the threshold stays fixed at ``N // 2 + 1`` of
+        the group's size even while some slots are unreachable.
+        """
+        voters = 1 + len(group.backups)
+        return voters // 2 + 1
+
+    def _collect_promotion_votes(
+        self, group: ReplicaGroup, new_epoch: int
+    ) -> Tuple[int, List[str]]:
+        """Ask every backup endpoint to adopt ``new_epoch``; returns the acks.
+
+        Votes are solicited **from the failure monitor's node** (falling
+        back to the first promotable candidate's): the monitor is the party
+        claiming the primary is dead, so its own connectivity is what the
+        vote tests.  A monitor blinded by an asymmetric partition collects
+        no acks and the promotion is vetoed — it cannot mint a second
+        primary no matter what its detector believes.  Each ack also fences
+        the voter: having adopted ``new_epoch``, it will bounce every frame
+        the superseded primary still sends.  Returns the vote count and the
+        node ids that voted, so :meth:`failover` can prefer a voter — a
+        replica proven reachable and already committed to the new epoch —
+        as the promotion target.
+        """
+        monitor_node = getattr(self.detector, "monitor_node", None)
+        if monitor_node is not None and monitor_node in self.cluster:
+            vote_space = self.cluster.space(monitor_node)
+        else:
+            vote_space = self.cluster.space(self._promotable(group)[0].node_id)
+        if self.detector is not None and hasattr(self.detector, "quorum_view"):
+            # Cheap precheck on the monitor's own view: if it cannot even
+            # *see* a majority of voters, skip the doomed vote round.
+            voters = [group.primary_node, *group.backups]
+            if self.detector.quorum_view(voters) < self._majority(group):
+                return 0, []
+        votes = 0
+        voted: List[str] = []
+        for record in group.backups.values():
+            if record.endpoint_ref is None:
+                continue
+            try:
+                vote_space.invoke_remote(
+                    record.endpoint_ref,
+                    "adopt_epoch",
+                    (new_epoch,),
+                    transport=self.transport,
+                )
+                votes += 1
+                voted.append(record.node_id)
+            except (NetworkError, RemoteInvocationError, FencedError):
+                continue
+        return votes, voted
+
     def failover(self, group: ReplicaGroup) -> FailoverRecord:
         """Promote the freshest backup of ``group`` to primary.
 
@@ -692,16 +1069,44 @@ class ReplicaManager:
         rebound in the naming service, and a redirect ``old ref → new ref``
         is published for the retry layers.  The dead ex-primary's node stays
         enrolled as an (unhealthy) backup slot so a later recovery re-seeds
-        it.  Raises :class:`~repro.errors.ReplicationError` when no healthy
+        it.  Raises :class:`~repro.api.errors.ReplicationError` when no healthy
         backup exists.
+
+        Fencing groups promote by **vote**: a majority of the group's voters
+        must acknowledge ``adopt_epoch`` (collected from the failure
+        monitor's node) or the promotion is vetoed with
+        :class:`~repro.api.errors.QuorumLostError`.  They also never reach
+        across the partition to retire the old primary's export — the
+        superseded wrapper is recorded as a :class:`StalePrimary`, fences
+        itself on its next call, and is reconciled when its node heals.
         """
         candidates = self._promotable(group)
         if not candidates:
             raise ReplicationError(
                 f"replica group {group.name!r} has no promotable backup"
             )
-        promoted = candidates[0]
+        votes = 0
+        voted: List[str] = []
+        if group.fencing:
+            new_epoch = group.epoch + 1
+            votes, voted = self._collect_promotion_votes(group, new_epoch)
+            needed = self._majority(group)
+            if votes < needed:
+                group.promotions_vetoed += 1
+                raise QuorumLostError(
+                    f"promotion of replica group {group.name!r} to epoch "
+                    f"{new_epoch} gathered {votes} of the {needed} adoption "
+                    f"votes required"
+                )
+        # Prefer a candidate that voted: it is proven reachable and already
+        # committed to the new epoch (pure preference — a majority elsewhere
+        # still fences the old primary even if no candidate voted).
+        promoted = next(
+            (record for record in candidates if record.node_id in voted),
+            candidates[0],
+        )
         old_node, old_ref = group.primary_node, group.primary_ref
+        old_wrapper, old_epoch = group.primary_wrapper, group.epoch
         new_space = self.cluster.space(promoted.node_id)
 
         # The endpoint retires; its copy becomes the primary implementation.
@@ -710,15 +1115,32 @@ class ReplicaManager:
         group.primary_node = promoted.node_id
         group.epoch += 1
         wrapper = ReplicatedObject(self, group)
+        group.primary_wrapper = wrapper
         group.primary_ref = new_space.export(
             wrapper, interface_name=old_ref.interface_name
         )
         del group.backups[promoted.node_id]
-        # Capture the demoted primary's cache subscribers BEFORE retiring
-        # its export (unexport purges the coherence bookkeeping), so the
-        # promoted node can still flush their leases below.
         stale_subscribers: Dict[str, Optional[float]] = {}
-        if old_node in self.cluster:
+        if group.fencing:
+            # Never reach across the partition: the old node may be alive
+            # and merely unreachable from the monitor, in which case its
+            # space cannot be trusted (or, in a real deployment, reached) to
+            # hand over state.  Record the superseded wrapper instead; it
+            # fences itself on its next call and the heal reconciles it.
+            if old_wrapper is not None:
+                group.stale_primaries.append(
+                    StalePrimary(
+                        node_id=old_node,
+                        ref=old_ref,
+                        epoch=old_epoch,
+                        wrapper=old_wrapper,
+                    )
+                )
+        elif old_node in self.cluster:
+            # Capture the demoted primary's cache subscribers BEFORE
+            # retiring its export (unexport purges the coherence
+            # bookkeeping), so the promoted node can still flush their
+            # leases below.
             stale_subscribers = self.cluster.space(old_node).take_cache_subscribers(
                 old_ref.object_id
             )
@@ -735,7 +1157,19 @@ class ReplicaManager:
         self._by_primary_ref.pop(old_ref, None)
         self._by_primary_ref[group.primary_ref] = group
         self.cluster.naming.rebind(group.name, group.primary_ref)
-        if stale_subscribers:
+        if group.fencing:
+            # Without the old node's subscriber table (unreachable, above),
+            # flush the old reference from *every* peer, stamped with the
+            # new epoch: subscribers drop their leases immediately, the
+            # epoch floor advances, and any later ``!inv`` the fenced
+            # ex-primary mints at the old epoch is rejected on arrival.
+            peers = [
+                node for node in self.cluster.node_ids() if node != group.primary_node
+            ]
+            new_space.send_cache_invalidations(
+                [old_ref.object_id], peers, epoch=group.epoch
+            )
+        elif stale_subscribers:
             # Flush cache leases held against the demoted primary: it can no
             # longer invalidate anyone, so the *promoted* node sends the
             # invalidation for the old reference — readers drop their entries
@@ -754,6 +1188,7 @@ class ReplicaManager:
             new_reference=group.primary_ref,
             epoch=group.epoch,
             simulated_time=self.cluster.network.clock.now,
+            votes=votes,
         )
         self.failovers.append(record)
         return record
@@ -776,6 +1211,11 @@ class ReplicaManager:
         for record in group.backups.values():
             if record.endpoint_ref is not None and record.node_id in self.cluster:
                 self.cluster.space(record.node_id).unexport(record.endpoint_ref)
+        for stale in group.stale_primaries:
+            # Fenced ex-primaries that never healed still hold their export.
+            if stale.node_id in self.cluster:
+                self.cluster.space(stale.node_id).unexport(stale.ref)
+        group.stale_primaries = []
         del self._groups[group.name]
         self._by_primary_ref.pop(group.primary_ref, None)
         self._redirects = {
@@ -804,13 +1244,31 @@ class ReplicaManager:
         return self.cluster.space(group.primary_node)
 
     def _promotable(self, group: ReplicaGroup) -> List[ReplicaRecord]:
-        """Backups :meth:`failover` would actually promote: healthy AND up.
+        """Backups :meth:`failover` would actually promote.
 
         The single source of truth for "can this group fail over" — the
         heartbeat listener must apply exactly this filter before calling
         :meth:`failover`, or a group whose every backup host is also dead
         would raise out of the listener and crash the event pump.
+
+        Legacy groups require ``record.healthy``; fencing groups do **not**:
+        the healthy flag reflects the *primary's* failed forwards, and when
+        the primary is the partitioned party it has demoted every backup it
+        lost sight of — the very replicas the promotion must choose from.
+        For them any seeded, non-crashed slot is a candidate (healthy ones
+        preferred), and the adoption-vote round is what actually tests
+        reachability and majority before the promotion commits.
         """
+        if group.fencing:
+            candidates = [
+                record
+                for record in group.backups.values()
+                if record.endpoint_ref is not None
+                and record.impl is not None
+                and not self._node_down(record.node_id)
+            ]
+            candidates.sort(key=lambda record: not record.healthy)
+            return candidates
         return [
             record
             for record in group.healthy_backups()

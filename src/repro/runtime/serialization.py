@@ -19,7 +19,7 @@ from __future__ import annotations
 import base64
 from typing import Any
 
-from repro.errors import SerializationError
+from repro._errors import SerializationError
 from repro.runtime.remote_ref import RemoteRef
 
 _KIND = "__kind__"

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Optional, Sequence, Union
 
-from repro.errors import PolicyError
+from repro._errors import PolicyError
 from repro.network.simnet import LAN_LINK, LinkConfig, SimulatedNetwork
 from repro.policy.loader import policy_from_dict, policy_to_dict
 from repro.policy.policy import DistributionPolicy, all_local_policy

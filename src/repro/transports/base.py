@@ -28,7 +28,7 @@ import abc
 import json
 from typing import Dict, Iterable, List, Optional
 
-from repro.errors import TransportError, UnknownTransportError
+from repro._errors import TransportError, UnknownTransportError
 
 
 class Transport(abc.ABC):
@@ -222,9 +222,23 @@ SUB_ACK_FRAME_PREFIX = b"!suback\n"
 INV_PIGGYBACK_PREFIX = b"!inv+\n"
 
 
-def frame_invalidation(object_ids: Iterable[str]) -> bytes:
-    """Frame one write-invalidation carrying the stale object identifiers."""
-    return INV_FRAME_PREFIX + json.dumps(sorted(object_ids)).encode("ascii")
+def frame_invalidation(
+    object_ids: Iterable[str], epoch: Optional[int] = None
+) -> bytes:
+    """Frame one write-invalidation carrying the stale object identifiers.
+
+    ``epoch`` stamps the frame with the sending replica group's promotion
+    epoch (quorum mode): receivers track the highest epoch seen per object
+    and reject frames claiming an older one, so a fenced ex-primary's late
+    ``!inv`` traffic cannot masquerade as current coherence control.  An
+    unstamped frame (``epoch=None``, the pre-quorum wire form) is always
+    accepted — dropping cache entries is conservative.
+    """
+    ids = sorted(object_ids)
+    if epoch is None:
+        return INV_FRAME_PREFIX + json.dumps(ids).encode("ascii")
+    body = {"epoch": int(epoch), "ids": ids}
+    return INV_FRAME_PREFIX + json.dumps(body, sort_keys=True).encode("ascii")
 
 
 def is_invalidation(payload: bytes) -> bool:
@@ -232,17 +246,35 @@ def is_invalidation(payload: bytes) -> bool:
     return payload.startswith(INV_FRAME_PREFIX)
 
 
-def parse_invalidation(payload: bytes) -> List[str]:
-    """Extract the stale object identifiers from a framed invalidation."""
+def parse_invalidation_body(payload: bytes) -> tuple[List[str], Optional[int]]:
+    """Extract ``(object_ids, epoch)`` from a framed invalidation.
+
+    Accepts both wire forms: the legacy bare JSON list (``epoch`` comes back
+    ``None``) and the epoch-stamped ``{"ids": [...], "epoch": N}`` object.
+    """
     if not payload.startswith(INV_FRAME_PREFIX):
         raise TransportError("not an invalidation frame")
     try:
-        object_ids = json.loads(payload[len(INV_FRAME_PREFIX):])
+        body = json.loads(payload[len(INV_FRAME_PREFIX):])
     except ValueError as exc:
         raise TransportError("malformed invalidation frame: bad body") from exc
-    if not isinstance(object_ids, list):
-        raise TransportError("malformed invalidation frame: body is not a list")
-    return [str(object_id) for object_id in object_ids]
+    if isinstance(body, list):
+        return [str(object_id) for object_id in body], None
+    if isinstance(body, dict) and isinstance(body.get("ids"), list):
+        try:
+            epoch = int(body["epoch"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TransportError(
+                "malformed invalidation frame: bad epoch"
+            ) from exc
+        return [str(object_id) for object_id in body["ids"]], epoch
+    raise TransportError("malformed invalidation frame: body is not a list")
+
+
+def parse_invalidation(payload: bytes) -> List[str]:
+    """Extract the stale object identifiers from a framed invalidation."""
+    object_ids, _epoch = parse_invalidation_body(payload)
+    return object_ids
 
 
 def frame_invalidation_ack(count: int) -> bytes:

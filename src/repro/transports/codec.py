@@ -42,7 +42,7 @@ import struct
 from io import BytesIO
 from typing import Any
 
-from repro.errors import TransportError
+from repro._errors import TransportError
 
 _TAG_NONE = 0
 _TAG_TRUE = 1

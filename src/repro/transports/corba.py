@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import struct
 
-from repro.errors import TransportError
+from repro._errors import TransportError
 from repro.transports.base import Transport
 from repro.transports.codec import (
     decode_message,

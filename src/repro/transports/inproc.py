@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 
-from repro.errors import TransportError
+from repro._errors import TransportError
 from repro.transports.base import Transport
 
 

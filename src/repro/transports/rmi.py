@@ -9,7 +9,7 @@ implementations.
 
 from __future__ import annotations
 
-from repro.errors import TransportError
+from repro._errors import TransportError
 from repro.transports.base import Transport
 from repro.transports.codec import (
     decode_message,

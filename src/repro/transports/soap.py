@@ -20,7 +20,7 @@ import re
 import xml.etree.ElementTree as ET
 from typing import Any
 
-from repro.errors import TransportError
+from repro._errors import TransportError
 from repro.transports.base import Transport
 
 _ENVELOPE = "Envelope"

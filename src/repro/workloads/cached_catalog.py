@@ -129,7 +129,9 @@ def run_cached_catalog_scenario(
             CachePolicy(max_entries=max_entries, lease_ms=lease_ms, mode=mode)
         )
     if replicate:
-        reader_policy = reader_policy.with_replication(2, readonly=CATALOG_READONLY)
+        reader_policy = reader_policy.with_replication(
+            2, quorum=1, readonly=CATALOG_READONLY
+        )
     writer_policy = ServicePolicy(
         transport=transport, batch_window=max(writes_per_round, 2)
     )

@@ -26,7 +26,7 @@ import itertools
 from typing import Optional
 
 from repro.api import RateLimitInterceptor, ServicePolicy, Session
-from repro.errors import AdmissionError, RateLimitError, ThrottledError
+from repro.api.errors import AdmissionError, RateLimitError, ThrottledError
 
 #: Deterministic per-process sequence keeping repeated runs against one
 #: cluster from colliding on the naming service (see bulk_orders._RUN_SEQ).

@@ -17,7 +17,7 @@ follow a Zipf distribution (a few hot objects take most traffic), and whose
 rate can follow a diurnal ramp (a sinusoidal swell within the run).  The
 target node is bounded by a :class:`~repro.network.simnet.ServicePool`, so
 offered load above ``workers / service_time`` queues, then sheds with
-:class:`~repro.errors.AdmissionError`; rejected calls retry with backoff via
+:class:`~repro.api.errors.AdmissionError`; rejected calls retry with backoff via
 the façade's retry policy and each request's latency lands in a
 :class:`~repro.network.metrics.LatencyHistogram` (p50/p99/p999).
 
@@ -35,7 +35,7 @@ import random
 from typing import List, Optional, Sequence
 
 from repro.api import ServicePolicy, Session
-from repro.errors import AdmissionError
+from repro.api.errors import AdmissionError
 from repro.network.metrics import LatencyHistogram
 from repro.network.simnet import ServicePool
 from repro.runtime.faulttolerance import RetryPolicy

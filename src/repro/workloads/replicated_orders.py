@@ -99,7 +99,9 @@ def run_replicated_order_scenario(
         )
         run_id = next(_RUN_SEQ)
         if replicate:
-            policy = policy.with_replication(2, sync=sync, readonly=INTAKE_READONLY)
+            policy = policy.with_replication(
+                2, quorum=1, sync=sync, readonly=INTAKE_READONLY
+            )
             services = [
                 session.service(
                     f"replicated-orders-{run_id}-{index}",

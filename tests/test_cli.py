@@ -8,8 +8,8 @@ import textwrap
 
 import pytest
 
+from repro.api.errors import ReproError
 from repro.cli import build_parser, load_classes_from_file, main
-from repro.errors import ReproError
 
 APP_SOURCE = textwrap.dedent(
     '''
@@ -167,6 +167,7 @@ class TestCorpusAndTemplateCommands:
             "bench-batching",
             "bench-pipelining",
             "bench-replication",
+            "bench-partition",
         ):
             assert command in help_text
 
@@ -228,3 +229,36 @@ class TestBenchReplicationCommand:
         code, output = run_cli("bench-replication", "--sync", "psychic")
         assert code == 1
         assert "--sync" in output
+
+
+class TestBenchPartitionCommand:
+    def test_single_cell_reports_safety(self):
+        code, output = run_cli(
+            "bench-partition", "--transports", "inproc", "--cells", "A",
+        )
+        assert code == 0
+        assert "every cell safe" in output
+        assert "FAIL" not in output
+        lines = [line for line in output.splitlines() if line.startswith("inproc")]
+        assert len(lines) == 1
+        columns = lines[0].split()
+        assert columns[3] == "0"  # zero acknowledged writes lost
+        assert columns[4] == "0"  # zero stale cached reads
+        assert columns[6] == "1"  # cell A promotes exactly once
+
+    def test_cells_are_case_insensitive(self):
+        code, output = run_cli(
+            "bench-partition", "--transports", "inproc", "--cells", "b",
+        )
+        assert code == 0
+        assert " B " in output
+
+    def test_rejects_unknown_transports(self):
+        code, output = run_cli("bench-partition", "--transports", "carrier-pigeon")
+        assert code == 1
+        assert "unknown transports" in output
+
+    def test_rejects_unknown_cells(self):
+        code, output = run_cli("bench-partition", "--cells", "Z")
+        assert code == 1
+        assert "unknown cells" in output

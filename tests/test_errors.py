@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import errors
+from repro.api import errors
 from repro.core.analyzer import NonTransformableReason
 
 

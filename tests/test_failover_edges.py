@@ -2,18 +2,27 @@
 
 Failover leans on corners the original tests never reached: healing every
 partition a single node participates in (a node rejoining after a split),
-nodes that crash, recover and crash again (fail-back), and rebinding a
-well-known name while other nodes are actively looking it up.
+nodes that crash, recover and crash again (fail-back), rebinding a
+well-known name while other nodes are actively looking it up, and the
+partition-heal reconciliation of a fenced ex-primary (divergent
+unacknowledged ops discarded, the node re-seeded from the quorum's state).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.errors import NamingError, NodeUnreachableError, PartitionError
+from repro.api.errors import (
+    NamingError,
+    NodeUnreachableError,
+    PartitionError,
+    QuorumLostError,
+)
 from repro.network.failures import FailureModel
+from repro.network.heartbeat import HeartbeatDetector
 from repro.network.simnet import SimulatedNetwork
 from repro.runtime.cluster import Cluster
+from repro.runtime.replication import ReplicaManager
 from repro.workloads.bulk_orders import OrderIntake
 
 
@@ -137,3 +146,104 @@ class TestRebindVisibility:
             cluster.naming.bind("orders", reference)
         with pytest.raises(NamingError):
             cluster.naming.unbind("nothing")
+
+
+class TestPartitionHealReconciliation:
+    """A fenced ex-primary's heal: divergence discarded, state re-seeded."""
+
+    def _quorum_cluster(self):
+        cluster = Cluster(("monitor", "a", "b", "c"))
+        detector = HeartbeatDetector(
+            cluster.network, "monitor", interval=0.002, miss_threshold=2
+        )
+        for node in ("a", "b", "c"):
+            detector.watch(node)
+        manager = ReplicaManager(cluster, detector=detector)
+        detector.start()
+        group = manager.replicate(
+            OrderIntake(),
+            name="orders",
+            primary_node="a",
+            backup_nodes=["b", "c"],
+            readonly=("accepted_count", "rejected_count", "total_units", "revenue"),
+            quorum=2,
+            fencing=True,
+        )
+        return cluster, manager, group
+
+    def _pump(self, cluster, seconds):
+        cluster.network.events.run_until(cluster.network.clock.now + seconds)
+
+    def _isolate_primary_and_promote(self, cluster, manager, group):
+        old_wrapper = group.primary_wrapper
+        cluster.network.failures.partition(["a"], ["monitor", "b", "c"])
+        # Quorum-acked state before the split: one committed order.
+        # (Committed *before* the partition: both backups hold it.)
+        return old_wrapper
+
+    def test_divergent_unacked_ops_are_discarded_on_reenlist(self):
+        cluster, manager, group = self._quorum_cluster()
+        group.primary_wrapper.submit("committed", 1, 10)
+        old_wrapper = self._isolate_primary_and_promote(cluster, manager, group)
+        # Two writes applied locally on the isolated primary, never acked.
+        for attempt in range(2):
+            with pytest.raises(QuorumLostError):
+                old_wrapper.submit(f"divergent-{attempt}", 1, 10)
+        assert len(old_wrapper._divergent_ops) == 2
+        assert old_wrapper._group.primary_impl.accepted_count() == 3
+        self._pump(cluster, 0.02)
+        assert group.epoch == 1  # the majority elected a new primary
+        cluster.network.failures.heal()
+        self._pump(cluster, 0.1)
+        # The re-enlisted node was re-seeded from the quorum's state: the
+        # committed write survives, the divergent ones are gone everywhere.
+        assert old_wrapper._divergent_ops == []
+        assert group.ops_discarded == 2
+        assert group.backups["a"].healthy
+        assert group.backups["a"].impl.accepted_count() == 1
+        assert group.primary_impl.accepted_count() == 1
+
+    def test_reconciliation_is_recorded_with_the_superseded_epoch(self):
+        cluster, manager, group = self._quorum_cluster()
+        old_wrapper = self._isolate_primary_and_promote(cluster, manager, group)
+        with pytest.raises(QuorumLostError):
+            old_wrapper.submit("divergent", 1, 10)
+        self._pump(cluster, 0.02)
+        cluster.network.failures.heal()
+        self._pump(cluster, 0.1)
+        assert len(manager.reconciliations) == 1
+        record = manager.reconciliations[0]
+        assert record.node_id == "a"
+        assert record.epoch == 0  # the epoch the ex-primary was fenced at
+        assert record.ops_discarded == 1
+        assert group.stale_primaries == []
+
+    def test_heal_without_divergence_still_reconciles_cleanly(self):
+        cluster, manager, group = self._quorum_cluster()
+        group.primary_wrapper.submit("committed", 1, 10)
+        # The monitor only loses the primary; no write ever diverges.
+        cluster.network.failures.partition(["monitor"], ["a"])
+        self._pump(cluster, 0.02)
+        assert group.epoch == 1
+        cluster.network.failures.heal()
+        self._pump(cluster, 0.1)
+        assert group.ops_discarded == 0
+        assert group.stale_primaries == []
+        assert group.backups["a"].healthy
+        assert group.backups["a"].impl.accepted_count() == 1
+
+    def test_acked_writes_survive_the_full_cycle(self):
+        cluster, manager, group = self._quorum_cluster()
+        group.primary_wrapper.submit("before", 1, 10)
+        old_wrapper = self._isolate_primary_and_promote(cluster, manager, group)
+        with pytest.raises(QuorumLostError):
+            old_wrapper.submit("never-acked", 1, 10)
+        self._pump(cluster, 0.02)
+        # Post-promotion writes commit against the new primary.
+        group.primary_wrapper.submit("after", 1, 10)
+        cluster.network.failures.heal()
+        self._pump(cluster, 0.1)
+        assert group.primary_impl.accepted_count() == 2
+        assert group.acked_writes == 2
+        for record in group.backups.values():
+            assert record.impl.accepted_count() == 2

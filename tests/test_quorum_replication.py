@@ -1,0 +1,354 @@
+"""Tests for majority-quorum replication, epoch fencing and reconciliation.
+
+Covers the quorum write path (majority ack or a typed refusal), the epoch
+machinery on :class:`~repro.runtime.replication.ReplicaEndpoint` (frames
+from superseded epochs bounce with ``FencedError``, ``adopt_epoch`` doubles
+as the promotion vote), vote-gated promotion (a blinded monitor is vetoed;
+a majority elects a new epoch), stale-primary self-fencing, the epoch floor
+on ``!inv`` frames, and the quorum knobs on ``ServicePolicy``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.errors import (
+    FencedError,
+    PolicyError,
+    QuorumLostError,
+    ReplicationError,
+)
+from repro.api import ServicePolicy
+from repro.network.heartbeat import HeartbeatDetector
+from repro.runtime.cluster import Cluster
+from repro.runtime.replication import ReplicaEndpoint, ReplicaManager
+from repro.workloads.bulk_orders import OrderIntake
+from repro.workloads.replicated_orders import INTAKE_READONLY
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(("monitor", "client", "a", "b", "c"))
+
+
+def _manager(cluster, monitor="monitor") -> ReplicaManager:
+    detector = HeartbeatDetector(
+        cluster.network, monitor, interval=0.002, miss_threshold=2
+    )
+    for node in ("a", "b", "c"):
+        detector.watch(node)
+    manager = ReplicaManager(cluster, detector=detector)
+    detector.start()
+    return manager
+
+
+def _quorum_group(manager, primary="a", backups=("b", "c")):
+    return manager.replicate(
+        OrderIntake(),
+        name="orders",
+        primary_node=primary,
+        backup_nodes=list(backups),
+        readonly=INTAKE_READONLY,
+        quorum=2,
+        fencing=True,
+    )
+
+
+def _pump(cluster, seconds):
+    cluster.network.events.run_until(cluster.network.clock.now + seconds)
+
+
+class TestEndpointFencing:
+    def test_frames_from_older_epochs_are_rejected(self):
+        endpoint = ReplicaEndpoint(OrderIntake(), fencing=True, epoch=3)
+        with pytest.raises(FencedError) as excinfo:
+            endpoint.apply_op("submit", ["sku", 1, 10], {}, 2)
+        assert excinfo.value.stale_epoch == 2
+        assert excinfo.value.current_epoch == 3
+        assert endpoint.fenced_rejections == 1
+        assert endpoint.ops_applied == 0
+
+    def test_newer_epoch_frames_are_adopted(self):
+        endpoint = ReplicaEndpoint(OrderIntake(), fencing=True, epoch=1)
+        endpoint.apply_op("submit", ["sku", 1, 10], {}, 4)
+        assert endpoint.epoch == 4
+        assert endpoint.ops_applied == 1
+
+    def test_unstamped_frames_pass_for_compatibility(self):
+        endpoint = ReplicaEndpoint(OrderIntake(), fencing=True, epoch=5)
+        endpoint.apply_op("submit", ["sku", 1, 10], {})
+        assert endpoint.ops_applied == 1
+
+    def test_non_fencing_endpoint_ignores_epochs(self):
+        endpoint = ReplicaEndpoint(OrderIntake())
+        endpoint.apply_op("submit", ["sku", 1, 10], {}, 0)
+        assert endpoint.ops_applied == 1
+
+    def test_adopt_epoch_votes_once_per_epoch(self):
+        endpoint = ReplicaEndpoint(OrderIntake(), fencing=True, epoch=0)
+        assert endpoint.adopt_epoch(1) == 1
+        # A duplicate (or superseded) promotion attempt is rejected: the
+        # replica has already committed to this epoch.
+        with pytest.raises(FencedError):
+            endpoint.adopt_epoch(1)
+        with pytest.raises(FencedError):
+            endpoint.adopt_epoch(0)
+
+
+class TestQuorumWrites:
+    def test_majority_ack_commits_the_write(self, cluster):
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        wrapper = group.primary_wrapper
+        wrapper.submit("sku", 1, 10)
+        assert group.acked_writes == 1
+        assert group.quorum_failures == 0
+        for record in group.backups.values():
+            assert record.impl.accepted_count() == 1
+
+    def test_lost_majority_refuses_with_quorum_lost(self, cluster):
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        cluster.network.failures.partition(["a"], ["b", "c"])
+        with pytest.raises(QuorumLostError):
+            group.primary_wrapper.submit("sku", 1, 10)
+        assert group.quorum_failures == 1
+        # The local apply happened but was never acknowledged: it is
+        # recorded divergent on the wrapper for later reconciliation.
+        assert len(group.primary_wrapper._divergent_ops) == 1
+        assert group.primary_impl.accepted_count() == 1
+
+    def test_single_backup_loss_still_reaches_quorum(self, cluster):
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        cluster.network.failures.partition(["a"], ["b"])
+        group.primary_wrapper.submit("sku", 1, 10)
+        assert group.acked_writes == 1
+        # The unreachable backup was demoted, the reachable one acked.
+        assert not group.backups["b"].healthy
+        assert group.backups["c"].healthy
+
+    def test_replicate_validates_quorum_bounds(self, cluster):
+        manager = _manager(cluster)
+        for bad in (0, 4):
+            with pytest.raises(ReplicationError):
+                manager.replicate(
+                    OrderIntake(),
+                    name=f"bad-{bad}",
+                    primary_node="a",
+                    backup_nodes=["b", "c"],
+                    quorum=bad,
+                )
+
+    def test_quorum_requires_eager_sync(self, cluster):
+        manager = _manager(cluster)
+        with pytest.raises(ReplicationError):
+            manager.replicate(
+                OrderIntake(),
+                name="interval-quorum",
+                primary_node="a",
+                backup_nodes=["b"],
+                sync="interval",
+                quorum=2,
+            )
+
+
+class TestVoteGatedPromotion:
+    def test_majority_vote_promotes_and_bumps_epoch(self, cluster):
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        cluster.network.failures.partition(["monitor"], ["a"])
+        _pump(cluster, 0.02)
+        assert len(manager.failovers) == 1
+        record = manager.failovers[0]
+        assert record.votes == 2
+        assert record.epoch == 1
+        assert group.epoch == 1
+        assert group.primary_node in ("b", "c")
+
+    def test_blinded_monitor_promotion_is_vetoed(self, cluster):
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        cluster.network.failures.partition(["monitor"], ["a", "b", "c"])
+        _pump(cluster, 0.02)
+        assert manager.failovers == []
+        assert group.promotions_vetoed >= 1
+        assert group.epoch == 0
+        # The data plane was never poisoned by the blinded monitor: writes
+        # keep gathering their quorum.
+        group.primary_wrapper.submit("sku", 1, 10)
+        assert group.acked_writes == 1
+
+    def test_direct_failover_call_is_also_vetoed(self, cluster):
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        cluster.network.failures.partition(["monitor"], ["a", "b", "c"])
+        _pump(cluster, 0.02)
+        with pytest.raises(QuorumLostError):
+            manager.failover(group)
+
+    def test_isolated_primary_demotions_do_not_block_promotion(self, cluster):
+        # The primary loses its backups first (demoting their records),
+        # then the monitor declares it: promotion must still find the
+        # backups promotable — their health flags reflect the dead
+        # primary's view, and the vote round is what tests reachability.
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        cluster.network.failures.partition(["a"], ["monitor", "b", "c"])
+        with pytest.raises(QuorumLostError):
+            group.primary_wrapper.submit("sku", 1, 10)
+        assert group.healthy_backups() == []
+        _pump(cluster, 0.02)
+        assert len(manager.failovers) == 1
+        assert group.epoch == 1
+
+
+class TestStalePrimaryFencing:
+    def _promote_away_from_a(self, cluster, manager, group):
+        cluster.network.failures.partition(["monitor"], ["a"])
+        _pump(cluster, 0.02)
+        assert group.epoch == 1
+        return manager.failovers[0]
+
+    def test_superseded_wrapper_fences_itself(self, cluster):
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        old_wrapper = group.primary_wrapper
+        self._promote_away_from_a(cluster, manager, group)
+        with pytest.raises(FencedError):
+            old_wrapper.submit("sku", 1, 10)
+        assert group.fenced_calls == 1
+        assert group.stale_primaries[0].retired is True
+
+    def test_fenced_reads_are_rejected_too(self, cluster):
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        old_wrapper = group.primary_wrapper
+        self._promote_away_from_a(cluster, manager, group)
+        with pytest.raises(FencedError):
+            old_wrapper.accepted_count()
+
+    def test_fenced_ex_primary_frames_bounce_off_voters(self, cluster):
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        self._promote_away_from_a(cluster, manager, group)
+        # A voter adopted epoch 1; a frame the old primary would send at
+        # epoch 0 is rejected on arrival.
+        surviving_backup = next(iter(group.backups.values()))
+        if surviving_backup.endpoint_ref is not None:
+            with pytest.raises((FencedError, Exception)):
+                cluster.space("a").invoke_remote(
+                    surviving_backup.endpoint_ref,
+                    "apply_op",
+                    ("submit", ["sku", 1, 10], {}, 0),
+                )
+
+    def test_heal_reconciles_divergence_and_reseeds(self, cluster):
+        manager = _manager(cluster)
+        group = _quorum_group(manager)
+        old_wrapper = group.primary_wrapper
+        # Isolate the primary completely: a write diverges, the monitor
+        # promotes by majority vote.
+        cluster.network.failures.partition(["a"], ["monitor", "b", "c"])
+        with pytest.raises(QuorumLostError):
+            old_wrapper.submit("sku", 1, 10)
+        _pump(cluster, 0.02)
+        assert group.epoch == 1
+        assert len(old_wrapper._divergent_ops) == 1
+        # Heal: the recovery declaration reconciles the fenced ex-primary —
+        # divergent ops discarded, node re-seeded from the quorum's state.
+        cluster.network.failures.heal()
+        _pump(cluster, 0.1)
+        assert old_wrapper._divergent_ops == []
+        assert group.ops_discarded == 1
+        assert len(manager.reconciliations) == 1
+        assert manager.reconciliations[0].node_id == "a"
+        assert group.stale_primaries == []
+        record = group.backups["a"]
+        assert record.healthy
+        # Re-seeded from the current primary: the divergent write is gone.
+        assert record.impl.accepted_count() == 0
+
+
+class TestInvalidationEpochFloor:
+    def test_stale_epoch_invalidations_are_rejected(self, cluster):
+        space_a, space_b = cluster.space("a"), cluster.space("b")
+        ref = space_a.export(OrderIntake())
+        space_a.send_cache_invalidations([ref.object_id], ["b"], epoch=2)
+        assert space_b.stale_invalidations_rejected == 0
+        space_a.send_cache_invalidations([ref.object_id], ["b"], epoch=1)
+        assert space_b.stale_invalidations_rejected == 1
+
+    def test_equal_and_newer_epochs_advance_the_floor(self, cluster):
+        space_a, space_b = cluster.space("a"), cluster.space("b")
+        ref = space_a.export(OrderIntake())
+        space_a.send_cache_invalidations([ref.object_id], ["b"], epoch=1)
+        space_a.send_cache_invalidations([ref.object_id], ["b"], epoch=1)
+        space_a.send_cache_invalidations([ref.object_id], ["b"], epoch=3)
+        assert space_b.stale_invalidations_rejected == 0
+
+    def test_unstamped_invalidations_always_apply(self, cluster):
+        space_a, space_b = cluster.space("a"), cluster.space("b")
+        ref = space_a.export(OrderIntake())
+        space_a.send_cache_invalidations([ref.object_id], ["b"], epoch=4)
+        space_a.send_cache_invalidations([ref.object_id], ["b"])
+        assert space_b.stale_invalidations_rejected == 0
+        assert space_b.invalidations_received >= 2
+
+
+class TestPolicyQuorumKnobs:
+    def test_majority_quorum_is_computed_from_replicas(self):
+        policy = ServicePolicy().with_replication(3, quorum="majority", fencing=True)
+        assert policy.replication_factor == 3
+        assert policy.quorum == 2
+        assert policy.fencing is True
+        assert policy.quorum_replicated
+
+    def test_explicit_integer_quorum(self):
+        policy = ServicePolicy().with_replication(5, quorum=3)
+        assert policy.quorum == 3
+        assert policy.fencing is True  # defaults on when a quorum is asked for
+
+    def test_quorum_above_factor_rejected(self):
+        with pytest.raises(PolicyError):
+            ServicePolicy().with_replication(2, quorum=3)
+
+    def test_fencing_needs_at_least_two_replicas(self):
+        with pytest.raises(PolicyError):
+            ServicePolicy().with_replication(1, quorum=1, fencing=True)
+
+    def test_quorum_requires_eager_sync(self):
+        with pytest.raises(PolicyError):
+            ServicePolicy().with_replication(3, quorum=2, sync="interval")
+
+    def test_legacy_single_int_call_warns_and_keeps_old_semantics(self):
+        with pytest.warns(DeprecationWarning):
+            policy = ServicePolicy().with_replication(2)
+        assert policy.replication_factor == 2
+        assert policy.quorum == 1
+        assert policy.fencing is False
+
+    def test_legacy_factor_keyword_warns(self):
+        with pytest.warns(DeprecationWarning):
+            policy = ServicePolicy().with_replication(factor=2)
+        assert policy.replication_factor == 2
+
+    def test_explicit_quorum_call_is_warning_free(self, recwarn):
+        ServicePolicy().with_replication(3, quorum="majority", fencing=True)
+        assert not [
+            warning
+            for warning in recwarn.list
+            if issubclass(warning.category, DeprecationWarning)
+        ]
+
+
+class TestErrorFacadeShim:
+    def test_old_import_path_warns_but_works(self):
+        import importlib
+        import repro.errors as legacy
+
+        importlib.reload(legacy)
+        with pytest.warns(DeprecationWarning):
+            fenced = legacy.FencedError
+        from repro.api.errors import FencedError as public
+        assert fenced is public
