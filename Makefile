@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 BENCH_DIR ?= bench-artifacts
 
-.PHONY: check test quickstart-smoke bench-smoke bench-check docs-check lint
+.PHONY: check test quickstart-smoke bench-smoke bench-check docs-check lint lint-dist
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,7 +26,10 @@ bench-check: bench-smoke
 docs-check:
 	$(PYTHON) -m repro.tools.doccheck src/repro --level api --fail-under 100
 
-lint:
+lint: lint-dist
 	ruff check .
 
-check: test quickstart-smoke bench-check docs-check
+lint-dist:
+	$(PYTHON) -m repro lint src/repro examples tests/sample_app.py
+
+check: test quickstart-smoke bench-check docs-check lint-dist

@@ -14,6 +14,7 @@ justified:
 from __future__ import annotations
 
 from _helpers import transform_sample  # noqa: F401 - path setup side effect
+# isort: split  (the _helpers import put src/ and tests/ on sys.path)
 
 import sample_app
 from repro.core.transformer import ApplicationTransformer

@@ -12,6 +12,7 @@ worse static placement and approach the per-phase optimum.
 from __future__ import annotations
 
 from _helpers import record_simulation  # noqa: F401 - path setup
+# isort: split  (the _helpers import put src/ and tests/ on sys.path)
 
 import sample_app
 from repro.core.transformer import ApplicationTransformer

@@ -11,6 +11,7 @@ are the only added work, so the slowdown should be a small constant factor
 from __future__ import annotations
 
 from _helpers import transform_sample  # noqa: F401 - path setup side effect
+# isort: split  (the _helpers import put src/ and tests/ on sys.path)
 
 import sample_app
 from repro.core.transformer import ApplicationTransformer

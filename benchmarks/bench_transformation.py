@@ -9,6 +9,7 @@ transports, and emitting the Figures 3-5 source listings.
 from __future__ import annotations
 
 from _helpers import transform_sample
+# isort: split  (the _helpers import put src/ and tests/ on sys.path)
 
 import sample_app
 from repro.core.codegen import emit_class_artifacts

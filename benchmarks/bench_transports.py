@@ -10,6 +10,7 @@ expensive, the RMI-like binary protocol the cheapest, CORBA in between.
 from __future__ import annotations
 
 from _helpers import record_simulation
+# isort: split  (the _helpers import put src/ and tests/ on sys.path)
 
 import sample_app
 from repro.core.transformer import ApplicationTransformer

@@ -30,6 +30,15 @@ See ``examples/`` for complete scenarios and ``DESIGN.md`` for the mapping
 from the paper's sections to the modules of this package.
 """
 
+from repro._errors import (
+    NetworkError,
+    NotTransformableError,
+    PolicyError,
+    RedistributionError,
+    RemoteInvocationError,
+    ReproError,
+    TransformationError,
+)
 from repro.api import Service, ServicePolicy, Session
 from repro.core.analyzer import (
     AnalysisResult,
@@ -44,15 +53,6 @@ from repro.core.transformer import (
     ApplicationTransformer,
     TransformedApplication,
     transform_application,
-)
-from repro._errors import (
-    NetworkError,
-    NotTransformableError,
-    PolicyError,
-    RedistributionError,
-    RemoteInvocationError,
-    ReproError,
-    TransformationError,
 )
 from repro.network.simnet import LinkConfig, SimulatedNetwork
 from repro.policy.policy import DistributionPolicy, PlacementDecision, all_local_policy

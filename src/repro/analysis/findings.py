@@ -1,0 +1,69 @@
+"""The :class:`Finding` model shared by every distribution-safety rule.
+
+A finding is one concrete complaint at one source location: which rule
+fired (``DS101`` … ``DS106``), how bad it is (``warning`` or ``error``),
+where (``path:line:col``), what the code does wrong, and — when the rule
+knows one — the concrete rewrite that fixes it.  Findings are plain value
+objects so the reporters (:mod:`repro.analysis.reporting`), the CLI exit
+code and the deploy-time gate (:mod:`repro.analysis.deploy`) can all
+consume the same list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: The two severity levels a rule can assign, mildest first.  ``warning``
+#: findings advise (the lint gate may still fail on them via ``--fail-on
+#: warning``, the repository default); ``error`` findings name bugs that a
+#: deployment under :meth:`~repro.api.policy.ServicePolicy.with_static_checks`
+#: refuses to ship.
+SEVERITIES = ("warning", "error")
+
+#: Severity comparison order (higher = worse) for ``--fail-on`` thresholds.
+SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: The rule identifier (``DS101`` … ``DS106``; ``DS000`` for a file the
+    #: engine could not parse at all).
+    rule: str
+    #: ``"warning"`` or ``"error"`` (after any policy-aware escalation).
+    severity: str
+    #: Source file the finding points into.
+    path: str
+    #: 1-based line of the offending node (already offset-corrected when the
+    #: linted source was extracted from the middle of a file).
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: What the code does wrong, in one sentence.
+    message: str
+    #: A concrete rewrite that fixes it (``None`` when no autofix is known).
+    suggestion: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        """The finding's ``path:line`` anchor (what error messages cite)."""
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict:
+        """The JSON-reporter row for this finding (schema-pinned in tests)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suggestion": self.suggestion,
+        }
+
+
+def meets_threshold(finding: Finding, fail_on: str) -> bool:
+    """Whether ``finding`` is at or above the ``fail_on`` severity."""
+    return SEVERITY_RANK[finding.severity] >= SEVERITY_RANK[fail_on]

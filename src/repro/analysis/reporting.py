@@ -1,0 +1,46 @@
+"""Text and JSON reporters for lint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.analysis.findings import Finding
+
+#: Schema version of the JSON report (bump on incompatible change).
+JSON_REPORT_VERSION = 1
+
+
+def format_text(findings: Sequence[Finding], *, files_checked: int = 0) -> str:
+    """The human-readable report: one ``path:line:col RULE sev message``
+    line per finding, suggestions inline, and a one-line summary."""
+    lines: List[str] = []
+    for finding in findings:
+        line = (
+            f"{finding.path}:{finding.line}:{finding.col} "
+            f"{finding.rule} {finding.severity} {finding.message}"
+        )
+        if finding.suggestion:
+            line += f" [suggestion: {finding.suggestion}]"
+        lines.append(line)
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    lines.append(
+        f"checked {files_checked} file(s): "
+        f"{errors} error(s), {warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding], *, files_checked: int = 0) -> str:
+    """The machine-readable report consumed by the CI ``lint-dist`` job."""
+    errors = sum(1 for f in findings if f.severity == "error")
+    report = {
+        "version": JSON_REPORT_VERSION,
+        "tool": "repro-lint",
+        "checked_files": files_checked,
+        "errors": errors,
+        "warnings": len(findings) - errors,
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(report, indent=2, sort_keys=False)

@@ -1,0 +1,100 @@
+"""DS106 — deprecated repro API usage, with autofix suggestions."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import LintContext, Rule, dotted_name
+
+
+class DeprecatedApiRule(Rule):
+    """DS106: code uses a deprecated repro API — importing the legacy
+    ``repro.errors`` module, or calling bare ``with_replication(n)``
+    without an explicit quorum/fencing choice.
+
+    Why it matters: both forms still work but only through compatibility
+    shims that emit ``DeprecationWarning`` at run time and are scheduled
+    for removal.  ``repro.errors`` re-exports from ``repro.api.errors``
+    via a module ``__getattr__`` shim; bare ``with_replication(n)``
+    defaults to unfenced writes with no quorum, a configuration the
+    partition-safety work made opt-in because it cannot survive a
+    primary partition without split-brain.  Unlike the runtime warnings
+    (which fire only on the paths a given run exercises), this rule finds
+    every occurrence statically, with a concrete replacement for each.
+
+    Fix: apply the suggestion attached to each finding — import from
+    ``repro.api.errors``, and state the replication contract explicitly,
+    e.g. ``with_replication(n, quorum="majority")``.
+    """
+
+    id = "DS106"
+    severity = "warning"
+    node_types = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        """Flag legacy imports and bare with_replication() calls."""
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.errors" or alias.name.startswith(
+                    "repro.errors."
+                ):
+                    ctx.report(
+                        self,
+                        node,
+                        "imports deprecated module repro.errors (a "
+                        "DeprecationWarning shim over repro.api.errors)",
+                        suggestion="import repro.api.errors as errors",
+                    )
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro.errors" or (
+                node.module is not None
+                and node.module.startswith("repro.errors.")
+            ):
+                names = ", ".join(alias.name for alias in node.names)
+                ctx.report(
+                    self,
+                    node,
+                    "imports from deprecated module repro.errors (a "
+                    "DeprecationWarning shim over repro.api.errors)",
+                    suggestion=f"from repro.api.errors import {names}",
+                )
+            return
+        self._check_bare_replication(node, ctx)
+
+    def _check_bare_replication(self, node: ast.Call, ctx: LintContext) -> None:
+        # Accept any receiver expression (ServicePolicy().with_replication,
+        # policy.with_replication, …): match on the attribute name alone.
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr != "with_replication":
+                return
+        elif dotted_name(node.func) != "with_replication":
+            return
+        if len(node.args) > 1:
+            return  # extra positionals already state a contract choice
+        keywords = {kw.arg for kw in node.keywords if kw.arg is not None}
+        if keywords & {"quorum", "fencing"}:
+            return
+        if any(kw.arg is None for kw in node.keywords):
+            return  # **kwargs may carry quorum/fencing; stay quiet
+        factor = ""
+        if node.args:
+            try:
+                factor = ast.unparse(node.args[0])
+            except Exception:
+                factor = "n"
+        elif "factor" in keywords:
+            for kw in node.keywords:
+                if kw.arg == "factor":
+                    try:
+                        factor = ast.unparse(kw.value)
+                    except Exception:
+                        factor = "n"
+        ctx.report(
+            self,
+            node,
+            "bare with_replication() without quorum= or fencing= relies "
+            "on the deprecated unfenced default, which cannot survive a "
+            "primary partition without split-brain",
+            suggestion=f'with_replication({factor}, quorum="majority")',
+        )

@@ -1,0 +1,114 @@
+"""DS101 — nondeterministic calls in replicated write paths."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import LintContext, Rule, dotted_name
+
+#: Callables whose results differ between a write's original execution and
+#: its replay on a backup (dotted module form).
+NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "os.urandom",
+        "os.getpid",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.randbits",
+    }
+)
+
+#: Modules any call into which is nondeterministic (``random.anything``).
+NONDETERMINISTIC_MODULES = ("random",)
+
+
+class NondeterministicWriteRule(Rule):
+    """DS101: a write method of a service class calls a nondeterministic
+    source (``time.*``, ``random.*``, ``os.urandom``, ``uuid.uuid1/4``,
+    ``secrets.*``, builtin ``id()``) or iterates an unordered set.
+
+    Why it matters: replication applies acknowledged writes to backups by
+    *re-executing* them (eager ``apply_ops`` forwarding), and failover
+    promotes a backup whose state must equal the primary's.  A write whose
+    result depends on wall-clock time, a random source, or memory addresses
+    (``id()``) produces a different value on every copy, so the replicas
+    silently diverge — the quorum layer acknowledges a write whose effect
+    differs per replica, and a later failover surfaces the divergence as
+    data corruption.  Iterating a ``set`` has the same flavour: the order
+    is hash-seed-dependent, so order-sensitive writes diverge per process.
+
+    Fix: take nondeterministic inputs as *arguments* (the client rolls the
+    dice once; every replica applies the same value), or mark genuinely
+    pure members ``@cacheable`` so they are never treated as writes.  Under
+    a plain lint run this is a warning; deploying under
+    ``with_replication(..., quorum=...)`` + ``with_static_checks()``
+    escalates it to a deploy-blocking error.
+    """
+
+    id = "DS101"
+    severity = "warning"
+    node_types = (ast.Call, ast.For)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        """Flag nondeterministic calls / set iteration in write methods."""
+        if not ctx.in_service_write_method():
+            return
+        if isinstance(node, ast.For):
+            if self._iterates_unordered_set(node.iter):
+                ctx.report(
+                    self,
+                    node,
+                    "write method iterates an unordered set — iteration "
+                    "order is hash-seed-dependent, so replayed writes "
+                    "diverge across replicas",
+                    suggestion="iterate sorted(...) for a stable order",
+                )
+            return
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name == "id":
+            ctx.report(
+                self,
+                self._anchor(node),
+                "write method calls id() — memory addresses differ per "
+                "process, so replicas applying the same write diverge",
+                suggestion="derive keys from the call's arguments, not id()",
+            )
+            return
+        tail = name.split(".", 1)
+        if name in NONDETERMINISTIC_CALLS or tail[0] in NONDETERMINISTIC_MODULES:
+            ctx.report(
+                self,
+                self._anchor(node),
+                f"write method calls {name}() — nondeterministic under "
+                "replicated replay: each replica computes a different "
+                "value for the same acknowledged write",
+                suggestion="pass the value in as an argument so every "
+                "replica applies the same one",
+            )
+
+    @staticmethod
+    def _anchor(node: ast.Call) -> ast.AST:
+        """Report at the callee, falling back to the call node itself."""
+        return node.func if hasattr(node.func, "lineno") else node
+
+    @staticmethod
+    def _iterates_unordered_set(iterable: ast.AST) -> bool:
+        """Whether the loop's iterable is literally an unordered set."""
+        if isinstance(iterable, ast.Set):
+            return True
+        if isinstance(iterable, ast.Call):
+            name = dotted_name(iterable.func)
+            return name in ("set", "frozenset")
+        return False

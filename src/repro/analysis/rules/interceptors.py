@@ -1,0 +1,79 @@
+"""DS105 — interceptor settlement hooks that block or raise."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import LintContext, Rule, dotted_name
+
+#: Calls that block the dispatch thread for unbounded/long time.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "input",
+        "os.system",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+    }
+)
+
+
+class InterceptorHookRule(Rule):
+    """DS105: an interceptor's ``end`` or ``abort`` hook raises an
+    exception or makes a blocking call (``time.sleep``, ``input``,
+    ``subprocess.*``).
+
+    Why it matters: the dispatch path wraps every invocation in an
+    exactly-once settlement bracket — ``begin`` may veto a call, but once
+    a call is admitted, the chain *guarantees* that exactly one of
+    ``end``/``abort`` fires for it, even while unwinding another hook's
+    failure.  The chain keeps that guarantee by best-effort-settling
+    through hook exceptions, but a raising settlement hook still clobbers
+    observability for every interceptor after it in unwind order, and the
+    contract tests treat it as a conformance failure.  A *blocking*
+    settlement hook is worse in practice: ``end``/``abort`` run inline on
+    the serving thread for every request, so one ``time.sleep`` in a
+    metrics hook becomes a per-request latency tax and throttles the
+    whole address space.
+
+    Fix: settlement hooks must only record — append to a buffer, bump a
+    counter, stash a timestamp.  Raise in ``begin`` (that is what vetoes
+    are for) and move slow work (flushes, uploads) off the dispatch
+    thread.
+    """
+
+    id = "DS105"
+    severity = "error"
+    node_types = (ast.Raise, ast.Call)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        """Flag raises and blocking calls inside end/abort hooks."""
+        hook = ctx.in_interceptor_hook()
+        if hook is None:
+            return
+        if isinstance(node, ast.Raise):
+            ctx.report(
+                self,
+                node,
+                f"interceptor hook {hook!r} raises — settlement hooks run "
+                "inside the exactly-once end/abort bracket and must not "
+                "fail; the exception clobbers later interceptors' "
+                "settlement",
+                suggestion="record the condition and return; raise in "
+                "begin() if the call must be vetoed",
+            )
+            return
+        name = dotted_name(node.func)
+        if name in BLOCKING_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"interceptor hook {hook!r} calls {name}() — settlement "
+                "hooks run inline on the dispatch thread for every "
+                "request, so blocking here throttles the whole address "
+                "space",
+                suggestion="record and return; move slow work off the "
+                "dispatch thread",
+            )

@@ -1,0 +1,148 @@
+"""DS103 — remote-method signatures carrying wire-unserializable types."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import LintContext, Rule
+
+#: Type names (last dotted segment) that cannot cross the wire: they wrap
+#: process-local resources (locks, sockets, file handles) or executable
+#: state (generators, lambdas) no codec can reconstruct remotely.
+UNSERIALIZABLE_TYPES = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "Event",
+        "Thread",
+        "socket",
+        "Socket",
+        "IO",
+        "TextIO",
+        "BinaryIO",
+        "IOBase",
+        "RawIOBase",
+        "BufferedIOBase",
+        "TextIOBase",
+        "TextIOWrapper",
+        "BufferedReader",
+        "BufferedWriter",
+        "FileIO",
+        "Generator",
+        "AsyncGenerator",
+        "GeneratorType",
+        "Callable",
+        "FunctionType",
+        "LambdaType",
+        "frame",
+        "FrameType",
+        "memoryview",
+    }
+)
+
+
+class UnserializableSignatureRule(Rule):
+    """DS103: a public method of a service class declares a parameter,
+    default or return type that cannot be marshalled onto the wire —
+    locks, sockets, file handles, generators, callables/lambdas.
+
+    Why it matters: every public member of a deployed service is remotely
+    invocable, and its arguments and result must round-trip through the
+    transport codecs.  A lock or socket argument works fine in local tests
+    (the in-process short-circuit passes references), then fails deep in
+    the codec the first time the object actually lives on another node —
+    the failure surfaces at run time, far from the signature that caused
+    it, and only under distributed deployment.  Generators and callables
+    are worse: some codecs appear to accept them and ship a useless
+    snapshot.
+
+    Fix: pass wire-safe data (take the values a callable would compute, a
+    handle's path/address instead of the handle), or keep resource-bound
+    members out of the remote surface (prefix them with ``_``).
+    """
+
+    id = "DS103"
+    severity = "error"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        """Flag unserializable annotations/defaults on remote signatures."""
+        if not ctx.in_service_class() or ctx.current_method() is not None:
+            return  # only defs sitting directly in the service class body
+        if node.name.startswith("_"):
+            return  # private members never reach the remote surface
+        arguments = node.args
+        every = (
+            list(arguments.posonlyargs)
+            + list(arguments.args)
+            + list(arguments.kwonlyargs)
+            + ([arguments.vararg] if arguments.vararg else [])
+            + ([arguments.kwarg] if arguments.kwarg else [])
+        )
+        for argument in every:
+            if argument.arg in ("self", "cls"):
+                continue
+            for name in self._type_names(argument.annotation):
+                ctx.report(
+                    self,
+                    argument,
+                    f"remote method {node.name!r} takes parameter "
+                    f"{argument.arg!r} annotated {name} — not "
+                    "wire-serializable, fails in the codec at run time",
+                    suggestion="pass wire-safe data (plain values, ids, "
+                    "paths) instead of process-local resources",
+                )
+        for default in list(arguments.defaults) + [
+            d for d in arguments.kw_defaults if d is not None
+        ]:
+            if isinstance(default, ast.Lambda):
+                ctx.report(
+                    self,
+                    default,
+                    f"remote method {node.name!r} defaults a parameter to "
+                    "a lambda — callables cannot cross the wire",
+                    suggestion="use None and resolve the default on the "
+                    "serving side",
+                )
+        for name in self._type_names(node.returns):
+            ctx.report(
+                self,
+                node,
+                f"remote method {node.name!r} returns {name} — not "
+                "wire-serializable, fails when the result is marshalled",
+                suggestion="return wire-safe data instead of "
+                "process-local resources",
+            )
+
+    @staticmethod
+    def _type_names(annotation) -> Iterator[str]:
+        """Unserializable type names mentioned anywhere in an annotation.
+
+        Walks the annotation expression (handles ``Optional[IO[str]]``,
+        unions, strings used as forward references) and yields each
+        offending name once, in source order.
+        """
+        if annotation is None:
+            return
+        trees = [annotation]
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                trees = [ast.parse(annotation.value, mode="eval").body]
+            except SyntaxError:
+                return
+        seen = set()
+        for tree in trees:
+            for sub in ast.walk(tree):
+                name = None
+                if isinstance(sub, ast.Name):
+                    name = sub.id
+                elif isinstance(sub, ast.Attribute):
+                    name = sub.attr
+                if name in UNSERIALIZABLE_TYPES and name not in seen:
+                    seen.add(name)
+                    yield name

@@ -1,0 +1,122 @@
+"""DS104 — mutable class-level attributes on service classes."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine import LintContext, Rule, dotted_name
+
+#: Constructors whose results are mutable containers.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "deque",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "ChainMap",
+    }
+)
+
+
+class MutableClassStateRule(Rule):
+    """DS104: a service class declares a mutable class-level attribute
+    (a ``[]``/``{}``/``set()`` literal or mutable-container constructor in
+    the class body).
+
+    Why it matters: replication operates on *instances*.  ``replicate``
+    seeds a backup from the primary instance's ``__dict__``, eager sync
+    forwards dispatched writes, and snapshot sync copies instance state —
+    class-level attributes ride along in none of these.  State accumulated
+    in a class attribute is therefore invisible to every per-instance sync
+    path: backups promote without it, and after failover it silently
+    resets.  It is also shared across every instance in the hosting
+    process, which breaks the one-object-per-export model the address
+    space assumes.
+
+    Fix: initialise the container in ``__init__`` (per-instance state
+    replicates), or make the attribute an immutable tuple/frozenset if it
+    really is a constant.  A deployment under ``with_replication(...)`` +
+    ``with_static_checks()`` escalates this warning to an error.
+    """
+
+    id = "DS104"
+    severity = "warning"
+    node_types = (ast.ClassDef,)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        """Flag mutable literals/constructors assigned in the class body."""
+        scope_is_service = (
+            ctx.assume_service
+            or self._marks_cacheable(node)
+        )
+        if not scope_is_service:
+            return
+        for child in node.body:
+            if isinstance(child, ast.Assign):
+                value, targets = child.value, child.targets
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                value, targets = child.value, [child.target]
+            else:
+                continue
+            described = self._mutable_value(value)
+            if described is None:
+                continue
+            names = ", ".join(
+                target.id for target in targets if isinstance(target, ast.Name)
+            )
+            if not names:
+                continue
+            ctx.report(
+                self,
+                child,
+                f"service class {node.name!r} keeps mutable class-level "
+                f"state {names!r} ({described}) — invisible to "
+                "per-instance replication sync and shared across every "
+                "instance in the process",
+                suggestion=f"initialise {names} in __init__ so the state "
+                "is per-instance and replicates",
+            )
+
+    @staticmethod
+    def _marks_cacheable(node: ast.ClassDef) -> bool:
+        """Whether the class body carries service markers (see the engine).
+
+        DS104 subscribes to the ``ClassDef`` node itself, which the engine
+        dispatches *before* entering the class scope — so the service
+        test is re-derived here from the same markers
+        :class:`~repro.analysis.engine.ClassScope` uses.
+        """
+        from repro.analysis.engine import decorator_names
+
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if "cacheable" in decorator_names(child):
+                    return True
+            elif isinstance(child, ast.Assign):
+                for target in child.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id == "_repro_cacheable_members"
+                    ):
+                        return True
+        return False
+
+    @staticmethod
+    def _mutable_value(value: ast.AST) -> Optional[str]:
+        """A short description of ``value`` when it is a mutable container."""
+        if isinstance(value, ast.List):
+            return "a list literal"
+        if isinstance(value, ast.Dict):
+            return "a dict literal"
+        if isinstance(value, ast.Set):
+            return "a set literal"
+        if isinstance(value, ast.Call):
+            name = dotted_name(value.func)
+            if name is not None and name.rsplit(".", 1)[-1] in MUTABLE_CONSTRUCTORS:
+                return f"{name}()"
+        return None

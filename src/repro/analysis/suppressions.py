@@ -1,0 +1,100 @@
+"""Parsing of ``# repro: ignore[DS1xx]`` suppression comments.
+
+A finding is suppressed when its line — or the dedicated comment line
+directly above it — carries a suppression comment::
+
+    self.seq = random.random()          # repro: ignore[DS101]
+    # repro: ignore[DS102, DS104]
+    self.cache = {}
+    anything_at_all()                   # repro: ignore
+
+``# repro: ignore`` with no bracket suppresses every rule on that line;
+``# repro: ignore[DS101,DS102]`` suppresses only the named rules.  The
+parser is deliberately tolerant — arbitrary junk inside the brackets
+yields an empty rule set (suppressing nothing) rather than an exception,
+a property pinned by a hypothesis test: lint must never crash on a
+comment, whatever is written in it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Optional
+
+#: Matches a suppression comment anywhere in a line; group 1 is the
+#: optional bracketed rule list.
+_SUPPRESSION_RE = re.compile(r"#\s*repro:\s*ignore(?:\s*\[([^\]]*)\])?", re.IGNORECASE)
+
+#: Shape of a rule id worth honouring inside the brackets.
+_RULE_ID_RE = re.compile(r"^[A-Z]{1,8}[0-9]{1,6}$")
+
+#: Sentinel meaning "every rule" (a bare ``# repro: ignore``).
+ALL_RULES: FrozenSet[str] = frozenset()
+
+
+def parse_suppression(line: str) -> Optional[FrozenSet[str]]:
+    """The rules a source line's comment suppresses, if any.
+
+    Returns ``None`` when the line carries no suppression comment,
+    :data:`ALL_RULES` (the empty frozenset) for a bare ``# repro: ignore``,
+    and a frozenset of normalized rule ids for the bracketed form.  Tokens
+    that do not look like rule ids are dropped silently — a bracket full of
+    junk suppresses nothing (``frozenset({"<invalid>"})`` would never match
+    a real rule), and the parser never raises.
+    """
+    if not isinstance(line, str):
+        return None
+    match = _SUPPRESSION_RE.search(line)
+    if match is None:
+        return None
+    listed = match.group(1)
+    if listed is None:
+        return ALL_RULES
+    rules = set()
+    for token in listed.split(","):
+        token = token.strip().upper()
+        if _RULE_ID_RE.match(token):
+            rules.add(token)
+    if not rules:
+        # ``ignore[]`` or ``ignore[garbage]``: an explicit-but-empty list
+        # must not silently become ignore-everything.
+        return frozenset({"<invalid>"})
+    return frozenset(rules)
+
+
+class SuppressionIndex:
+    """Per-line suppression lookup for one source file.
+
+    Built once per linted file from the raw source text; a suppression on a
+    *comment-only* line extends to the next line, so it can sit above the
+    statement it silences without sharing its line.
+    """
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        self.count = 0
+        for number, line in enumerate(source.splitlines(), start=1):
+            rules = parse_suppression(line)
+            if rules is None:
+                continue
+            self.count += 1
+            self._merge(number, rules)
+            if line.lstrip().startswith("#"):
+                # A standalone comment suppresses the statement below it.
+                self._merge(number + 1, rules)
+
+    def _merge(self, line: int, rules: FrozenSet[str]) -> None:
+        existing = self._by_line.get(line)
+        if existing is None:
+            self._by_line[line] = rules
+        elif existing == ALL_RULES or rules == ALL_RULES:
+            self._by_line[line] = ALL_RULES
+        else:
+            self._by_line[line] = existing | rules
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` findings on ``line`` are suppressed."""
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return rules == ALL_RULES or rule_id in rules

@@ -16,7 +16,7 @@ plain method calls::
     policy = (ServicePolicy(transport="rmi")
               .with_batching(32)
               .with_pipelining(8)
-              .with_replication(2))
+              .with_replication(2, quorum=1))
     with Session(cluster, node="client") as session:
         orders = session.service("orders", policy, impl=OrderIntake(),
                                  node="shard-0")

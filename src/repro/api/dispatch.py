@@ -25,8 +25,8 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.api.middleware import CallContext, InterceptorChain
 from repro._errors import InvocationError
+from repro.api.middleware import CallContext, InterceptorChain
 from repro.runtime.batching import _InternalBatcher
 from repro.runtime.pipelining import InvocationFuture, PipelineScheduler
 

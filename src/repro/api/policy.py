@@ -10,7 +10,8 @@ base policy can be specialised per service::
 
     base = ServicePolicy(transport="rmi").with_batching(32)
     fast = base.with_pipelining(8)                       # + in-flight window
-    safe = fast.with_replication(2).with_retry(max_attempts=3)
+    safe = (fast.with_replication(2, quorum=1)           # + a live backup
+            .with_retry(max_attempts=3))
 
 Field-by-field, a policy replaces the hand-wired stack of PR 1-3:
 
@@ -95,6 +96,12 @@ class ServicePolicy:
     #: Tenant label stamped into every call's wire context (rate limiters
     #: key their buckets on it).  ``None`` = untagged traffic.
     tenant: Optional[str] = None
+    #: Whether deployment runs the distribution-safety rules
+    #: (:mod:`repro.analysis`) against the implementation's source and
+    #: refuses to deploy on error-severity findings.  The policy itself
+    #: sharpens the rules: under quorum replication, nondeterministic
+    #: writes (DS101) escalate from warning to deploy-blocking error.
+    static_checks: bool = False
 
     def __post_init__(self) -> None:
         if self.cache is not None and not isinstance(self.cache, CachePolicy):
@@ -300,6 +307,22 @@ class ServicePolicy:
     def with_tenant(self, tenant: Optional[str]) -> "ServicePolicy":
         """A copy whose calls are stamped with ``tenant`` on the wire."""
         return replace(self, tenant=tenant)
+
+    def with_static_checks(self, enabled: bool = True) -> "ServicePolicy":
+        """A copy that lints the implementation at deploy time.
+
+        With static checks on, :meth:`Session.service` runs the
+        distribution-safety rules (``repro lint``'s DS101–DS106) against
+        the source of the class being deployed, *before* any deployment
+        side effect, and raises :class:`~repro.api.errors.PolicyError`
+        naming each error-severity finding (rule id and ``path:line``).
+        The check is policy-aware: the same implementation that deploys
+        fine unreplicated can be refused under
+        ``with_replication(3, quorum="majority")``, because replay
+        determinism (DS101) is only load-bearing once a quorum group
+        re-executes writes on backups.
+        """
+        return replace(self, static_checks=bool(enabled))
 
     # ------------------------------------------------------------------
     # derived views the façade consumes

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro._errors import PolicyError
 from repro.api.dispatch import (
     BatchPipe,
     ChainedPipe,
@@ -39,7 +40,6 @@ from repro.api.middleware import InterceptorChain, MetricsInterceptor
 from repro.api.policy import ServicePolicy
 from repro.api.service import Service
 from repro.core.interfaces import cacheable_members
-from repro._errors import PolicyError
 from repro.network.heartbeat import HeartbeatDetector
 from repro.runtime.caching import CacheManager
 from repro.runtime.faulttolerance import NO_RETRY, FaultTolerantInvoker
@@ -126,6 +126,16 @@ class Session:
                 f"session already has a service named {name!r}; "
                 "hold on to the object it returned"
             )
+        if policy.static_checks:
+            if impl is None:
+                raise PolicyError(
+                    "static_checks only applies when this session deploys "
+                    "the implementation (pass impl=...); attaching to an "
+                    "existing name gives no source to verify"
+                )
+            # Lint before any deployment side effect: a refused service
+            # must leave no export, no binding and no replica group behind.
+            self._verify_static(impl, policy)
         group = None
         host: Optional[str] = None
         #: Nodes hosting the implementation (primary + backups when
@@ -208,6 +218,34 @@ class Session:
         if impl is not None:
             self._deployments.append((name, group, host, reference))
         return service
+
+    def _verify_static(self, impl: Any, policy: ServicePolicy) -> None:
+        """Run the distribution-safety rules against ``impl``'s source.
+
+        Raises :class:`PolicyError` naming every error-severity finding
+        (rule id + ``path:line``) when the implementation violates a
+        contract the policy makes load-bearing — e.g. DS101
+        (nondeterministic writes) escalates to an error under quorum
+        replication because backups re-execute acknowledged writes.
+        """
+        from repro.analysis import verify_deployment
+
+        cls = type(impl)
+        try:
+            findings = verify_deployment(cls, policy)
+        except (OSError, TypeError) as error:
+            raise PolicyError(
+                f"static checks requested but the source of {cls.__name__!r} "
+                f"cannot be recovered: {error}"
+            ) from error
+        if findings:
+            details = "; ".join(
+                f"{finding.rule} at {finding.location}: {finding.message}"
+                for finding in findings
+            )
+            raise PolicyError(
+                f"static checks refuse to deploy {cls.__name__!r}: {details}"
+            )
 
     def services(self) -> List[Service]:
         """Every service created through this session, in creation order."""

@@ -11,11 +11,6 @@
     request queue, with programmer-directed placement and migration.
 """
 
-from repro.baselines.wrapper import (
-    ObjectWrapper,
-    WrapperRuntime,
-    wrap,
-)
 from repro.baselines.javaparty import (
     GenericRemoteProxy,
     JavaPartyRuntime,
@@ -26,6 +21,11 @@ from repro.baselines.proactive import (
     ActiveObject,
     Future,
     ProActiveRuntime,
+)
+from repro.baselines.wrapper import (
+    ObjectWrapper,
+    WrapperRuntime,
+    wrap,
 )
 
 __all__ = [

@@ -15,6 +15,14 @@ run against their own code base before deploying it:
     Transform the file's classes under a policy and print the application
     report.
 
+``repro lint paths... [--select DS101,DS102] [--format text|json]
+[--fail-on warning|error] [--explain DS1xx]``
+    Run the distribution-safety rules (DS101–DS106) over files or directory
+    trees and report findings with suggested fixes.  Exit code 0 means
+    clean, 1 means findings at or above ``--fail-on`` (default: warning —
+    any finding fails), 2 means usage error.  ``--explain DS1xx`` prints a
+    rule's full documentation instead of linting.
+
 ``repro corpus-study [--seed N] [--user-classes N --native-fraction F]``
     Reproduce the "about 40 % of the JDK" study on the synthetic corpus.
 
@@ -83,11 +91,11 @@ import sys
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
+from repro._errors import ReproError
 from repro.core.analyzer import TransformabilityAnalyzer
 from repro.core.classmodel import ClassUniverse
 from repro.core.introspect import class_model_from_python
 from repro.core.transformer import ApplicationTransformer
-from repro._errors import ReproError
 from repro.policy.loader import policy_from_file, policy_to_dict
 from repro.policy.policy import all_local_policy, place_classes_on
 from repro.tools.report import application_report
@@ -184,6 +192,46 @@ def command_report(args: argparse.Namespace, out) -> int:
     app = ApplicationTransformer(policy).transform(classes)
     print(application_report(app), file=out)
     return 0
+
+
+def command_lint(args: argparse.Namespace, out) -> int:
+    from repro.analysis import (
+        default_engine,
+        format_json,
+        format_text,
+        meets_threshold,
+        rule_by_id,
+    )
+
+    if args.explain:
+        try:
+            rule_class = rule_by_id(args.explain)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=out)
+            return 2
+        print(f"{rule_class.id} ({rule_class.severity})", file=out)
+        print(file=out)
+        print(rule_class.explain(), file=out)
+        return 0
+    if not args.paths:
+        print("error: no paths to lint (or use --explain DS1xx)", file=out)
+        return 2
+    engine = default_engine()
+    if args.select:
+        try:
+            engine = engine.select(_split_csv(args.select))
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=out)
+            return 2
+    try:
+        findings, files_checked = engine.run_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    formatter = format_json if args.format == "json" else format_text
+    print(formatter(findings, files_checked=files_checked), file=out)
+    failing = any(meets_threshold(f, args.fail_on) for f in findings)
+    return 1 if failing else 0
 
 
 def command_corpus_study(args: argparse.Namespace, out) -> int:
@@ -678,6 +726,24 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("module", help="path to a Python file defining application classes")
     report.add_argument("--policy", help="path to a policy JSON file")
     report.set_defaults(handler=command_report)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="distribution-safety static analysis (rules DS101-DS106)",
+    )
+    lint.add_argument("paths", nargs="*", help="files or directory trees to lint")
+    lint.add_argument("--select", help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default="warning",
+        help="lowest severity that fails the run (default: warning)",
+    )
+    lint.add_argument(
+        "--explain", metavar="RULE", help="print one rule's documentation and exit"
+    )
+    lint.set_defaults(handler=command_lint)
 
     corpus = subparsers.add_parser("corpus-study", help="run the §2.4 JDK transformability study")
     corpus.add_argument("--seed", type=int, default=1414)

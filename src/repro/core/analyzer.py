@@ -34,8 +34,8 @@ from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.core.classmodel import ClassModel, ClassUniverse
 from repro._errors import NotTransformableError
+from repro.core.classmodel import ClassModel, ClassUniverse
 
 
 class NonTransformableReason(enum.Enum):

@@ -20,6 +20,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Mapping, Sequence
 
+from repro._errors import RewriteError
 from repro.core.classmodel import ClassModel
 from repro.core.interfaces import (
     InterfaceModel,
@@ -43,7 +44,6 @@ from repro.core.rewriter import (
     rewrite_expression,
     rewrite_method,
 )
-from repro._errors import RewriteError
 
 _INDENT = "    "
 

@@ -26,6 +26,7 @@ import abc
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro._errors import GenerationError, RewriteError
 from repro.core.classmodel import ClassModel
 from repro.core.interfaces import (
     CACHEABLE_ATTR,
@@ -50,7 +51,6 @@ from repro.core.rewriter import (
     rewrite_expression,
     rewrite_method,
 )
-from repro._errors import GenerationError, RewriteError
 
 
 @dataclass

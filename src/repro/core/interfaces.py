@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro._errors import InterfaceExtractionError
 from repro.core.classmodel import (
     ANY_TYPE,
     ClassModel,
@@ -34,7 +35,6 @@ from repro.core.classmodel import (
     TypeRef,
     VOID_TYPE,
 )
-from repro._errors import InterfaceExtractionError
 
 
 # ---------------------------------------------------------------------------

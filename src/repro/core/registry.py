@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, Optional
 
-from repro.core.generator import ClassArtifacts
 from repro._errors import UnknownClassError
+from repro.core.generator import ClassArtifacts
 
 
 class TransformationRegistry:

@@ -28,6 +28,7 @@ import textwrap
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Optional
 
+from repro._errors import RewriteError
 from repro.core.classmodel import ClassModel, ConstructorModel, MethodModel
 from repro.core.interfaces import (
     class_factory_name,
@@ -36,7 +37,6 @@ from repro.core.interfaces import (
     object_factory_name,
     setter_name,
 )
-from repro._errors import RewriteError
 
 
 @dataclass

@@ -22,9 +22,10 @@ from __future__ import annotations
 import sys
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
+from repro._errors import TransformationError
+from repro.core import codegen
 from repro.core.analyzer import AnalysisResult, TransformabilityAnalyzer
 from repro.core.classmodel import ClassModel, ClassUniverse
-from repro.core import codegen
 from repro.core.generator import (
     ClassArtifacts,
     GenerationContext,
@@ -41,7 +42,6 @@ from repro.core.interfaces import extract_class_interface, extract_instance_inte
 from repro.core.introspect import class_model_from_python
 from repro.core.metaobject import KIND_LOCAL, KIND_REMOTE, Metaobject
 from repro.core.registry import TransformationRegistry
-from repro._errors import TransformationError
 from repro.policy.policy import (
     DistributionPolicy,
     PlacementDecision,

@@ -15,12 +15,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro._errors import CorpusError
 from repro.corpus.jdk_model import (
     ClassDescriptor,
     JDK_1_4_1_PROFILES,
     PackageProfile,
 )
-from repro._errors import CorpusError
 
 
 @dataclass

@@ -19,8 +19,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
-from repro.core.metaobject import metaobject_of, unwrap
 from repro._errors import SerializationError
+from repro.core.metaobject import metaobject_of, unwrap
 
 #: Wire-level tag marking a reference to another snapshotted object.
 _REF_KEY = "__persisted_ref__"

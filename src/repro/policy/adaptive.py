@@ -91,8 +91,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.core.metaobject import Interceptor, Invocation, metaobject_of
 from repro._errors import RedistributionError
+from repro.core.metaobject import Interceptor, Invocation, metaobject_of
 
 
 class AccessMonitor(Interceptor):

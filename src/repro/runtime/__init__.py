@@ -2,6 +2,12 @@
 
 from repro.runtime.address_space import AddressSpace
 from repro.runtime.batching import BatchResult, BatchingProxy, PendingCall
+from repro.runtime.cluster import (
+    Cluster,
+    default_transport_registry,
+    lan_cluster,
+    single_node_cluster,
+)
 from repro.runtime.faulttolerance import (
     NO_RETRY,
     FailureLog,
@@ -10,12 +16,6 @@ from repro.runtime.faulttolerance import (
     RetryPolicy,
     guard_handle,
 )
-from repro.runtime.cluster import (
-    Cluster,
-    default_transport_registry,
-    lan_cluster,
-    single_node_cluster,
-)
 from repro.runtime.invocation import (
     InvocationBatch,
     InvocationBatchResponse,
@@ -23,8 +23,8 @@ from repro.runtime.invocation import (
     InvocationResponse,
 )
 from repro.runtime.migration import MigrationRecord, ObjectMigrator, capture_state, restore_state
-from repro.runtime.pipelining import InvocationFuture, PipelineScheduler
 from repro.runtime.naming import NamingService
+from repro.runtime.pipelining import InvocationFuture, PipelineScheduler
 from repro.runtime.redistribution import BoundaryChange, DistributionController
 from repro.runtime.remote_ref import ObjectIdAllocator, RemoteRef, reference_of
 from repro.runtime.replication import (

@@ -17,9 +17,9 @@ they host whatever objects the application exports into them.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.interfaces import cacheable_members
 from repro._errors import (
     InvocationError,
     NetworkError,
@@ -27,6 +27,7 @@ from repro._errors import (
     UnknownObjectError,
     remote_error,
 )
+from repro.core.interfaces import cacheable_members
 from repro.network.simnet import SimulatedNetwork
 from repro.runtime.batching import BatchResult
 from repro.runtime.invocation import (
@@ -130,6 +131,15 @@ class AddressSpace:
         #: Epoch-stamped ``!inv`` frames rejected for claiming an epoch older
         #: than one already seen for the object (fenced ex-primary traffic).
         self.stale_invalidations_rejected = 0
+        #: Dispatched ``@cacheable`` calls that rebound instance state on
+        #: their target — the runtime complement of lint rule DS102.  Each
+        #: offending ``(class, member)`` pair additionally gets a one-shot
+        #: :class:`RuntimeWarning`.  Detection compares a shallow
+        #: ``__dict__`` snapshot by identity around the call, so attribute
+        #: rebinding is caught but in-place container mutation is not —
+        #: the static rule covers that half.
+        self.cacheable_violations = 0
+        self._cacheable_violations_warned: set = set()
 
         network.register(node_id, self._handle_message)
 
@@ -957,14 +967,66 @@ class AddressSpace:
         args, kwargs = self.marshaller.unmarshal_arguments(
             request.args, request.kwargs
         )
+        snapshot = None
+        if request.member in self._cacheable_members_for(target):
+            snapshot = self._state_snapshot(target)
         try:
             result = member(*args, **kwargs)
         except Exception as exc:  # noqa: BLE001 - application errors travel back
             return InvocationResponse.for_exception(exc), exc
+        finally:
+            # Checked on the error path too: a @cacheable member that
+            # mutated and *then* raised still poisoned the caches.
+            if snapshot is not None:
+                self._check_cacheable_purity(target, request.member, snapshot)
         try:
             return InvocationResponse.for_result(self.marshaller.to_wire(result)), None
         except Exception as exc:  # noqa: BLE001 - marshalling errors travel back
             return InvocationResponse.for_exception(exc), exc
+
+    @staticmethod
+    def _state_snapshot(target: Any) -> Optional[Dict[str, Any]]:
+        """A shallow copy of the real implementation's ``__dict__``.
+
+        Wrappers (e.g. the replication layer's ``ReplicatedObject``) are
+        unwrapped via ``_repro_cache_target`` so purity is judged on the
+        application object itself.  ``None`` when the target keeps no
+        instance dict (slots-only objects have nothing to compare).
+        """
+        real = getattr(target, "_repro_cache_target", target)
+        try:
+            return dict(vars(real))
+        except TypeError:
+            return None
+
+    def _check_cacheable_purity(
+        self, target: Any, member: str, before: Dict[str, Any]
+    ) -> None:
+        """Count (and warn once per class/member) a @cacheable mutation.
+
+        Identity comparison only — no application ``__eq__`` runs, so the
+        check can never raise out of the dispatch path.
+        """
+        real = getattr(target, "_repro_cache_target", target)
+        try:
+            after = vars(real)
+        except TypeError:
+            return
+        if before.keys() == after.keys() and all(
+            before[key] is after[key] for key in before
+        ):
+            return
+        self.cacheable_violations += 1
+        key = (type(real), member)
+        if key not in self._cacheable_violations_warned:
+            self._cacheable_violations_warned.add(key)
+            warnings.warn(
+                f"@cacheable member {type(real).__name__}.{member} mutated "
+                "instance state during dispatch — cached results go stale "
+                "with no invalidation ever broadcast (lint rule DS102)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------
 

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from repro.core.metaobject import Interceptor, Invocation, Metaobject, metaobject_of
 from repro._errors import (
     AdmissionError,
     FencedError,
@@ -34,6 +33,7 @@ from repro._errors import (
     QuorumLostError,
     RedistributionError,
 )
+from repro.core.metaobject import Interceptor, Invocation, Metaobject, metaobject_of
 
 #: Replication refusals that re-route instead of retrying blindly: the
 #: target either fenced itself (a newer epoch holds the primaryship) or

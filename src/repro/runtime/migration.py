@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.core.metaobject import metaobject_of
 from repro._errors import MigrationError
+from repro.core.metaobject import metaobject_of
 from repro.runtime.address_space import AddressSpace
 from repro.runtime.remote_ref import RemoteRef, reference_of
 

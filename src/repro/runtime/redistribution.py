@@ -18,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.core.metaobject import KIND_LOCAL, KIND_REMOTE, metaobject_of
 from repro._errors import RedistributionError
+from repro.core.metaobject import KIND_LOCAL, KIND_REMOTE, metaobject_of
 from repro.runtime.migration import capture_state, restore_state
 from repro.runtime.remote_ref import reference_of
 

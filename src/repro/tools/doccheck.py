@@ -101,13 +101,23 @@ def measure_module(path: Path, include_functions: bool = True) -> ModuleCoverage
 
 
 def iter_source_files(roots: Iterable[Path]) -> List[Path]:
-    """Every ``*.py`` file under the given files/directories, sorted."""
+    """Every ``*.py`` file under the given files/directories, sorted.
+
+    A root that is neither a Python file nor a directory raises
+    :class:`FileNotFoundError`: a mistyped path must fail the gate loudly,
+    not shrink the measured surface to nothing and report success.
+    """
     files: List[Path] = []
     for root in roots:
         if root.is_file() and root.suffix == ".py":
             files.append(root)
         elif root.is_dir():
             files.extend(sorted(root.rglob("*.py")))
+        else:
+            raise FileNotFoundError(
+                f"no such file or directory: {root} (a gate measuring "
+                "nothing would pass vacuously)"
+            )
     return files
 
 
@@ -145,10 +155,14 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    modules = measure_tree(
-        (Path(path) for path in args.paths),
-        include_functions=args.level == "full",
-    )
+    try:
+        modules = measure_tree(
+            (Path(path) for path in args.paths),
+            include_functions=args.level == "full",
+        )
+    except FileNotFoundError as error:
+        print(f"doccheck: error: {error}", file=out)
+        return 2
     if not modules:
         print("doccheck: no Python files found", file=out)
         return 1

@@ -6,24 +6,24 @@ middleware.  The drivers then transform them and exercise them under
 different distribution policies.
 """
 
-from repro.workloads.figure1 import A, B, C, Figure1Result, run_figure1_scenario
-from repro.workloads.shared_cache import Cache, CacheClient, CacheStats, run_cache_workload
-from repro.workloads.pipeline import Buffer, Consumer, Producer, run_pipeline
 from repro.workloads.bulk_orders import OrderIntake, run_bulk_order_scenario
+from repro.workloads.figure1 import A, B, C, Figure1Result, run_figure1_scenario
+from repro.workloads.multi_tenant import TenantLedger, run_multi_tenant_scenario
 from repro.workloads.open_loop import (
     KeyValueCatalog,
     detect_knee,
     run_open_loop_scenario,
     zipf_weights,
 )
-from repro.workloads.multi_tenant import TenantLedger, run_multi_tenant_scenario
-from repro.workloads.pipelined_orders import run_sharded_order_scenario
 from repro.workloads.orders import (
     Catalog,
     CustomerSession,
     OrderStore,
     run_order_phase,
 )
+from repro.workloads.pipeline import Buffer, Consumer, Producer, run_pipeline
+from repro.workloads.pipelined_orders import run_sharded_order_scenario
+from repro.workloads.shared_cache import Cache, CacheClient, CacheStats, run_cache_workload
 
 __all__ = [
     "A",

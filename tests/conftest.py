@@ -15,11 +15,11 @@ _TESTS = Path(__file__).resolve().parent
 if str(_TESTS) not in sys.path:
     sys.path.insert(0, str(_TESTS))
 
+import sample_app  # noqa: E402
+
 from repro.core.transformer import ApplicationTransformer  # noqa: E402
 from repro.policy.policy import all_local_policy, place_classes_on  # noqa: E402
 from repro.runtime.cluster import Cluster  # noqa: E402
-
-import sample_app  # noqa: E402
 
 SAMPLE_CLASSES = [sample_app.X, sample_app.Y, sample_app.Z]
 FIGURE1_CLASSES = None  # populated lazily to avoid importing workloads at collection

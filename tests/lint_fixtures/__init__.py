@@ -1,0 +1,9 @@
+"""Fixture modules for the distribution-safety lint tests.
+
+One module per rule.  These files are linted as *source*, never imported,
+so each can freely exhibit the bug its rule catches.  Violating lines
+carry an ``# expect: DS1xx`` marker comment; the tests parse those markers
+and assert the engine reports exactly the marked (rule, line) pairs —
+every fixture also contains a suppressed hit (``# repro: ignore[...]``,
+no marker) and a clean negative (neither).
+"""

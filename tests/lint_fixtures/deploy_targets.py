@@ -1,0 +1,74 @@
+"""Deployable implementations for the deploy-time verification tests.
+
+Unlike the other fixture modules, this one *is* imported: the classes are
+handed to :meth:`Session.service` so the gate recovers their source via
+:mod:`inspect` (which needs a real file) and the runtime dispatches their
+members for the ``cacheable_violations`` cross-check.
+"""
+
+from repro.core.interfaces import cacheable
+
+
+class FlakyLedger:
+    """A write method whose effect cannot replay deterministically (DS101)."""
+
+    def __init__(self):
+        self.balance = 0.0
+
+    def credit(self, amount):
+        import random
+
+        self.balance += amount * random.random()
+        return self.balance
+
+    @cacheable
+    def total(self):
+        return self.balance
+
+
+class ImpureCatalog:
+    """A @cacheable read that rebinds instance state (DS102 at runtime)."""
+
+    def __init__(self):
+        self.items = {}
+        self.hits = 0
+
+    @cacheable
+    def get_item(self, key):  # repro: ignore[DS102]  (runtime test target)
+        self.hits += 1
+        return self.items.get(key)
+
+    def put_item(self, key, value):
+        self.items[key] = value
+
+
+class InPlaceCatalog:
+    """A @cacheable read mutating a container in place — the documented
+    blind spot of the runtime check (the static rule covers it)."""
+
+    def __init__(self):
+        self.items = {}
+        self.log = []
+
+    @cacheable
+    def get_item(self, key):  # repro: ignore[DS102]  (runtime test target)
+        self.log.append(key)
+        return self.items.get(key)
+
+    def put_item(self, key, value):
+        self.items[key] = value
+
+
+class SoundLedger:
+    """A clean implementation every policy deploys without findings."""
+
+    def __init__(self):
+        self.balance = 0.0
+
+    def credit(self, amount):
+        self.balance += amount
+        return self.balance
+
+    @cacheable
+    def total(self):
+        return self.balance

@@ -1,0 +1,58 @@
+"""DS101 fixture: nondeterministic calls in service write methods."""
+
+import random
+import time
+
+from repro.core.interfaces import cacheable
+
+
+class StampedLedger:
+    """Positive: writes that cannot replay deterministically."""
+
+    def __init__(self):
+        self.entries = []
+
+    @cacheable
+    def entry_count(self):
+        return len(self.entries)
+
+    def record(self, amount):
+        stamp = time.time()  # expect: DS101
+        nonce = random.random()  # expect: DS101
+        key = id(self.entries)  # expect: DS101
+        for bucket in {1, 2, 3}:  # expect: DS101
+            amount += bucket
+        self.entries.append((stamp, nonce, key, amount))
+
+
+class SuppressedLedger:
+    """Suppressed: the same bug, silenced line by line."""
+
+    @cacheable
+    def entry_count(self):
+        return 0
+
+    def record(self, amount):
+        stamp = time.time()  # repro: ignore[DS101]
+        return (stamp, amount)
+
+
+class CleanLedger:
+    """Negative: deterministic writes, nondeterminism only in reads."""
+
+    def __init__(self):
+        self.entries = []
+
+    @cacheable
+    def entry_count(self):
+        return len(self.entries)
+
+    def record(self, amount, stamp):
+        self.entries.append((stamp, amount))
+
+
+class NotAService:
+    """Negative: no @cacheable markers, so the heuristic stays quiet."""
+
+    def record(self, amount):
+        return (time.time(), random.random(), amount)

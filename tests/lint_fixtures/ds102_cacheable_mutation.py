@@ -1,0 +1,49 @@
+"""DS102 fixture: @cacheable methods that mutate self state."""
+
+from repro.core.interfaces import cacheable
+
+
+class CountingCatalog:
+    """Positive: a cacheable getter that keeps a hit counter."""
+
+    def __init__(self):
+        self.items = {}
+        self.hits = 0
+        self.log = []
+
+    @cacheable
+    def get_item(self, key):
+        self.hits += 1  # expect: DS102
+        self.log.append(key)  # expect: DS102
+        return self.items.get(key)
+
+    def put_item(self, key, value):
+        self.items[key] = value
+
+
+class SuppressedCatalog:
+    """Suppressed: the same stale-cache bug, silenced."""
+
+    def __init__(self):
+        self.hits = 0
+
+    @cacheable
+    def get_item(self, key):
+        self.hits += 1  # repro: ignore[DS102]
+        return key
+
+
+class CleanCatalog:
+    """Negative: cacheable reads are pure; writes are not cacheable."""
+
+    def __init__(self):
+        self.items = {}
+
+    @cacheable
+    def get_item(self, key):
+        local = []
+        local.append(key)
+        return self.items.get(key)
+
+    def put_item(self, key, value):
+        self.items[key] = value

@@ -1,0 +1,54 @@
+"""DS103 fixture: remote signatures carrying wire-unserializable types."""
+
+import threading
+from typing import IO, Callable, Generator, Optional
+
+from repro.core.interfaces import cacheable
+
+
+class FileFeeder:
+    """Positive: public methods trafficking in process-local resources."""
+
+    @cacheable
+    def item_count(self):
+        return 0
+
+    def ingest(self, handle: IO[str]):  # expect: DS103
+        return handle.read()
+
+    def guard(self, lock: threading.Lock):  # expect: DS103
+        return lock
+
+    def transform(self, fn: Optional[Callable[[int], int]] = None):  # expect: DS103
+        return fn
+
+    def stream(self) -> Generator[int, None, None]:  # expect: DS103
+        yield 0
+
+    def render(self, template="x", formatter=lambda v: v):  # expect: DS103
+        return formatter(template)
+
+
+class SuppressedFeeder:
+    """Suppressed: the same signatures, silenced."""
+
+    @cacheable
+    def item_count(self):
+        return 0
+
+    def ingest(self, handle: IO[str]):  # repro: ignore[DS103]
+        return handle.read()
+
+
+class CleanFeeder:
+    """Negative: wire-safe data only; resources stay private."""
+
+    @cacheable
+    def item_count(self):
+        return 0
+
+    def ingest(self, path: str, payload: bytes):
+        return (path, payload)
+
+    def _open_lock(self, lock: threading.Lock):
+        return lock

@@ -1,0 +1,50 @@
+"""DS104 fixture: mutable class-level attributes on service classes."""
+
+from collections import defaultdict, deque
+
+from repro.core.interfaces import cacheable
+
+
+class SharedRegistry:
+    """Positive: class-level containers invisible to replica sync."""
+
+    registry = {}  # expect: DS104
+    recent = []  # expect: DS104
+    seen = set()  # expect: DS104
+    by_owner = defaultdict(list)  # expect: DS104
+    backlog: deque = deque()  # expect: DS104
+
+    @cacheable
+    def lookup(self, key):
+        return self.registry.get(key)
+
+    def register(self, key, value):
+        self.registry[key] = value
+
+
+class SuppressedRegistry:
+    """Suppressed: the same shared-state bug, silenced."""
+
+    registry = {}  # repro: ignore[DS104]
+
+    @cacheable
+    def lookup(self, key):
+        return self.registry.get(key)
+
+
+class CleanRegistry:
+    """Negative: constants stay immutable; state lives per instance."""
+
+    VERSION = 3
+    MODES = ("leases", "invalidate")
+    LABELS = frozenset({"a", "b"})
+
+    def __init__(self):
+        self.registry = {}
+
+    @cacheable
+    def lookup(self, key):
+        return self.registry.get(key)
+
+    def register(self, key, value):
+        self.registry[key] = value

@@ -1,0 +1,61 @@
+"""DS105 fixture: interceptor settlement hooks that block or raise."""
+
+import subprocess
+import time
+
+from repro.api.middleware import Interceptor
+
+
+class FlakyAuditInterceptor(Interceptor):
+    """Positive: settlement hooks that raise and block."""
+
+    def __init__(self):
+        self.records = []
+
+    def begin(self, ctx):
+        if ctx is None:
+            raise ValueError("vetoing in begin is the contract, not a bug")
+
+    def end(self, ctx):
+        time.sleep(0.5)  # expect: DS105
+        if not self.records:
+            raise RuntimeError("no records")  # expect: DS105
+
+    def abort(self, ctx, error):
+        subprocess.run(["sync"])  # expect: DS105
+        raise error  # expect: DS105
+
+
+class SuppressedAuditInterceptor(Interceptor):
+    """Suppressed: the same settlement bugs, silenced."""
+
+    def end(self, ctx):
+        time.sleep(0.5)  # repro: ignore[DS105]
+
+
+class CleanAuditInterceptor(Interceptor):
+    """Negative: settlement hooks only record."""
+
+    def __init__(self):
+        self.records = []
+        self.aborts = 0
+
+    def begin(self, ctx):
+        if ctx is None:
+            raise ValueError("veto")
+
+    def end(self, ctx):
+        self.records.append(ctx)
+
+    def abort(self, ctx, error):
+        self.aborts += 1
+
+
+class NotAnInterceptor:
+    """Negative: end/abort on an unrelated class are just methods."""
+
+    def end(self, ctx):
+        raise RuntimeError("fine here")
+
+    def abort(self, ctx):
+        time.sleep(0.1)

@@ -11,6 +11,7 @@ differs from the configured window whenever traffic cannot fill it.
 from __future__ import annotations
 
 import pytest
+import sample_app
 
 from repro.api import ServicePolicy, Session
 from repro.core.transformer import ApplicationTransformer
@@ -19,8 +20,6 @@ from repro.policy.policy import place_classes_on
 from repro.runtime.cluster import Cluster
 from repro.runtime.redistribution import DistributionController
 from repro.workloads.bulk_orders import OrderIntake
-
-import sample_app
 
 
 @pytest.fixture

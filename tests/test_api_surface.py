@@ -46,6 +46,7 @@ EXPECTED_POLICY_METHODS = (
     "with_pipelining",
     "with_replication",
     "with_retry",
+    "with_static_checks",
     "with_tenant",
     "with_transport",
 )

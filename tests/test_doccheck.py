@@ -103,6 +103,22 @@ class TestGate:
         assert code == 0
 
     def test_no_files_found_is_an_error(self, tmp_path):
-        code, output = self._run(str(tmp_path / "nowhere"))
+        code, output = self._run(str(tmp_path))
         assert code == 1
         assert "no Python files" in output
+
+    def test_nonexistent_path_is_a_usage_error_not_a_pass(self, tmp_path):
+        # A mistyped root must fail loudly (exit 2), not shrink the measured
+        # surface to nothing and report vacuous success.
+        code, output = self._run(str(tmp_path / "nowhere"), "--fail-under", "100")
+        assert code == 2
+        assert "no such file or directory" in output
+
+    def test_analysis_package_api_surface_is_fully_documented(self):
+        # The lint rules' docstrings double as `repro lint --explain` text,
+        # so the analysis package itself must stay at 100 % API coverage.
+        code, output = self._run(
+            str(REPO_SRC / "analysis"), "--level", "api", "--fail-under", "100"
+        )
+        assert code == 0, output
+        assert "100.0 %" in output

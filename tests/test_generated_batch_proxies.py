@@ -14,6 +14,7 @@ from __future__ import annotations
 import ast
 
 import pytest
+import sample_app
 
 from repro.api import ServicePolicy, Session
 from repro.core.transformer import ApplicationTransformer
@@ -21,8 +22,6 @@ from repro.errors import GenerationError
 from repro.policy.policy import all_local_policy
 from repro.runtime.cluster import Cluster
 from repro.runtime.pipelining import InvocationFuture
-
-import sample_app
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ original single-process program throughout.
 
 from __future__ import annotations
 
-
 from repro.core.transformer import ApplicationTransformer
 from repro.network.failures import FailureModel
 from repro.network.simnet import SimulatedNetwork, WAN_LINK
@@ -24,8 +23,8 @@ from repro.runtime.redistribution import DistributionController
 from repro.tools.deployment import deployment_from_dict
 from repro.tools.recommend import profile_and_recommend
 from repro.tools.report import application_report, traffic_report
-from repro.workloads.shared_cache import Cache, CacheClient
 from repro.workloads.pipeline import Buffer, Consumer, Producer, run_pipeline
+from repro.workloads.shared_cache import Cache, CacheClient
 
 CACHE_CLASSES = [Cache, CacheClient]
 PIPELINE_CLASSES = [Buffer, Producer, Consumer]

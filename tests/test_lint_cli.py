@@ -1,0 +1,238 @@
+"""Tests for the ``repro lint`` subcommand.
+
+Pins the exit-code contract (0 clean / 1 findings / 2 usage error), the
+JSON report schema consumed by the CI ``lint-dist`` artifact, rule
+selection, ``--explain``, and — as the self-hosting acceptance check —
+that the shipped tree lints clean.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_DIR = Path(__file__).resolve().parent / "lint_fixtures"
+
+CLEAN_SOURCE = textwrap.dedent(
+    """
+    from repro.core.interfaces import cacheable
+
+
+    class Ledger:
+        def __init__(self):
+            self.balance = 0
+
+        def credit(self, amount):
+            self.balance += amount
+            return self.balance
+
+        @cacheable
+        def total(self):
+            return self.balance
+    """
+)
+
+DIRTY_SOURCE = textwrap.dedent(
+    """
+    import time
+
+    from repro.core.interfaces import cacheable
+
+
+    class Ledger:
+        recent = []
+
+        def __init__(self):
+            self.balance = 0
+
+        def credit(self, amount):
+            self.stamp = time.time()
+            self.balance += amount
+            return self.balance
+
+        @cacheable
+        def total(self):
+            self.hits = 1
+            return self.balance
+    """
+)
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean_app.py"
+    path.write_text(CLEAN_SOURCE, encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty_app.py"
+    path.write_text(DIRTY_SOURCE, encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_file):
+        code, output = run_cli("lint", str(clean_file))
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in output
+
+    def test_findings_exit_one(self, dirty_file):
+        code, output = run_cli("lint", str(dirty_file))
+        assert code == 1
+        assert "DS101" in output
+        assert "DS102" in output
+        assert "DS104" in output
+
+    def test_fail_on_error_ignores_warnings(self, dirty_file):
+        # DS101/DS104 are warnings; DS102 is an error, so the gate trips.
+        code, _ = run_cli("lint", "--fail-on", "error", str(dirty_file))
+        assert code == 1
+
+    def test_fail_on_error_passes_a_warning_only_tree(self, tmp_path):
+        path = tmp_path / "warn_only.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                import time
+
+                from repro.core.interfaces import cacheable
+
+
+                class Svc:
+                    @cacheable
+                    def reads(self):
+                        return 1
+
+                    def write(self):
+                        self.t = time.time()
+                """
+            ),
+            encoding="utf-8",
+        )
+        code, _ = run_cli("lint", str(path))
+        assert code == 1
+        code, _ = run_cli("lint", "--fail-on", "error", str(path))
+        assert code == 0
+
+    def test_unknown_rule_is_a_usage_error(self, clean_file):
+        code, output = run_cli("lint", "--select", "DS999", str(clean_file))
+        assert code == 2
+        assert "DS999" in output
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        code, output = run_cli("lint", str(tmp_path / "ghost.py"))
+        assert code == 2
+        assert "ghost.py" in output
+
+    def test_no_paths_is_a_usage_error(self):
+        code, output = run_cli("lint")
+        assert code == 2
+        assert "path" in output.lower()
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n", encoding="utf-8")
+        code, output = run_cli("lint", str(path))
+        assert code == 1
+        assert "DS000" in output
+
+
+class TestJsonReport:
+    def test_schema_is_pinned(self, dirty_file):
+        code, output = run_cli("lint", "--format", "json", str(dirty_file))
+        assert code == 1
+        report = json.loads(output)
+        assert sorted(report) == [
+            "checked_files",
+            "errors",
+            "findings",
+            "tool",
+            "version",
+            "warnings",
+        ]
+        assert report["version"] == 1
+        assert report["tool"] == "repro-lint"
+        assert report["checked_files"] == 1
+        assert report["errors"] + report["warnings"] == len(report["findings"])
+        for row in report["findings"]:
+            assert sorted(row) == [
+                "col",
+                "line",
+                "message",
+                "path",
+                "rule",
+                "severity",
+                "suggestion",
+            ]
+            assert row["path"].endswith("dirty_app.py")
+            assert isinstance(row["line"], int) and row["line"] > 0
+
+    def test_clean_tree_reports_empty_findings(self, clean_file):
+        code, output = run_cli("lint", "--format", "json", str(clean_file))
+        assert code == 0
+        report = json.loads(output)
+        assert report["findings"] == []
+        assert report["errors"] == 0
+        assert report["warnings"] == 0
+
+
+class TestSelection:
+    def test_select_runs_only_the_named_rules(self, dirty_file):
+        code, output = run_cli("lint", "--select", "DS102", str(dirty_file))
+        assert code == 1
+        assert "DS102" in output
+        assert "DS101" not in output
+        assert "DS104" not in output
+
+    def test_select_is_case_insensitive(self, dirty_file):
+        code, output = run_cli("lint", "--select", "ds102", str(dirty_file))
+        assert code == 1
+        assert "DS102" in output
+
+    def test_directory_arguments_recurse(self):
+        code, output = run_cli(
+            "lint", "--select", "DS105", str(FIXTURE_DIR / "ds105_interceptor_hooks.py")
+        )
+        assert code == 1
+        assert output.count("DS105") >= 4
+
+
+class TestExplain:
+    def test_explain_prints_the_rule_doc(self):
+        code, output = run_cli("lint", "--explain", "DS101")
+        assert code == 0
+        assert "DS101" in output
+        assert "determin" in output.lower()
+
+    def test_explain_unknown_rule_is_a_usage_error(self):
+        code, output = run_cli("lint", "--explain", "DS999")
+        assert code == 2
+
+
+class TestSelfHosting:
+    """The acceptance criterion: the shipped tree lints clean."""
+
+    def test_src_and_examples_lint_clean(self):
+        code, output = run_cli(
+            "lint",
+            str(REPO_ROOT / "src" / "repro"),
+            str(REPO_ROOT / "examples"),
+            str(REPO_ROOT / "tests" / "sample_app.py"),
+        )
+        assert code == 0, output
+        assert "0 error(s), 0 warning(s)" in output

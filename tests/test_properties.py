@@ -8,9 +8,9 @@ invariants), the policy loader (round-trip) and the simulated clock
 
 from __future__ import annotations
 
+import sample_app
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-import sample_app
 from repro.core.analyzer import TransformabilityAnalyzer
 from repro.core.introspect import class_model_from_descriptor
 from repro.core.transformer import ApplicationTransformer

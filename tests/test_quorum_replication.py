@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import ServicePolicy
 from repro.api.errors import (
     FencedError,
     PolicyError,
     QuorumLostError,
     ReplicationError,
 )
-from repro.api import ServicePolicy
 from repro.network.heartbeat import HeartbeatDetector
 from repro.runtime.cluster import Cluster
 from repro.runtime.replication import ReplicaEndpoint, ReplicaManager

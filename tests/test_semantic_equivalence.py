@@ -9,9 +9,9 @@ reliable simulated network).
 
 from __future__ import annotations
 
+import sample_app
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-import sample_app
 from repro.core.transformer import ApplicationTransformer
 from repro.policy.policy import all_local_policy, place_classes_on
 from repro.runtime.cluster import Cluster
