@@ -19,6 +19,7 @@ bench-smoke:
 	BENCH_OUT_DIR=$(BENCH_DIR) $(PYTHON) benchmarks/bench_load.py
 	BENCH_OUT_DIR=$(BENCH_DIR) $(PYTHON) benchmarks/bench_middleware.py
 	BENCH_OUT_DIR=$(BENCH_DIR) $(PYTHON) benchmarks/bench_partition.py
+	BENCH_OUT_DIR=$(BENCH_DIR) $(PYTHON) benchmarks/bench_tracing.py
 
 bench-check: bench-smoke
 	$(PYTHON) benchmarks/check_regressions.py --dir $(BENCH_DIR)

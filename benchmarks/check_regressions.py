@@ -21,6 +21,11 @@ fails (exit 1) when a tracked ratio drops below its floor:
   call versus the bare pipe at window 32, and per-tenant rate limiting keeps
   the polite tenant >= 40% of its offered goodput (and better off than the
   unlimited contention baseline) while a hog floods the shared pool;
+* tracing — full-sampling tracing costs <= 15% simulated time per call
+  versus the untraced pipe at window 32, a ``sample_rate=0`` policy is
+  wire-identical to no tracing at all, and the critical-path phases of the
+  slowest trace sum exactly to its root span's duration with zero spans
+  left open;
 * partition — the asymmetric-partition matrix (four cells x four
   transports) shows zero lost acknowledged writes and zero stale cache
   reads in every cell, exactly one primary holding the highest epoch, a
@@ -55,6 +60,9 @@ LOAD_PLATEAU_SLACK = 1.05
 #: floor on the rate-limited polite tenant's completed/offered fraction.
 MIDDLEWARE_OVERHEAD_CEILING = 1.10
 MIDDLEWARE_FAIRNESS_FLOOR = 0.40
+
+#: Ceiling on full-sampling tracing's per-call simulated-time overhead.
+TRACING_OVERHEAD_CEILING = 1.15
 
 
 def _load(directory: Path, name: str, problems: list) -> dict | None:
@@ -254,6 +262,49 @@ def check_middleware(data: dict, problems: list) -> None:
         )
 
 
+def check_tracing(data: dict, problems: list) -> None:
+    """Tracing must stay cheap, sampled-out must stay invisible.
+
+    Every tracked key must be present — a smoke-run edit that renames or
+    drops one must fail the gate, not skip its check vacuously.  The
+    traced-vs-plain per-call ratio must stay under the 1.15x ceiling, a
+    zero sample rate must leave the wire untouched, and the span
+    accounting invariants (no open spans, exact phase decomposition) must
+    hold on the live run.
+    """
+    overhead = data.get("overhead")
+    missing = [
+        key
+        for key in ("overhead", "wire_identical", "open_spans", "phase_sum_exact")
+        if key not in data
+    ]
+    if missing:
+        problems.append(
+            f"tracing: artifact is missing tracked key(s): {', '.join(missing)}"
+        )
+        return
+    if overhead > TRACING_OVERHEAD_CEILING:
+        problems.append(
+            f"tracing: traced per-call time is {overhead:.3f}x the untraced "
+            f"pipe's, above the {TRACING_OVERHEAD_CEILING}x ceiling"
+        )
+    if not data["wire_identical"]:
+        problems.append(
+            "tracing: a sample_rate=0 policy changed the wire traffic "
+            "(message count, bytes or timing) versus no tracing"
+        )
+    if data["open_spans"] != 0:
+        problems.append(
+            f"tracing: {data['open_spans']} span(s) were left open after the "
+            "run settled"
+        )
+    if not data["phase_sum_exact"]:
+        problems.append(
+            "tracing: the slowest trace's phase decomposition does not sum "
+            "exactly to its root span duration"
+        )
+
+
 def check_partition(data: dict, problems: list) -> None:
     """Every partition-matrix cell must hold both safety properties.
 
@@ -307,6 +358,7 @@ CHECKS = {
     "load": check_load,
     "middleware": check_middleware,
     "partition": check_partition,
+    "tracing": check_tracing,
 }
 
 

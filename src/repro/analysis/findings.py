@@ -1,7 +1,7 @@
 """The :class:`Finding` model shared by every distribution-safety rule.
 
 A finding is one concrete complaint at one source location: which rule
-fired (``DS101`` … ``DS106``), how bad it is (``warning`` or ``error``),
+fired (``DS101`` … ``DS107``), how bad it is (``warning`` or ``error``),
 where (``path:line:col``), what the code does wrong, and — when the rule
 knows one — the concrete rewrite that fixes it.  Findings are plain value
 objects so the reporters (:mod:`repro.analysis.reporting`), the CLI exit
@@ -29,7 +29,7 @@ SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
 class Finding:
     """One rule violation at one source location."""
 
-    #: The rule identifier (``DS101`` … ``DS106``; ``DS000`` for a file the
+    #: The rule identifier (``DS101`` … ``DS107``; ``DS000`` for a file the
     #: engine could not parse at all).
     rule: str
     #: ``"warning"`` or ``"error"`` (after any policy-aware escalation).

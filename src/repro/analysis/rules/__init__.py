@@ -1,4 +1,4 @@
-"""The shipped distribution-safety rules (DS101–DS106).
+"""The shipped distribution-safety rules (DS101–DS107).
 
 Each module holds one rule grounded in a specific runtime subsystem; the
 rule docstrings double as ``repro lint --explain`` documentation.
@@ -15,6 +15,7 @@ from repro.analysis.rules.determinism import NondeterministicWriteRule
 from repro.analysis.rules.interceptors import InterceptorHookRule
 from repro.analysis.rules.serialization import UnserializableSignatureRule
 from repro.analysis.rules.state import MutableClassStateRule
+from repro.analysis.rules.tracing_rules import SpanLeakRule
 
 #: All shipped rule classes, in rule-id order.
 DEFAULT_RULES: List[Type[Rule]] = [
@@ -24,6 +25,7 @@ DEFAULT_RULES: List[Type[Rule]] = [
     MutableClassStateRule,
     InterceptorHookRule,
     DeprecatedApiRule,
+    SpanLeakRule,
 ]
 
 
@@ -51,4 +53,5 @@ __all__ = [
     "MutableClassStateRule",
     "InterceptorHookRule",
     "DeprecatedApiRule",
+    "SpanLeakRule",
 ]

@@ -1,0 +1,172 @@
+"""DS107 — tracer spans opened but never ended (span leaks)."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.engine import LintContext, Rule
+
+#: Tracer methods that open a span and hand back the live handle.
+SPAN_OPENERS = frozenset({"start_span", "start_trace"})
+
+#: AST containers a handle passes through on its way to a real sink.
+_PASSTHROUGH = (ast.Tuple, ast.List, ast.Set, ast.Starred, ast.Dict)
+
+
+def _is_span_opener(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in SPAN_OPENERS
+    )
+
+
+def _direct_statements(func: ast.AST) -> Iterator[ast.stmt]:
+    """Every statement of ``func`` excluding nested function bodies.
+
+    Nested defs are visited by the engine as their own nodes, so their
+    assignments must not be attributed to the enclosing function too.
+    """
+    stack: List[ast.stmt] = list(func.body)  # type: ignore[attr-defined]
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            else:
+                stack.extend(
+                    grand
+                    for grand in ast.walk(child)
+                    if isinstance(grand, ast.stmt)
+                )
+
+
+class SpanLeakRule(Rule):
+    """DS107: a span opened through the tracer's raw API (``start_span`` /
+    ``start_trace``) is never ended in the same function — and never
+    escapes to something that could end it.
+
+    Why it matters: the tracing subsystem's accounting invariant is that
+    every started span ends exactly once; the critical-path analyzer
+    refuses traces whose root is still open, and a leaked child span
+    silently vanishes from the phase breakdown (its interval never closes,
+    so its time is misattributed to the enclosing phase).  Under fault
+    injection the conservation property test fails on exactly this shape.
+    A span handle that is dropped on the floor — assigned to a local that
+    nothing reads, or discarded as a bare expression — can never be ended
+    by anyone.
+
+    The rule flags a ``start_span``/``start_trace`` call when its result
+    is discarded, or is bound to a local that (a) is never passed to
+    ``end_span`` anywhere in the function (nested defs included) and
+    (b) never escapes the function — returned or yielded, passed to
+    another call, or stored into a container, attribute or subscript,
+    where a callee or a later pass may settle it.
+
+    Fix: prefer the context-manager form — ``with tracer.span(...)``
+    brackets the open/end pair structurally, error annotation included.
+    Where the span must stay open across callbacks, keep the handle
+    reachable (store it) or record the closed interval after the fact
+    with ``record_span(start=..., end=...)``.
+    """
+
+    id = "DS107"
+    severity = "warning"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        """Flag discarded or leaked span handles opened in this function."""
+        candidates: List[Tuple[str, ast.Call]] = []
+        for stmt in _direct_statements(node):
+            if isinstance(stmt, ast.Expr) and _is_span_opener(stmt.value):
+                ctx.report(
+                    self,
+                    stmt.value,
+                    f"the span handle from {stmt.value.func.attr}() is "
+                    "discarded — a span nobody holds can never be ended, so "
+                    "it stays open and corrupts the trace's accounting",
+                    suggestion="use 'with tracer.span(...):' to bracket the "
+                    "interval, or keep the handle and end_span() it",
+                )
+            elif (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and _is_span_opener(stmt.value)
+            ):
+                candidates.append((stmt.targets[0].id, stmt.value))
+        if not candidates:
+            return
+        parents = self._parent_map(node)
+        for name, call in candidates:
+            ended, escapes = self._trace_usage(node, name, parents)
+            if ended or escapes:
+                continue
+            ctx.report(
+                self,
+                call,
+                f"span {name!r} opened with {call.func.attr}() is never "
+                "ended in this function and never escapes it — the span "
+                "leaks open, breaking the started-equals-ended invariant",
+                suggestion="use 'with tracer.span(...):' instead, or call "
+                f"end_span({name}) on every path",
+            )
+
+    @staticmethod
+    def _parent_map(func: ast.AST) -> Dict[ast.AST, ast.AST]:
+        parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(func):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        return parents
+
+    def _trace_usage(
+        self,
+        func: ast.AST,
+        name: str,
+        parents: Dict[ast.AST, ast.AST],
+    ) -> Tuple[bool, bool]:
+        """Whether the handle is ended or escapes within the function."""
+        ended = escapes = False
+        for load in ast.walk(func):
+            if not (
+                isinstance(load, ast.Name)
+                and load.id == name
+                and isinstance(load.ctx, ast.Load)
+            ):
+                continue
+            node: ast.AST = load
+            parent = parents.get(node)
+            while isinstance(parent, _PASSTHROUGH):
+                node, parent = parent, parents.get(parent)
+            if isinstance(parent, ast.keyword):
+                node, parent = parent, parents.get(parent)
+            if isinstance(parent, ast.Call):
+                if node is parent.func:
+                    continue
+                if (
+                    isinstance(parent.func, ast.Attribute)
+                    and parent.func.attr == "end_span"
+                ):
+                    ended = True
+                else:
+                    # Handed to a callee that may settle or store it.
+                    escapes = True
+            elif isinstance(parent, ast.Attribute) and parent.value is node:
+                # Reading an attribute off the handle (span.add_event(...))
+                # neither ends nor rescues it.
+                continue
+            elif isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+                escapes = True
+            elif isinstance(parent, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                if getattr(parent, "value", None) is node or isinstance(
+                    parent, ast.AugAssign
+                ):
+                    # Aliased or stored somewhere (attribute, subscript,
+                    # another local) — conservatively reachable.
+                    escapes = True
+        return ended, escapes

@@ -27,6 +27,7 @@ from typing import Any, Optional
 
 from repro._errors import InvocationError
 from repro.api.middleware import CallContext, InterceptorChain
+from repro.observability.tracing import SampleGate
 from repro.runtime.batching import _InternalBatcher
 from repro.runtime.pipelining import InvocationFuture, PipelineScheduler
 
@@ -278,16 +279,35 @@ class ChainedPipe:
     inner pipe took.  A ``begin`` rejection fails the call locally: nothing
     ships, and the returned future already carries the typed error.
 
-    The context's wire form (call id, tenant, deadline) rides the request,
-    so the serving space's chains observe the same control fields.
+    The context's wire form (call id, tenant, deadline, trace reference)
+    rides the request, so the serving space's chains observe the same
+    control fields.
+
+    When the policy enables tracing, sampled calls open a root *client*
+    span here — ended at the future's settlement — and carry its
+    ``(trace_id, span_id)`` on the wire, where every downstream layer
+    (queues, links, pools, server dispatch, replication) hangs its own
+    spans.  Unsampled calls on a middleware-free policy take the inner
+    pipe's plain path untouched, so a sample rate of 0 is wire-identical
+    to tracing never having been configured.
     """
 
-    def __init__(self, service: Any, inner: Any, chain: InterceptorChain) -> None:
+    def __init__(
+        self,
+        service: Any,
+        inner: Any,
+        chain: InterceptorChain,
+        tracer: Any = None,
+        sample_rate: float = 1.0,
+    ) -> None:
         self._service = service
         #: The wrapped pipe doing the actual dispatch.
         self.inner = inner
         #: The client-side chain bracketing this service's calls.
         self.chain = chain
+        #: The session's tracer (``None`` when the policy is untraced).
+        self.tracer = tracer
+        self._gate = SampleGate(sample_rate) if tracer is not None else None
 
     def enqueue(
         self, member: str, args: tuple, kwargs: dict, context: Optional[dict] = None
@@ -296,6 +316,11 @@ class ChainedPipe:
         service = self._service
         session = service.session
         clock = session.space.network.clock
+        tracer = self.tracer if self._gate is not None and self._gate.admit() else None
+        if tracer is None and self.chain.empty:
+            # Untraced (or unsampled) call on a middleware-free policy:
+            # nothing to bracket, nothing to put on the wire.
+            return self.inner.enqueue(member, args, kwargs, context=context)
         ctx = CallContext(
             service=service.name,
             member=member,
@@ -305,6 +330,11 @@ class ChainedPipe:
             side="client",
             clock=clock,
         )
+        if tracer is not None:
+            ctx.tracer = tracer
+            ctx.trace = tracer.start_trace(
+                f"{service.name}.{member}", kind="client", ts=clock.now, service=service.name
+            )
         try:
             bracket = self.chain.open(ctx)
         except Exception as error:  # noqa: BLE001 - rejection becomes the future's error
@@ -312,6 +342,8 @@ class ChainedPipe:
             future.submitted_at = clock.now
             future.completed_at = clock.now
             future._fail(error)
+            if ctx.trace is not None:
+                tracer.end_span(ctx.trace, ts=clock.now, error=type(error).__name__)
             return future
         try:
             future = self.inner.enqueue(member, args, kwargs, context=ctx.to_wire())
@@ -319,6 +351,8 @@ class ChainedPipe:
             # Synchronous dispatch failures (DirectPipe round trips, a full
             # window auto-flush failing) must still settle the bracket.
             bracket.fail(error)
+            if ctx.trace is not None:
+                tracer.end_span(ctx.trace, ts=clock.now, error=type(error).__name__)
             raise
 
         def _settle(done: InvocationFuture) -> None:
@@ -329,6 +363,16 @@ class ChainedPipe:
                 bracket.close(done._value)
             else:
                 bracket.fail(done._error)
+            if ctx.trace is not None:
+                if done.ok:
+                    tracer.end_span(ctx.trace, ts=clock.now, attempts=ctx.attempt)
+                else:
+                    tracer.end_span(
+                        ctx.trace,
+                        ts=clock.now,
+                        attempts=ctx.attempt,
+                        error=type(done._error).__name__,
+                    )
 
         future.add_done_callback(_settle)
         return future

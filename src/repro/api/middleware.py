@@ -78,6 +78,8 @@ class CallContext:
         "call_id",
         "clock",
         "state",
+        "trace",
+        "tracer",
     )
 
     def __init__(
@@ -125,6 +127,12 @@ class CallContext:
         #: Per-call scratch space for interceptors (e.g. latency start
         #: stamps); keyed by interceptor, never serialized.
         self.state: Dict[Any, Any] = {}
+        #: The call's tracing span (client side: the root span; server
+        #: side: the per-call server span).  ``None`` when the call is
+        #: untraced or unsampled.
+        self.trace: Any = None
+        #: The tracer owning :attr:`trace` (``None`` when untraced).
+        self.tracer: Any = None
 
     # -- time ------------------------------------------------------------------
 
@@ -149,17 +157,22 @@ class CallContext:
         """The control fields that travel on the wire with the request.
 
         Only wire-safe primitives, only non-defaults, single-letter keys
-        (``i``\\ d, ``t``\\ enant, ``d``\\ eadline) — control fields ride
-        *every* intercepted call, so their framing overhead is what the
-        chain-overhead benchmark ceiling is spent on.  An empty dict means
-        the request carries no ``ctx`` field at all, keeping chain-free
-        traffic byte-identical to the pre-middleware wire format.
+        (``i``\\ d, ``t``\\ enant, ``d``\\ eadline, plus ``x``/``p`` —
+        trace id and client span id — when the call is traced) — control
+        fields ride *every* intercepted call, so their framing overhead is
+        what the chain-overhead benchmark ceiling is spent on.  An empty
+        dict means the request carries no ``ctx`` field at all, keeping
+        chain-free traffic byte-identical to the pre-middleware wire
+        format; untraced calls carry no trace keys for the same reason.
         """
         wire: dict = {"i": self.call_id}
         if self.tenant is not None:
             wire["t"] = self.tenant
         if self.deadline is not None:
             wire["d"] = float(self.deadline)
+        if self.trace is not None:
+            wire["x"] = self.trace.trace_id
+            wire["p"] = self.trace.span_id
         return wire
 
     @classmethod
@@ -226,20 +239,37 @@ class _Bracket:
     settlement even if bookkeeping code runs twice.
     """
 
-    __slots__ = ("_chain", "_ctx", "_entered", "_settled")
+    __slots__ = ("_chain", "_ctx", "_entered", "_settled", "_spans")
 
     def __init__(
-        self, chain: "InterceptorChain", ctx: CallContext, entered: List[Interceptor]
+        self,
+        chain: "InterceptorChain",
+        ctx: CallContext,
+        entered: List[Interceptor],
+        spans: Optional[List[Any]] = None,
     ) -> None:
         self._chain = chain
         self._ctx = ctx
         self._entered = entered
         self._settled = False
+        #: Per-interceptor child spans (parallel to ``_entered``), open
+        #: from ``begin`` to settlement; empty when the call is untraced.
+        self._spans = spans or []
 
     @property
     def settled(self) -> bool:
         """Whether this bracket has already seen its ``end`` or ``abort``."""
         return self._settled
+
+    def _end_spans(self, error: Optional[BaseException]) -> None:
+        tracer = self._ctx.tracer
+        if tracer is None:
+            return
+        for span in reversed(self._spans):
+            if error is not None:
+                tracer.end_span(span, error=type(error).__name__)
+            else:
+                tracer.end_span(span)
 
     def close(self, result: Any) -> None:
         """Settle successfully: run every entered ``end`` in reverse order."""
@@ -251,6 +281,7 @@ class _Bracket:
                 interceptor.end(self._ctx, result)
             except Exception:  # noqa: BLE001 - isolation, see callback_failures
                 self._chain.callback_failures += 1
+        self._end_spans(None)
 
     def fail(self, error: BaseException) -> None:
         """Settle with an error: run every entered ``abort`` in reverse order."""
@@ -262,6 +293,7 @@ class _Bracket:
                 interceptor.abort(self._ctx, error)
             except Exception:  # noqa: BLE001 - isolation, see callback_failures
                 self._chain.callback_failures += 1
+        self._end_spans(error)
 
 
 class InterceptorChain:
@@ -308,6 +340,8 @@ class InterceptorChain:
         it).
         """
         entered: List[Interceptor] = []
+        tracer = ctx.tracer if ctx.trace is not None else None
+        spans: List[Any] = []
         for interceptor in self.interceptors:
             try:
                 interceptor.begin(ctx)
@@ -317,9 +351,23 @@ class InterceptorChain:
                         begun.abort(ctx, error)
                     except Exception:  # noqa: BLE001 - isolation
                         self.callback_failures += 1
+                if tracer is not None:
+                    for span in reversed(spans):
+                        tracer.end_span(span, error=type(error).__name__)
                 raise
             entered.append(interceptor)
-        return _Bracket(self, ctx, entered)
+            if tracer is not None:
+                spans.append(
+                    tracer.start_span(
+                        type(interceptor).__name__,
+                        trace_id=ctx.trace.trace_id,
+                        parent_id=ctx.trace.span_id,
+                        kind="interceptor",
+                        ts=ctx.now(),
+                        side=ctx.side,
+                    )
+                )
+        return _Bracket(self, ctx, entered, spans)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         names = ", ".join(type(i).__name__ for i in self.interceptors)
@@ -459,8 +507,16 @@ class MetricsInterceptor(Interceptor):
     """
 
     def __init__(self) -> None:
+        # Imported here, not at module top: repro.network pulls in the
+        # simulation stack, which imports back into repro.api.
+        from repro.network.metrics import LatencyHistogram
+
         #: member → ``{"calls", "errors", "total_latency"}`` (mutated in place).
         self._members: Dict[str, Dict[str, float]] = {}
+        #: Every settled call's simulated latency (ends and aborts alike);
+        #: :meth:`~repro.api.session.Session.metrics` merges these across
+        #: interceptors with :meth:`LatencyHistogram.merge`.
+        self.histogram = LatencyHistogram()
 
     def _row(self, member: str) -> Dict[str, float]:
         row = self._members.get(member)
@@ -478,7 +534,9 @@ class MetricsInterceptor(Interceptor):
         """Accumulate the completed call's simulated latency."""
         started = ctx.state.pop(self, None)
         if started is not None:
-            self._row(ctx.member)["total_latency"] += ctx.now() - started
+            latency = ctx.now() - started
+            self._row(ctx.member)["total_latency"] += latency
+            self.histogram.record(latency)
 
     def abort(self, ctx: CallContext, error: BaseException) -> None:
         """Count the failure (latency still accumulates for the attempt)."""
@@ -486,7 +544,9 @@ class MetricsInterceptor(Interceptor):
         row["errors"] += 1
         started = ctx.state.pop(self, None)
         if started is not None:
-            row["total_latency"] += ctx.now() - started
+            latency = ctx.now() - started
+            row["total_latency"] += latency
+            self.histogram.record(latency)
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """A copy of every member's counters (safe to mutate)."""

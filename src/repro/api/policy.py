@@ -102,6 +102,10 @@ class ServicePolicy:
     #: sharpens the rules: under quorum replication, nondeterministic
     #: writes (DS101) escalate from warning to deploy-blocking error.
     static_checks: bool = False
+    #: Distributed-tracing sample rate in ``[0, 1]`` (``None`` = tracing
+    #: off entirely; ``0.0`` keeps the machinery armed but samples no
+    #: call, which must stay wire-identical to ``None``).
+    tracing: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.cache is not None and not isinstance(self.cache, CachePolicy):
@@ -139,6 +143,10 @@ class ServicePolicy:
             raise PolicyError("miss_threshold must be at least 1")
         if self.max_failover_attempts < 1:
             raise PolicyError("max_failover_attempts must be at least 1")
+        if self.tracing is not None and not 0.0 <= self.tracing <= 1.0:
+            raise PolicyError(
+                f"tracing sample rate must be within [0, 1], got {self.tracing!r}"
+            )
         if not isinstance(self.readonly, tuple):
             object.__setattr__(self, "readonly", tuple(self.readonly))
         if not isinstance(self.middleware, tuple):
@@ -308,6 +316,18 @@ class ServicePolicy:
         """A copy whose calls are stamped with ``tenant`` on the wire."""
         return replace(self, tenant=tenant)
 
+    def with_tracing(self, sample_rate: float = 1.0) -> "ServicePolicy":
+        """A copy whose sampled calls carry end-to-end trace spans.
+
+        ``sample_rate`` picks what fraction of calls get a trace
+        (deterministic counter sampling, no randomness): ``1.0`` traces
+        everything, ``0.25`` every fourth call.  Sampled calls put two
+        extra keys on the wire context; everything else stays
+        byte-identical to an untraced policy.  Collected traces are read
+        back through :meth:`~repro.api.session.Session.tracer`.
+        """
+        return replace(self, tracing=float(sample_rate))
+
     def with_static_checks(self, enabled: bool = True) -> "ServicePolicy":
         """A copy that lints the implementation at deploy time.
 
@@ -332,6 +352,11 @@ class ServicePolicy:
     def intercepted(self) -> bool:
         """Whether calls run through a client-side interceptor chain."""
         return bool(self.middleware)
+
+    @property
+    def traced(self) -> bool:
+        """Whether the policy has tracing configured (even at rate 0)."""
+        return self.tracing is not None
 
     @property
     def batched(self) -> bool:

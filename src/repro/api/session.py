@@ -41,6 +41,8 @@ from repro.api.policy import ServicePolicy
 from repro.api.service import Service
 from repro.core.interfaces import cacheable_members
 from repro.network.heartbeat import HeartbeatDetector
+from repro.network.metrics import LatencyHistogram
+from repro.observability.tracing import Tracer
 from repro.runtime.caching import CacheManager
 from repro.runtime.faulttolerance import NO_RETRY, FaultTolerantInvoker
 from repro.runtime.remote_ref import RemoteRef
@@ -70,6 +72,7 @@ class Session:
         self._detector: Optional[HeartbeatDetector] = None
         self._manager: Optional[ReplicaManager] = None
         self._cache_manager: Optional[CacheManager] = None
+        self._tracer: Optional[Tracer] = None
         self._adaptive: Optional[Any] = None
         self._adapt_epoch = 0
         #: ``(name, group, host node, reference)`` of every deployment this
@@ -251,33 +254,67 @@ class Session:
         """Every service created through this session, in creation order."""
         return list(self._services.values())
 
-    def metrics(self) -> Dict[str, Dict[str, float]]:
-        """Merged per-member counters from every metrics interceptor in play.
+    def metrics(self) -> Dict[str, Dict[str, Any]]:
+        """Per-side merged counters from every metrics interceptor in play.
 
         Scans the client (``middleware``) and server (``server_middleware``)
         chains of every service this session created for
-        :class:`~repro.api.middleware.MetricsInterceptor` instances and sums
-        their snapshots per member: ``{"member": {"calls", "errors",
-        "total_latency"}}``.  An interceptor shared by several policies is
-        counted once.
+        :class:`~repro.api.middleware.MetricsInterceptor` instances and
+        merges their snapshots **per side**::
+
+            {"client": {"members": {member: {"calls", "errors", "total_latency"}},
+                        "latency": {...histogram summary...}},
+             "server": {...same shape...}}
+
+        Client and server chains are deliberately *not* summed into one
+        counter: when both sides install metrics, every call is observed
+        twice (once per side of the wire), and a flat merge would
+        double-count it.  An interceptor shared by several policies is
+        counted once per side; the latency digests combine via
+        :meth:`~repro.network.metrics.LatencyHistogram.merge`.
         """
-        merged: Dict[str, Dict[str, float]] = {}
+        report: Dict[str, Dict[str, Any]] = {}
         seen: set = set()
-        for service in self._services.values():
-            chains = service.policy.middleware + service.policy.server_middleware
-            for interceptor in chains:
-                if not isinstance(interceptor, MetricsInterceptor):
-                    continue
-                if id(interceptor) in seen:
-                    continue
-                seen.add(id(interceptor))
-                for member, row in interceptor.snapshot().items():
-                    into = merged.setdefault(
-                        member, {"calls": 0, "errors": 0, "total_latency": 0.0}
-                    )
-                    for key, value in row.items():
-                        into[key] = into.get(key, 0) + value
-        return merged
+        sides = (
+            ("client", lambda policy: policy.middleware),
+            ("server", lambda policy: policy.server_middleware),
+        )
+        for side, chain_of in sides:
+            members: Dict[str, Dict[str, float]] = {}
+            histogram = LatencyHistogram()
+            for service in self._services.values():
+                for interceptor in chain_of(service.policy):
+                    if not isinstance(interceptor, MetricsInterceptor):
+                        continue
+                    if (side, id(interceptor)) in seen:
+                        continue
+                    seen.add((side, id(interceptor)))
+                    for member, row in interceptor.snapshot().items():
+                        into = members.setdefault(
+                            member, {"calls": 0, "errors": 0, "total_latency": 0.0}
+                        )
+                        for key, value in row.items():
+                            into[key] = into.get(key, 0) + value
+                    histogram.merge(interceptor.histogram)
+            report[side] = {"members": members, "latency": histogram.summary()}
+        return report
+
+    def tracer(self) -> Tracer:
+        """The session's tracer (created lazily, shared by every layer).
+
+        Creating it hangs the tracer off the cluster network's ``tracer``
+        attribute, which is where the dispatch, link, pool, server and
+        replication layers pick it up; :meth:`close` detaches it again.
+        Calls are only actually traced on services whose policy carries
+        :meth:`~repro.api.policy.ServicePolicy.with_tracing`; read the
+        collected traces from ``session.tracer().collector``.
+        """
+        self._ensure_open()
+        if self._tracer is None:
+            network = self.cluster.network
+            self._tracer = Tracer(clock=network.clock)
+            network.tracer = self._tracer
+        return self._tracer
 
     # ------------------------------------------------------------------
     # shared machinery (internal, used by the pipes)
@@ -314,10 +351,11 @@ class Session:
     def _build_pipe(self, service: Service):
         """Choose and build the dispatch pipe a service's policy calls for.
 
-        A policy carrying ``middleware`` gets its pipe wrapped in a
-        :class:`~repro.api.dispatch.ChainedPipe`, so every enqueue runs
-        through the client-side interceptor chain whatever dispatch shape
-        (direct, batched, pipelined) the other knobs picked.
+        A policy carrying ``middleware`` — or tracing — gets its pipe
+        wrapped in a :class:`~repro.api.dispatch.ChainedPipe`, so every
+        enqueue runs through the client-side interceptor chain (and opens
+        its root trace span) whatever dispatch shape (direct, batched,
+        pipelined) the other knobs picked.
         """
         policy = service.policy
         if policy.pipelined:
@@ -326,8 +364,14 @@ class Session:
             pipe = BatchPipe(service)
         else:
             pipe = DirectPipe(service)
-        if policy.intercepted:
-            pipe = ChainedPipe(service, pipe, InterceptorChain(policy.middleware))
+        if policy.intercepted or policy.traced:
+            pipe = ChainedPipe(
+                service,
+                pipe,
+                InterceptorChain(policy.middleware),
+                tracer=self.tracer() if policy.traced else None,
+                sample_rate=policy.tracing if policy.tracing is not None else 1.0,
+            )
         return pipe
 
     def _scheduler_for(self, policy: ServicePolicy) -> _SessionScheduler:
@@ -619,6 +663,13 @@ class Session:
             for chain, spaces in server_chains:
                 for space in spaces:
                     space.remove_middleware(chain)
+            # Detach the tracer from the (long-lived) network — unless a
+            # later session already installed its own.
+            if (
+                self._tracer is not None
+                and getattr(self.cluster.network, "tracer", None) is self._tracer
+            ):
+                self.cluster.network.tracer = None
             # Cancel any auto-adapt loop: pending ticks become no-ops.
             self._adapt_epoch += 1
             self.cluster.naming.off_rebind(self._on_rebind)

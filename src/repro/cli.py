@@ -17,7 +17,7 @@ run against their own code base before deploying it:
 
 ``repro lint paths... [--select DS101,DS102] [--format text|json]
 [--fail-on warning|error] [--explain DS1xx]``
-    Run the distribution-safety rules (DS101–DS106) over files or directory
+    Run the distribution-safety rules (DS101–DS107) over files or directory
     trees and report findings with suggested fixes.  Exit code 0 means
     clean, 1 means findings at or above ``--fail-on`` (default: warning —
     any finding fails), 2 means usage error.  ``--explain DS1xx`` prints a
@@ -686,6 +686,85 @@ def command_bench_partition(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def command_trace(args: argparse.Namespace, out) -> int:
+    from repro.observability import (
+        render_phase_table,
+        render_trace_tree,
+        slowest_traces,
+        to_chrome_trace,
+    )
+    from repro.runtime.cluster import Cluster, default_transport_registry
+
+    known = default_transport_registry().names()
+    if args.transport not in known:
+        print(f"unknown transport: {args.transport}", file=out)
+        return 1
+    if not 0.0 <= args.sample_rate <= 1.0:
+        print("--sample-rate must be in [0, 1]", file=out)
+        return 1
+    if args.top < 1:
+        print("--top must be at least 1", file=out)
+        return 1
+
+    if args.workload == "open_loop":
+        from repro.workloads.open_loop import run_open_loop_scenario
+
+        workers, service_time = 2, 0.002
+        capacity = workers / service_time
+        result = run_open_loop_scenario(
+            Cluster(("client", "server")),
+            transport=args.transport,
+            offered_load=args.load_factor * capacity,
+            duration=args.duration,
+            workers=workers,
+            service_time=service_time,
+            tracing=args.sample_rate,
+        )
+        print(
+            f"open_loop on {args.transport}: offered "
+            f"{result['measured_offered']:.0f}/s against capacity "
+            f"{capacity:.0f}/s, {result['completed']} completed, "
+            f"{result['rejected']} rejected",
+            file=out,
+        )
+    elif args.workload == "cached_catalog":
+        from repro.workloads.cached_catalog import run_cached_catalog_scenario
+
+        result = run_cached_catalog_scenario(
+            Cluster(("client", "writer", "server-0", "server-1")),
+            transport=args.transport,
+            tracing=args.sample_rate,
+        )
+        print(
+            f"cached_catalog on {args.transport}: {result['reads']} reads / "
+            f"{result['writes']} writes, hit rate {result['hit_rate']:.1%}, "
+            f"{result['stale_reads']} stale",
+            file=out,
+        )
+    else:
+        print(f"unknown workload: {args.workload}", file=out)
+        return 1
+
+    collector = result["trace_collector"]
+    instants = len(collector.instants)
+    print(
+        f"collected {len(collector)} spans across "
+        f"{len(collector.trace_ids())} traces"
+        + (f", {instants} cache events" if instants else ""),
+        file=out,
+    )
+    for path in slowest_traces(collector, args.top):
+        print("", file=out)
+        print(render_phase_table(collector, path.trace_id), file=out)
+        if args.tree:
+            print(render_trace_tree(collector, path.trace_id), file=out)
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            json.dump(to_chrome_trace(collector), handle)
+        print(f"\nchrome trace written to {args.export}", file=out)
+    return 0
+
+
 def command_policy_template(args: argparse.Namespace, out) -> int:
     classes = _split_csv(args.classes)
     nodes = _split_csv(args.nodes)
@@ -729,7 +808,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = subparsers.add_parser(
         "lint",
-        help="distribution-safety static analysis (rules DS101-DS106)",
+        help="distribution-safety static analysis (rules DS101-DS107)",
     )
     lint.add_argument("paths", nargs="*", help="files or directory trees to lint")
     lint.add_argument("--select", help="comma-separated rule ids to run (default: all)")
@@ -859,6 +938,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated partition cells from A,B,C,D (default: all)",
     )
     partition.set_defaults(handler=command_bench_partition)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run a workload with end-to-end tracing and print the slowest "
+        "traces with their critical-path phase breakdown",
+    )
+    trace.add_argument(
+        "--workload",
+        default="open_loop",
+        choices=("open_loop", "cached_catalog"),
+        help="traced workload to run (default: open_loop)",
+    )
+    trace.add_argument("--transport", default="rmi", help="transport to drive (one)")
+    trace.add_argument("--top", type=int, default=3, help="slowest traces to print")
+    trace.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        help="fraction of calls to trace (default: 1.0)",
+    )
+    trace.add_argument(
+        "--load-factor",
+        type=float,
+        default=1.5,
+        help="open_loop offered load as a multiple of capacity (default: 1.5)",
+    )
+    trace.add_argument(
+        "--duration", type=float, default=0.5, help="open_loop duration in sim-seconds"
+    )
+    trace.add_argument(
+        "--tree", action="store_true", help="also print each trace's span tree"
+    )
+    trace.add_argument("--export", help="write a Chrome trace-event JSON to this path")
+    trace.set_defaults(handler=command_trace)
 
     return parser
 

@@ -198,6 +198,34 @@ class LatencyHistogram:
         if value > self.max_value:
             self.max_value = value
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s samples into this histogram, in place.
+
+        Per-shard / per-tenant histograms combine into one summary without
+        re-recording raw samples — bucket counts add because both sides
+        share the same bucket geometry, which is why mismatched
+        ``resolution`` / ``growth`` is a :class:`ValueError` rather than a
+        silently skewed distribution.  Returns ``self`` for chaining.
+        """
+        if (
+            other._resolution != self._resolution
+            or other._log_growth != self._log_growth
+        ):
+            raise ValueError(
+                "cannot merge histograms with different bucket geometry: "
+                f"resolution {self._resolution} vs {other._resolution}, "
+                f"growth exponent {self._log_growth} vs {other._log_growth}"
+            )
+        for index, bucket_count in other._buckets.items():
+            self._buckets[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.min_value < self.min_value:
+            self.min_value = other.min_value
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+        return self
+
     @property
     def mean(self) -> float:
         """Exact arithmetic mean of the recorded samples (0.0 when empty)."""

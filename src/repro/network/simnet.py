@@ -234,6 +234,12 @@ class SimulatedNetwork:
         #: Per node: its bounded service pool, if one is installed.
         self._pools: Dict[str, ServicePool] = {}
         self._rng = random.Random(seed)
+        #: The session tracer, when tracing is enabled (see
+        #: :meth:`repro.api.session.Session.tracer`).  Every layer that
+        #: instruments the data path — links, pools, server dispatch,
+        #: replication — reads it from here; ``None`` keeps the hot path
+        #: to a single attribute check.
+        self.tracer = None
 
     # -- topology ----------------------------------------------------------------
 
@@ -310,9 +316,58 @@ class SimulatedNetwork:
             backlog.append(start)
         return queue_delay + transmission + propagation
 
+    # -- tracing ------------------------------------------------------------------
+
+    def _trace_interval(
+        self,
+        trace: Optional[List[Tuple[str, str]]],
+        name: str,
+        kind: str,
+        start: float,
+        end: float,
+        **attrs,
+    ) -> None:
+        """Record one closed span per traced call riding this message.
+
+        A batch message can carry several traced calls; each gets its own
+        copy of the interval, parented to its client span, so every trace
+        stays self-contained.
+        """
+        tracer = self.tracer
+        if tracer is None or not trace:
+            return
+        for trace_id, parent_id in trace:
+            tracer.record_span(
+                name,
+                trace_id=trace_id,
+                parent_id=parent_id,
+                kind=kind,
+                start=start,
+                end=end,
+                **attrs,
+            )
+
+    def _trace_event(
+        self, trace: Optional[List[Tuple[str, str]]], name: str, **attrs
+    ) -> None:
+        """Attach a point event to every traced call riding this message."""
+        tracer = self.tracer
+        if tracer is None or not trace:
+            return
+        now = self.clock.now
+        for trace_id, parent_id in trace:
+            tracer.annotate(trace_id, parent_id, name, ts=now, **attrs)
+
     # -- message exchange -----------------------------------------------------------
 
-    def send_request(self, source: str, destination: str, payload: bytes) -> bytes:
+    def send_request(
+        self,
+        source: str,
+        destination: str,
+        payload: bytes,
+        *,
+        trace: Optional[List[Tuple[str, str]]] = None,
+    ) -> bytes:
         """Synchronously deliver ``payload`` and return the handler's response.
 
         Simulated time advances by the request's one-way delay (including any
@@ -332,40 +387,78 @@ class SimulatedNetwork:
         self._check_reachability(source, destination)
         if self.failures.should_drop(source, destination):
             self.metrics.record_drop(source, destination)
+            self._trace_event(trace, "request-dropped", link=f"{source}->{destination}")
             raise MessageDroppedError(
                 f"message from {source!r} to {destination!r} was dropped"
             )
 
         link = self.link_config(source, destination)
+        sent_at = self.clock.now
         request_delay = self._reserve_link(source, destination, len(payload), link)
         self.clock.advance(request_delay)
         self.metrics.record(source, destination, len(payload), request_delay)
+        self._trace_interval(
+            trace,
+            "request-wire",
+            "wire",
+            sent_at,
+            self.clock.now,
+            link=f"{source}->{destination}",
+            bytes=len(payload),
+        )
 
         handler = self._require_handler(destination)
         pool = self._pools.get(destination)
         if pool is None:
+            served_at = self.clock.now
             response = handler(source, payload)
+            self._trace_interval(
+                trace, "service", "service", served_at, self.clock.now, node=destination
+            )
         else:
-            start = pool.admit(self.clock.now)  # may raise AdmissionError
-            queued = start > self.clock.now
+            arrived_at = self.clock.now
+            try:
+                start = pool.admit(arrived_at)
+            except AdmissionError:
+                self._trace_event(trace, "admission-rejected", node=destination)
+                raise
+            queued = start > arrived_at
             self.clock.advance_to(start)
             pool.begin_service(queued)
+            if queued:
+                self._trace_interval(
+                    trace, "pool-queue", "server_queue", arrived_at, start, node=destination
+                )
             response = handler(source, payload)
             finish = start + pool.service_time
             if finish > self.clock.now:
                 self.clock.advance_to(finish)
+            self._trace_interval(
+                trace, "service", "service", start, self.clock.now, node=destination
+            )
 
         if self.failures.should_drop(destination, source):
             self.metrics.record_drop(destination, source)
+            self._trace_event(trace, "response-dropped", link=f"{destination}->{source}")
             raise MessageDroppedError(
                 f"response from {destination!r} to {source!r} was dropped"
             )
         reverse_link = self.link_config(destination, source)
+        responded_at = self.clock.now
         response_delay = self._reserve_link(
             destination, source, len(response), reverse_link
         )
         self.clock.advance(response_delay)
         self.metrics.record(destination, source, len(response), response_delay)
+        self._trace_interval(
+            trace,
+            "response-wire",
+            "wire",
+            responded_at,
+            self.clock.now,
+            link=f"{destination}->{source}",
+            bytes=len(response),
+        )
         return response
 
     def post(
@@ -375,6 +468,8 @@ class SimulatedNetwork:
         payload: bytes,
         on_response: ResponseCallback,
         on_error: ErrorCallback,
+        *,
+        trace: Optional[List[Tuple[str, str]]] = None,
     ) -> None:
         """Asynchronously deliver ``payload``; the outcome arrives via callback.
 
@@ -421,6 +516,7 @@ class SimulatedNetwork:
             return
         if self.failures.should_drop(source, destination):
             self.metrics.record_drop(source, destination)
+            self._trace_event(trace, "request-dropped", link=f"{source}->{destination}")
             dropped = MessageDroppedError(
                 f"message from {source!r} to {destination!r} was dropped"
             )
@@ -428,17 +524,41 @@ class SimulatedNetwork:
             return
 
         link = self.link_config(source, destination)
+        sent_at = self.clock.now
         request_delay = self._reserve_link(source, destination, len(payload), link)
         self.metrics.record(source, destination, len(payload), request_delay)
+        self._trace_interval(
+            trace,
+            "request-wire",
+            "wire",
+            sent_at,
+            sent_at + request_delay,
+            link=f"{source}->{destination}",
+            bytes=len(payload),
+        )
 
         def serve(handler: MessageHandler, respond_at: Optional[float]) -> None:
+            served_at = self.clock.now
             try:
                 response = handler(source, payload)
             except Exception as error:  # noqa: BLE001 - routed to callback
+                self._trace_interval(
+                    trace,
+                    "service",
+                    "service",
+                    served_at,
+                    self.clock.now,
+                    node=destination,
+                    error=type(error).__name__,
+                )
                 on_error(error)
                 return
             if self.failures.should_drop(destination, source):
                 self.metrics.record_drop(destination, source)
+                self._trace_interval(
+                    trace, "service", "service", served_at, self.clock.now, node=destination
+                )
+                self._trace_event(trace, "response-dropped", link=f"{destination}->{source}")
                 on_error(
                     MessageDroppedError(
                         f"response from {destination!r} to {source!r} was dropped"
@@ -447,11 +567,27 @@ class SimulatedNetwork:
                 return
 
             def send_response() -> None:
+                # The worker releases the request here: the service
+                # interval spans handler execution plus the remainder of
+                # the pool's service time.
+                self._trace_interval(
+                    trace, "service", "service", served_at, self.clock.now, node=destination
+                )
                 reverse_link = self.link_config(destination, source)
+                responded_at = self.clock.now
                 response_delay = self._reserve_link(
                     destination, source, len(response), reverse_link
                 )
                 self.metrics.record(destination, source, len(response), response_delay)
+                self._trace_interval(
+                    trace,
+                    "response-wire",
+                    "wire",
+                    responded_at,
+                    responded_at + response_delay,
+                    link=f"{destination}->{source}",
+                    bytes=len(response),
+                )
                 self.events.schedule(response_delay, lambda: on_response(response))
 
             if respond_at is not None and respond_at > self.clock.now:
@@ -490,9 +626,14 @@ class SimulatedNetwork:
             try:
                 start = pool.admit(now)
             except AdmissionError as error:
+                self._trace_event(trace, "admission-rejected", node=destination)
                 on_error(error)
                 return
             queued = start > now
+            if queued:
+                self._trace_interval(
+                    trace, "pool-queue", "server_queue", now, start, node=destination
+                )
 
             def begin() -> None:
                 pool.begin_service(queued)

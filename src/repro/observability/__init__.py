@@ -1,0 +1,45 @@
+"""End-to-end distributed tracing on the simulated clock.
+
+The subsystem has three parts:
+
+* :mod:`repro.observability.tracing` — the :class:`Span`/:class:`Tracer`
+  core plus the :class:`TraceCollector` that owns every finished trace.
+* :mod:`repro.observability.analysis` — the critical-path analyzer that
+  decomposes a traced call's wall time into client-queue / wire /
+  server-queue / service / replication phases which sum *exactly* to the
+  root span's duration (integer-nanosecond arithmetic makes the claim
+  provable, not approximate).
+* :mod:`repro.observability.export` — Chrome ``trace_event`` JSON export
+  and a plain-text tree renderer for terminals.
+
+Tracing is opt-in per service policy (``ServicePolicy.with_tracing``)
+and propagates over the wire through two extra keys in the compact
+``CallContext`` form; untraced traffic puts nothing new on the wire.
+"""
+
+from repro.observability.analysis import (
+    PHASES,
+    CriticalPath,
+    critical_path,
+    slowest_traces,
+)
+from repro.observability.export import (
+    render_phase_table,
+    render_trace_tree,
+    to_chrome_trace,
+)
+from repro.observability.tracing import SampleGate, Span, TraceCollector, Tracer
+
+__all__ = [
+    "CriticalPath",
+    "PHASES",
+    "SampleGate",
+    "Span",
+    "TraceCollector",
+    "Tracer",
+    "critical_path",
+    "render_phase_table",
+    "render_trace_tree",
+    "slowest_traces",
+    "to_chrome_trace",
+]

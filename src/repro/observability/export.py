@@ -1,0 +1,153 @@
+"""Trace export: Chrome ``trace_event`` JSON and a text tree renderer.
+
+The Chrome format (load via ``chrome://tracing`` or Perfetto) uses
+complete ("X") events with microsecond timestamps; each trace becomes
+one process row so concurrent calls stack visually.  The text renderer
+is for terminals and the ``repro trace`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.observability.analysis import PHASES, critical_path
+from repro.observability.tracing import Span, TraceCollector
+
+_US = 1_000_000
+
+# Stable lane order inside one trace's process row.
+_KIND_LANES = (
+    "client",
+    "interceptor",
+    "queue",
+    "wire",
+    "server_queue",
+    "service",
+    "server",
+    "replication",
+)
+
+
+def to_chrome_trace(collector: TraceCollector) -> Dict[str, Any]:
+    """Render every settled span as Chrome trace-event JSON."""
+    events: List[Dict[str, Any]] = []
+    for pid, trace_id in enumerate(sorted(collector.trace_ids()), start=1):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"trace {trace_id}"},
+            }
+        )
+        for span in collector.spans(trace_id):
+            if span.end is None:
+                continue
+            tid = _KIND_LANES.index(span.kind) if span.kind in _KIND_LANES else len(_KIND_LANES)
+            args = dict(span.attrs)
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.kind,
+                    "ph": "X",
+                    "ts": span.start * _US,
+                    "dur": (span.end - span.start) * _US,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            for name, ts, attrs in span.events:
+                events.append(
+                    {
+                        "name": name,
+                        "cat": span.kind,
+                        "ph": "i",
+                        "s": "t",
+                        "ts": ts * _US,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": dict(attrs),
+                    }
+                )
+    for name, ts, attrs in collector.instants:
+        events.append(
+            {
+                "name": name,
+                "cat": "instant",
+                "ph": "i",
+                "s": "g",
+                "ts": ts * _US,
+                "pid": 0,
+                "tid": 0,
+                "args": dict(attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.3f}ms"
+
+
+def render_trace_tree(collector: TraceCollector, trace_id: str) -> str:
+    """Render one trace as an indented text tree, children by start time."""
+    spans = collector.spans(trace_id)
+    if not spans:
+        return f"trace {trace_id}: no spans"
+    children: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: (s.start, s.span_id))
+
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        if span.end is None:
+            timing = f"@{span.start:.6f}s (open)"
+        else:
+            timing = f"@{span.start:.6f}s +{_fmt_ms(span.end - span.start)}"
+        attrs = ""
+        if span.attrs:
+            attrs = " " + " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+        lines.append(f"{indent}[{span.kind}] {span.name} {timing}{attrs}")
+        for name, ts, evattrs in span.events:
+            detail = "".join(f" {k}={v}" for k, v in sorted(evattrs.items()))
+            lines.append(f"{indent}  ! {name} @{ts:.6f}s{detail}")
+        for child in children.get(span.span_id, ()):  # noqa: B020
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    # Spans whose parent is unknown to the collector (sampled-out parent)
+    # still deserve to show up rather than vanish.
+    known = {span.span_id for span in spans}
+    for span in spans:
+        if span.parent_id is not None and span.parent_id not in known:
+            walk(span, 0)
+    return "\n".join(lines)
+
+
+def render_phase_table(collector: TraceCollector, trace_id: str) -> str:
+    """One-line-per-phase breakdown for the CLI output."""
+    root = collector.root(trace_id)
+    if root is None or root.end is None:
+        return f"trace {trace_id}: not settled"
+    path = critical_path(collector.spans(trace_id), root)
+    lines = [
+        f"trace {trace_id} · {root.name} · total {_fmt_ms(path.duration)}"
+        f" · dominant: {path.dominant}"
+    ]
+    for phase in PHASES:
+        share = path.share(phase)
+        bar = "#" * int(round(share * 30))
+        lines.append(
+            f"  {phase:<13} {_fmt_ms(path.phases[phase]):>12}  {share * 100:5.1f}%  {bar}"
+        )
+    return "\n".join(lines)

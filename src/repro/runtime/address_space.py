@@ -29,6 +29,7 @@ from repro._errors import (
 )
 from repro.core.interfaces import cacheable_members
 from repro.network.simnet import SimulatedNetwork
+from repro.observability.tracing import trace_refs_from_contexts
 from repro.runtime.batching import BatchResult
 from repro.runtime.invocation import (
     InvocationBatch,
@@ -107,6 +108,10 @@ class AddressSpace:
         #: Highest replication epoch seen per object id on epoch-stamped
         #: ``!inv`` frames; frames claiming an older epoch are rejected.
         self._invalidation_epoch_floor: Dict[str, int] = {}
+        #: ``(trace_id, client_span_id)`` of every traced call dispatched
+        #: from the message currently being served — server-side observers
+        #: (eager replication forwards) parent their spans here.
+        self._message_trace_refs: List[Tuple[str, Optional[str]]] = []
 
         #: Number of invocation requests served by this space's dispatcher.
         self.invocations_served = 0
@@ -573,7 +578,12 @@ class AddressSpace:
         payload = frame_message(transport_impl.name, body)
 
         self.invocations_sent += 1
-        raw_response = self.network.send_request(self.node_id, reference.node_id, payload)
+        trace = None
+        if self.network.tracer is not None:
+            trace = trace_refs_from_contexts((request.context,)) or None
+        raw_response = self.network.send_request(
+            self.node_id, reference.node_id, payload, trace=trace
+        )
 
         piggybacked, raw_response = split_invalidations(raw_response)
         if piggybacked:
@@ -627,7 +637,14 @@ class AddressSpace:
         payload = self._encode_batch_payload(normalized, transport)
         self.invocations_sent += len(normalized)
         self.batches_sent += 1
-        raw_response = self.network.send_request(self.node_id, destination, payload)
+        trace = None
+        if self.network.tracer is not None:
+            trace = (
+                trace_refs_from_contexts(context for *_, context in normalized) or None
+            )
+        raw_response = self.network.send_request(
+            self.node_id, destination, payload, trace=trace
+        )
         return self._decode_batch_payload(raw_response, len(normalized))
 
     def invoke_remote_many_async(
@@ -685,7 +702,14 @@ class AddressSpace:
                 return
             on_results(results)
 
-        self.network.post(self.node_id, destination, payload, complete, on_error)
+        trace = None
+        if self.network.tracer is not None:
+            trace = (
+                trace_refs_from_contexts(context for *_, context in normalized) or None
+            )
+        self.network.post(
+            self.node_id, destination, payload, complete, on_error, trace=trace
+        )
 
     @staticmethod
     def _normalize_calls(
@@ -837,6 +861,8 @@ class AddressSpace:
         # batch of writes coalesces into one invalidation round.
         outer_pending = self._pending_invalidations
         self._pending_invalidations = set()
+        outer_refs = self._message_trace_refs
+        self._message_trace_refs = []
         try:
             transport_name, body, is_batch = parse_frame(payload)
             transport = self.transports.get(transport_name)
@@ -867,6 +893,7 @@ class AddressSpace:
                 self._pending_invalidations,
                 outer_pending,
             )
+            self._message_trace_refs = outer_refs
         if pending:
             # Coherence guarantee: every subscriber's entries drop before the
             # write's response leaves this node.  The requesting client's own
@@ -882,16 +909,36 @@ class AddressSpace:
         self.invocations_served += 1
         for hook in self._dispatch_hooks:
             hook.before_dispatch(self)
+        tracer = self.network.tracer
+        span = None
+        context = request.context
+        if tracer is not None and context and "x" in context:
+            ref = (context["x"], context.get("p"))
+            # Remember which traces this message carried: replication
+            # forwards triggered by the call attribute their spans here.
+            self._message_trace_refs.append(ref)
+            span = tracer.start_span(
+                f"{request.interface_name}.{request.member}",
+                trace_id=ref[0],
+                parent_id=ref[1],
+                kind="server",
+                ts=self.network.clock.now,
+                node=self.node_id,
+            )
         try:
             if not self._middleware_chains:
                 response, _ = self._serve_request(request)
                 return response
-            return self._dispatch_intercepted(request)
+            return self._dispatch_intercepted(request, span)
         finally:
+            if span is not None:
+                tracer.end_span(span, ts=self.network.clock.now)
             for hook in reversed(self._dispatch_hooks):
                 hook.after_dispatch(self)
 
-    def _dispatch_intercepted(self, request: InvocationRequest) -> InvocationResponse:
+    def _dispatch_intercepted(
+        self, request: InvocationRequest, span: Any = None
+    ) -> InvocationResponse:
         """Serve one request inside every installed interceptor chain.
 
         Chains nest in installation order: the first installed chain's
@@ -912,6 +959,11 @@ class AddressSpace:
             kwargs=dict(request.kwargs),
             clock=self.network.clock,
         )
+        if span is not None:
+            # Server-side interceptor spans nest under the dispatch span,
+            # not under the remote client's span.
+            ctx.trace = span
+            ctx.tracer = self.network.tracer
         brackets = []
         for chain in list(self._middleware_chains):
             try:

@@ -88,6 +88,9 @@ class _QueuedCall:
     #: Wire-context dict (call id, tenant, deadline) riding with the call;
     #: empty for calls issued without middleware.
     context: dict = field(default_factory=dict)
+    #: When the call entered the buffer; traced calls bill the wait until
+    #: the flush ships as client-side queueing.
+    queued_at: Optional[float] = None
 
 
 class BatchingProxy:
@@ -247,7 +250,10 @@ class BatchingProxy:
         if clock is not None:
             pending.submitted_at = clock.now
         self._queue.append(
-            _QueuedCall(member, tuple(args), dict(kwargs or {}), pending, dict(context or {}))
+            _QueuedCall(
+                member, tuple(args), dict(kwargs or {}), pending, dict(context or {}),
+                queued_at=clock.now if clock is not None else None,
+            )
         )
         self.calls_enqueued += 1
         if len(self._queue) >= self.max_batch:
@@ -291,6 +297,7 @@ class BatchingProxy:
         ]
         for item in window:
             item.pending.attempts += 1
+        self._trace_queue_waits(window)
         # The invoker re-ships the whole window internally on retry, writing
         # one *recovered* failure record per call per re-ship — fold that
         # back into the futures so "attempts > 1 after a retry" holds on
@@ -340,6 +347,26 @@ class BatchingProxy:
             else:
                 item.pending._fail(result.error)
         return results
+
+    def _trace_queue_waits(self, window: List[_QueuedCall]) -> None:
+        """Bill each traced call's batch-window wait as a queue span."""
+        network = getattr(self._space, "network", None)
+        tracer = getattr(network, "tracer", None)
+        if tracer is None:
+            return
+        now = network.clock.now
+        for item in window:
+            trace_id = item.context.get("x")
+            if trace_id is None or item.queued_at is None or now <= item.queued_at:
+                continue
+            tracer.record_span(
+                "batch-queue",
+                trace_id=trace_id,
+                parent_id=item.context.get("p"),
+                kind="queue",
+                start=item.queued_at,
+                end=now,
+            )
 
     def abandon(self, error: BaseException) -> int:
         """Fail (do not ship) every queued call; returns how many were dropped.

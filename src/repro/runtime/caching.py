@@ -409,12 +409,29 @@ def cached_enqueue(
     dispatch and must return an
     :class:`~repro.runtime.pipelining.InvocationFuture`.
     """
+    tracer = getattr(cache.manager.space.network, "tracer", None)
     if member in cacheable:
         hit, value = cache.lookup(reference, member, args, kwargs)
         if hit:
+            if tracer is not None:
+                # The hit never reaches the dispatch pipe, so no trace is
+                # sampled for it — a global instant is the only record.
+                tracer.instant(
+                    "cache-hit",
+                    ts=cache.manager.now(),
+                    member=member,
+                    object=reference.object_id,
+                )
             future = InvocationFuture(member)
             future._resolve(value)
             return future
+        if tracer is not None:
+            tracer.instant(
+                "cache-miss",
+                ts=cache.manager.now(),
+                member=member,
+                object=reference.object_id,
+            )
         token = cache.begin_fill(reference)
         future = enqueue(member, args, kwargs)
 
@@ -569,10 +586,15 @@ class CacheManager:
 
     def _on_invalidation(self, object_ids: List[str]) -> None:
         """The address space's listener: apply one ``!inv`` frame."""
+        tracer = getattr(self.space.network, "tracer", None)
         for object_id in object_ids:
             self.invalidations_received += 1
             self._subscriptions.pop(object_id, None)
             self.bump_version(object_id)
+            if tracer is not None:
+                tracer.instant(
+                    "cache-inv", ts=self.now(), object=object_id, node=self.space.node_id
+                )
 
     # ------------------------------------------------------------------
     # aggregate statistics (consumed by the adaptive policy)

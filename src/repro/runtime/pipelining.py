@@ -194,6 +194,9 @@ class _ScheduledCall:
     #: middleware.  Retries reuse the same :class:`_ScheduledCall`, so the
     #: context — absolute deadline included — rides every re-ship unchanged.
     context: dict = field(default_factory=dict)
+    #: When the call last entered a buffer (submission or requeue); traced
+    #: calls bill the span up to ship time as client-side queueing.
+    queued_at: Optional[float] = None
 
 
 class PipelineScheduler:
@@ -347,7 +350,7 @@ class PipelineScheduler:
         buffer.append(
             _ScheduledCall(
                 reference, member, tuple(args), dict(kwargs or {}), future,
-                dict(context or {}),
+                dict(context or {}), queued_at=self._clock.now,
             )
         )
         if len(buffer) >= self.max_batch:
@@ -506,6 +509,7 @@ class PipelineScheduler:
         # configured window (which traffic may never fill).
         self._depth_sample_sum += self._in_flight
         self.depth_samples += 1
+        self._trace_queue_waits(calls)
         try:
             self.space.invoke_remote_many_async(
                 [
@@ -523,6 +527,44 @@ class PipelineScheduler:
             # the caller — it is a programming error, not network weather.
             self._on_error(calls, error)
             raise
+
+    def _trace_queue_waits(self, calls: List[_ScheduledCall]) -> None:
+        """Bill each traced call's buffer + window wait as a queue span."""
+        tracer = getattr(self.space.network, "tracer", None)
+        if tracer is None:
+            return
+        now = self._clock.now
+        for call in calls:
+            trace_id = call.context.get("x")
+            if trace_id is None or call.queued_at is None or now <= call.queued_at:
+                continue
+            tracer.record_span(
+                "pipeline-queue",
+                trace_id=trace_id,
+                parent_id=call.context.get("p"),
+                kind="queue",
+                start=call.queued_at,
+                end=now,
+                node=call.reference.node_id,
+            )
+
+    def _trace_requeue(self, call: _ScheduledCall, reason: str, **attrs) -> None:
+        """Stamp a requeue on the traced call's still-open client span."""
+        call.queued_at = self._clock.now
+        trace_id = call.context.get("x")
+        if trace_id is None:
+            return
+        tracer = getattr(self.space.network, "tracer", None)
+        if tracer is None:
+            return
+        tracer.annotate(
+            trace_id,
+            call.context.get("p"),
+            reason,
+            ts=self._clock.now,
+            attempt=call.future.attempts,
+            **attrs,
+        )
 
     def _complete(self, future: InvocationFuture) -> None:
         future.completed_at = self._clock.now
@@ -556,6 +598,9 @@ class PipelineScheduler:
                     )
                 )
                 self.calls_redirected += 1
+                self._trace_requeue(
+                    call, "failover-reship", error=type(result.error).__name__
+                )
                 requeued.append(call)
                 continue
             else:
@@ -614,6 +659,11 @@ class PipelineScheduler:
                     self.calls_redirected += 1
                 else:
                     self.calls_retried += 1
+                self._trace_requeue(
+                    call,
+                    "failover-reship" if failover else "retry-requeued",
+                    error=type(error).__name__,
+                )
             else:
                 call.future._fail(error)
                 self._complete(call.future)

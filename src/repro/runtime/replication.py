@@ -725,9 +725,36 @@ class ReplicaManager:
         else:
             self._propagate_op(group, member, args, kwargs)
 
+    def _trace_forwards(self, space, name: str, start: float, **attrs) -> None:
+        """Record one replication span per trace the triggering message carried.
+
+        The primary's address space accumulates ``(trace_id, parent_id)``
+        refs while dispatching a message; a forward loop that ran between
+        ``start`` and now is billed to each of those traces.  Zero-width
+        intervals (no backup reachable, clock never advanced) are skipped —
+        they would add noise without latency.
+        """
+        tracer = getattr(space.network, "tracer", None)
+        if tracer is None:
+            return
+        end = space.network.clock.now
+        if end <= start:
+            return
+        for trace_id, parent_id in getattr(space, "_message_trace_refs", ()):
+            tracer.record_span(
+                name,
+                trace_id=trace_id,
+                parent_id=parent_id,
+                kind="replication",
+                start=start,
+                end=end,
+                **attrs,
+            )
+
     def _propagate_op(self, group: ReplicaGroup, member: str, args: tuple, kwargs: dict) -> None:
         """Forward one mutating call to every live backup (eager mode)."""
         space = self._primary_space(group)
+        t0 = space.network.clock.now
         for record in group.healthy_backups():
             try:
                 space.invoke_remote(
@@ -745,6 +772,7 @@ class ReplicaManager:
                 # it; the primary's acknowledged write must not fail.
                 record.healthy = False
                 self._schedule_reseed(group, record.node_id)
+        self._trace_forwards(space, "replicate", t0, group=group.name, op=member)
 
     def _quorum_write(self, group: ReplicaGroup, member: str, args: tuple, kwargs: dict) -> None:
         """Commit one quorum-mode write: majority ack or no client ack.
@@ -761,6 +789,7 @@ class ReplicaManager:
         """
         space = self._primary_space(group)
         acks = 1  # the primary's own apply
+        t0 = space.network.clock.now
         for record in group.healthy_backups():
             try:
                 space.invoke_remote(
@@ -775,6 +804,9 @@ class ReplicaManager:
             except (NetworkError, RemoteInvocationError, FencedError):
                 record.healthy = False
                 self._schedule_reseed(group, record.node_id)
+        self._trace_forwards(
+            space, "quorum-write", t0, group=group.name, op=member, acks=acks
+        )
         if acks < group.quorum:
             group.quorum_failures += 1
             raise QuorumLostError(
@@ -792,6 +824,7 @@ class ReplicaManager:
         if not ops:
             return
         space = self._primary_space(group)
+        t0 = space.network.clock.now
         for record in group.healthy_backups():
             try:
                 space.invoke_remote(
@@ -809,6 +842,9 @@ class ReplicaManager:
                 # forwards to the remaining backups.
                 record.healthy = False
                 self._schedule_reseed(group, record.node_id)
+        self._trace_forwards(
+            space, "replicate-batch", t0, group=group.name, ops=len(ops)
+        )
 
     def sync_now(self, group: ReplicaGroup) -> int:
         """Ship a state snapshot to every live backup; returns copies synced."""

@@ -84,6 +84,7 @@ def run_cached_catalog_scenario(
     kill: bool = False,
     heartbeat_interval: float = 0.002,
     miss_threshold: int = 2,
+    tracing: Optional[float] = None,
 ) -> dict:
     """Drive the cached catalog and verify coherence; returns the figures.
 
@@ -128,6 +129,8 @@ def run_cached_catalog_scenario(
         reader_policy = reader_policy.with_caching(
             CachePolicy(max_entries=max_entries, lease_ms=lease_ms, mode=mode)
         )
+    if tracing is not None:
+        reader_policy = reader_policy.with_tracing(tracing)
     if replicate:
         reader_policy = reader_policy.with_replication(
             2, quorum=1, readonly=CATALOG_READONLY
@@ -148,6 +151,9 @@ def run_cached_catalog_scenario(
     with Session(cluster, node=reader) as reader_session, Session(
         cluster, node=writer
     ) as writer_session:
+        trace_collector = (
+            reader_session.tracer().collector if tracing is not None else None
+        )
         reader_services = []
         for index, name in enumerate(names):
             kwargs = {"impl": CatalogShard(), "node": primary_of(index)}
@@ -266,4 +272,5 @@ def run_cached_catalog_scenario(
         "per_call_seconds": elapsed / operations if operations else 0.0,
         "messages": cluster.metrics.total_messages - messages_before,
         "bytes_on_wire": cluster.metrics.total_bytes - bytes_before,
+        "trace_collector": trace_collector,
     }

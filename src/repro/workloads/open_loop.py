@@ -106,6 +106,7 @@ def run_open_loop_scenario(
     client: str = "client",
     server: str = "server",
     catalog: Optional[KeyValueCatalog] = None,
+    tracing: Optional[float] = None,
 ) -> dict:
     """Offer Poisson traffic at ``offered_load`` req/s for ``duration`` sim-seconds.
 
@@ -122,6 +123,11 @@ def run_open_loop_scenario(
     ``retry_policy`` (default: 4 attempts backing off from one service time)
     governs how rejected requests are retried; pass
     :data:`~repro.runtime.faulttolerance.NO_RETRY` to shed instead.
+
+    ``tracing`` (a sample rate in ``[0, 1]``) turns on end-to-end tracing
+    for the run; the populated
+    :class:`~repro.observability.tracing.TraceCollector` is then returned
+    under ``trace_collector`` for critical-path analysis.
 
     Returns plain-data load figures — arrivals, completions, rejections,
     goodput, p50/p99/p999 latency, pool and link queueing — plus the
@@ -158,6 +164,10 @@ def run_open_loop_scenario(
             batch_window=1,
             pipeline_depth=OPEN_LOOP_WINDOW,
         ).with_retry(retry_policy)
+        trace_collector = None
+        if tracing is not None:
+            policy = policy.with_tracing(tracing)
+            trace_collector = session.tracer().collector
         service = session.service(
             f"open-loop-{next(_RUN_SEQ)}", policy, impl=catalog, node=server
         )
@@ -232,6 +242,7 @@ def run_open_loop_scenario(
         "link_queue_delay": network.metrics.total_queue_delay,
         "max_link_queue_depth": network.metrics.max_queue_depth,
         "histogram": histogram,
+        "trace_collector": trace_collector,
     }
 
 

@@ -1,0 +1,75 @@
+"""DS107 fixture: tracer spans opened but never ended (span leaks)."""
+
+
+def leaks_assigned_span(tracer, trace):
+    span = tracer.start_span(  # expect: DS107
+        "work", trace_id=trace.trace_id, parent_id=trace.span_id, kind="service",
+        ts=0.0,
+    )
+    span.add_event("midpoint", 0.5)  # annotating does not rescue the leak
+    return 42
+
+
+def leaks_discarded_root(tracer):
+    tracer.start_trace("fire-and-forget", ts=0.0)  # expect: DS107
+    return None
+
+
+def leaks_despite_condition(tracer, trace, noisy):
+    span = tracer.start_span(  # expect: DS107
+        "maybe", trace_id=trace.trace_id, parent_id=None, kind="queue", ts=1.0,
+    )
+    if noisy:
+        print(span.name)
+    return noisy
+
+
+def suppressed_leak(tracer):
+    span = tracer.start_trace("known-leak", ts=0.0)  # repro: ignore[DS107]
+    return span is not None
+
+
+def ends_on_every_path(tracer, trace, clock):
+    span = tracer.start_span(
+        "bounded", trace_id=trace.trace_id, parent_id=None, kind="wire", ts=clock.now,
+    )
+    try:
+        return clock.now
+    finally:
+        tracer.end_span(span, ts=clock.now)
+
+
+def ends_inside_nested_callback(tracer, trace, schedule):
+    span = tracer.start_span(
+        "deferred", trace_id=trace.trace_id, parent_id=None, kind="server", ts=0.0,
+    )
+
+    def settle():
+        tracer.end_span(span, ts=1.0)
+
+    schedule(settle)
+
+
+def escapes_by_return(tracer):
+    return tracer.start_trace("handed-to-caller", ts=0.0)
+
+
+def escapes_into_container(tracer, open_spans):
+    span = tracer.start_trace("parked", ts=0.0)
+    open_spans.append(span)
+
+
+def escapes_into_attribute(tracer, holder):
+    span = tracer.start_trace("owned-elsewhere", ts=0.0)
+    holder.current = span
+
+
+def uses_the_with_form(tracer, clock):
+    with tracer.span("scoped", kind="client", ts=clock.now):
+        return clock.now
+
+
+def unrelated_start_methods(engine):
+    engine.start_span("not-a-tracer-but-flagged-shape-is-ok")  # expect: DS107
+    worker = engine.start_worker("different method, not flagged")
+    return worker

@@ -53,6 +53,7 @@ RULE_FIXTURES = {
     "DS104": "ds104_mutable_class_state.py",
     "DS105": "ds105_interceptor_hooks.py",
     "DS106": "ds106_deprecated_api.py",
+    "DS107": "ds107_span_leaks.py",
 }
 
 

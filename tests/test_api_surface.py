@@ -48,6 +48,7 @@ EXPECTED_POLICY_METHODS = (
     "with_retry",
     "with_static_checks",
     "with_tenant",
+    "with_tracing",
     "with_transport",
 )
 
@@ -80,6 +81,7 @@ EXPECTED_SESSION_METHODS = (
     "metrics",
     "service",
     "services",
+    "tracer",
 )
 
 #: Errors the public façade module must export (the supported error names).

@@ -469,7 +469,7 @@ class TestFaultInjection:
 
 
 class TestMetrics:
-    def test_session_metrics_merge_client_and_server_counters(self, cluster):
+    def test_session_metrics_namespace_client_and_server_counters(self, cluster):
         client_metrics = MetricsInterceptor()
         server_metrics = MetricsInterceptor()
         policy = ServicePolicy(transport="rmi", batch_window=4).with_middleware(
@@ -482,13 +482,37 @@ class TestMetrics:
             session.drain()
             assert all(f.ok for f in futures)
             merged = session.metrics()
-        # 6 client-side brackets + 6 server-side brackets on one member.
-        assert merged["submit"]["calls"] == 12
-        assert merged["submit"]["errors"] == 0
+        # The two sides are reported under separate namespaces — summing
+        # them into one row would double-count every remote call.
+        assert merged["client"]["members"]["submit"]["calls"] == 6
+        assert merged["server"]["members"]["submit"]["calls"] == 6
+        assert merged["client"]["members"]["submit"]["errors"] == 0
         assert client_metrics.snapshot()["submit"]["calls"] == 6
         assert server_metrics.snapshot()["submit"]["calls"] == 6
         # Client-side latency includes the round trip; server-side is local.
         assert client_metrics.snapshot()["submit"]["total_latency"] > 0.0
+        assert merged["client"]["latency"]["count"] == 6
+        assert merged["server"]["latency"]["count"] == 6
+        assert merged["client"]["latency"]["mean"] >= merged["server"]["latency"]["mean"]
+
+    def test_session_metrics_merge_histograms_across_interceptors(self, cluster):
+        first = MetricsInterceptor()
+        second = MetricsInterceptor()
+        policy_a = ServicePolicy(transport="rmi", batch_window=2).with_middleware(first)
+        policy_b = ServicePolicy(transport="rmi", batch_window=2).with_middleware(second)
+        with Session(cluster, node="client") as session:
+            a = session.service("orders-a", policy_a, impl=OrderIntake(), node="server")
+            b = session.service("orders-b", policy_b, impl=OrderIntake(), node="server")
+            futures = [a.future.submit(f"a-{i}", 1, 10) for i in range(4)]
+            futures += [b.future.submit(f"b-{i}", 1, 10) for i in range(3)]
+            a.flush()
+            b.flush()
+            session.drain()
+            assert all(f.ok for f in futures)
+            merged = session.metrics()
+        # One merged client histogram covering both services' interceptors.
+        assert merged["client"]["latency"]["count"] == 7
+        assert merged["client"]["latency"]["max"] >= merged["client"]["latency"]["min"] > 0.0
 
 
 # ---------------------------------------------------------------------------
